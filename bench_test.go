@@ -1,0 +1,292 @@
+// Benchmark harness: one benchmark per paper figure plus the ablations the
+// paper's text implies. Each figure benchmark regenerates its table and
+// prints it once (so `go test -bench=. -benchmem` reproduces the paper's
+// rows), and reports the headline ratios as benchmark metrics.
+//
+// By default the figure benchmarks run on the 4-benchmark quick subset so
+// the whole harness finishes in a couple of minutes; set FULL_SUITE=1 to
+// run all 18 SPEC95 profiles exactly as cmd/figures does.
+package codecomp_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"codecomp"
+	"codecomp/internal/experiments"
+	"codecomp/internal/synth"
+)
+
+func benchProfiles() []synth.Profile {
+	if os.Getenv("FULL_SUITE") != "" {
+		return synth.SPEC95
+	}
+	return experiments.QuickProfiles()
+}
+
+var printOnce sync.Map
+
+func printTable(b *testing.B, tbl experiments.Table) {
+	b.Helper()
+	if _, done := printOnce.LoadOrStore(tbl.Title, true); !done {
+		fmt.Printf("\n%s\n", tbl.String())
+	}
+}
+
+// reportAvg attaches each column's average as a benchmark metric.
+func reportAvg(b *testing.B, tbl experiments.Table) {
+	b.Helper()
+	for ci, col := range tbl.Columns {
+		sum, n := 0.0, 0
+		for _, r := range tbl.Rows {
+			if ci < len(r.Cells) {
+				sum += r.Cells[ci]
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(sum/float64(n), col+"-avg")
+		}
+	}
+}
+
+func BenchmarkFigure7MIPS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Figure7(benchProfiles())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, tbl)
+		reportAvg(b, tbl)
+	}
+}
+
+func BenchmarkFigure8X86(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Figure8(benchProfiles())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, tbl)
+		reportAvg(b, tbl)
+	}
+}
+
+func BenchmarkFigure9Average(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Figure9(benchProfiles())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, tbl)
+		reportAvg(b, tbl)
+	}
+}
+
+func BenchmarkAblationBlockSize(b *testing.B) {
+	p, _ := synth.ProfileByName("go")
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.AblationBlockSize(p, []int{16, 32, 64, 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, tbl)
+		reportAvg(b, tbl)
+	}
+}
+
+func BenchmarkAblationConnectedTrees(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.AblationConnected(experiments.QuickProfiles())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, tbl)
+		reportAvg(b, tbl)
+	}
+}
+
+func BenchmarkAblationQuantizedProbs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.AblationQuantized(experiments.QuickProfiles())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, tbl)
+		reportAvg(b, tbl)
+	}
+}
+
+func BenchmarkAblationStreamSplit(b *testing.B) {
+	p, _ := synth.ProfileByName("go")
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.AblationStreams(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, tbl)
+		reportAvg(b, tbl)
+	}
+}
+
+func BenchmarkAblationDictSize(b *testing.B) {
+	p, _ := synth.ProfileByName("go")
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.AblationDictSize(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, tbl)
+		reportAvg(b, tbl)
+	}
+}
+
+func BenchmarkMemSystem(b *testing.B) {
+	p, _ := synth.ProfileByName("gcc")
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.MemSystemSweep(p, []int{1, 2, 4, 8, 16, 32}, 2_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, tbl)
+		reportAvg(b, tbl)
+	}
+}
+
+func BenchmarkHardwareModels(b *testing.B) {
+	p, _ := synth.ProfileByName("go")
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.HardwareTable(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, tbl)
+		reportAvg(b, tbl)
+	}
+}
+
+func BenchmarkAdaptiveVsSemiadaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.AdaptiveVsSemiadaptive(experiments.QuickProfiles())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, tbl)
+		reportAvg(b, tbl)
+	}
+}
+
+func BenchmarkAblationProbPrecision(b *testing.B) {
+	p, _ := synth.ProfileByName("go")
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.AblationProbPrecision(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, tbl)
+		reportAvg(b, tbl)
+	}
+}
+
+func BenchmarkCLBSweep(b *testing.B) {
+	p, _ := synth.ProfileByName("gcc")
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.CLBSweep(p, 1_500_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, tbl)
+		reportAvg(b, tbl)
+	}
+}
+
+// Throughput benchmarks for the codec paths themselves.
+
+func benchText(b *testing.B) []byte {
+	b.Helper()
+	return codecomp.GenerateMIPS(codecomp.MustProfile("compress")).Text()
+}
+
+func BenchmarkCompressSAMC(b *testing.B) {
+	text := benchText(b)
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codecomp.CompressSAMC(text, codecomp.SAMCOptions{Connected: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressSADC(b *testing.B) {
+	text := benchText(b)
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codecomp.CompressSADCMIPS(text, codecomp.SADCOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompressSAMC(b *testing.B) {
+	text := benchText(b)
+	img, err := codecomp.CompressSAMC(text, codecomp.SAMCOptions{Connected: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := img.Block(i % img.NumBlocks()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompressSADC(b *testing.B) {
+	text := benchText(b)
+	img, err := codecomp.CompressSADCMIPS(text, codecomp.SADCOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := img.Block(i % img.NumBlocks()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompressSAMCParallel(b *testing.B) {
+	text := benchText(b)
+	img, err := codecomp.CompressSAMC(text, codecomp.SAMCOptions{Connected: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := img.BlockParallel(i % img.NumBlocks()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompressHuffman(b *testing.B) {
+	text := benchText(b)
+	img, err := codecomp.CompressHuffman(text, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := img.Block(i % img.NumBlocks()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

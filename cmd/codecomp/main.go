@@ -1,0 +1,191 @@
+// Command codecomp compresses, decompresses and inspects program images
+// with every algorithm in the repository.
+//
+// Usage:
+//
+//	codecomp -alg samc -isa mips -in prog.bin -out prog.samc.stats
+//	codecomp -alg sadc -isa x86 -in prog.bin -verify
+//	codecomp -alg lzw  -in prog.bin
+//
+// The block-addressable formats (samc, sadc, huff) serialize to ROM images:
+// -save writes one, and -decompress reads one back (auto-detecting the
+// format from its magic) and emits the original text. -verify checks the
+// full round trip in memory; -out writes the decompressed text.
+//
+//	codecomp -alg sadc -in prog.bin -save prog.sadc
+//	codecomp -decompress prog.sadc -out prog.bin2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"codecomp/internal/deflate"
+	"codecomp/internal/kozuch"
+	"codecomp/internal/lzw"
+	"codecomp/internal/sadc"
+	"codecomp/internal/samc"
+)
+
+func main() {
+	alg := flag.String("alg", "samc", "algorithm: samc, sadc, huff, lzw, gzip")
+	isa := flag.String("isa", "mips", "isa for samc/sadc: mips or x86")
+	in := flag.String("in", "", "input binary (required)")
+	out := flag.String("out", "", "write decompressed output here (implies -verify)")
+	blockSize := flag.Int("block", 32, "cache block size in bytes")
+	connected := flag.Bool("connected", true, "SAMC: connect adjacent Markov trees")
+	quantize := flag.Bool("quantize", false, "SAMC: power-of-1/2 probabilities")
+	verify := flag.Bool("verify", false, "decompress and compare against the input")
+	save := flag.String("save", "", "write the serialized compressed image here (samc/sadc/huff)")
+	load := flag.String("decompress", "", "decompress a serialized image (format auto-detected) instead of compressing")
+	flag.Parse()
+
+	if *load != "" {
+		img, err := os.ReadFile(*load)
+		fatal(err)
+		text, err := decompressImage(img)
+		fatal(err)
+		fmt.Printf("decompressed %d -> %d bytes\n", len(img), len(text))
+		if *out != "" {
+			fatal(os.WriteFile(*out, text, 0o644))
+		}
+		return
+	}
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "codecomp: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	text, err := os.ReadFile(*in)
+	fatal(err)
+	if *out != "" {
+		*verify = true
+	}
+
+	var decompressed []byte
+	var image []byte
+	switch *alg {
+	case "samc":
+		opts := samc.Options{BlockSize: *blockSize, Connected: *connected, Quantize: *quantize}
+		if *isa == "x86" {
+			opts.WordBytes = 1
+		}
+		c, err := samc.Compress(text, opts)
+		fatal(err)
+		fmt.Printf("SAMC: %d blocks, payload %d B, model %d B, total %d B, ratio %.4f\n",
+			c.NumBlocks(), c.PayloadBytes(), c.ModelBytes(), c.CompressedSize(), c.Ratio())
+		image = c.Marshal()
+		if *verify {
+			decompressed, err = c.Decompress()
+			fatal(err)
+		}
+	case "sadc":
+		var c *sadc.Compressed
+		switch *isa {
+		case "mips":
+			c, err = sadc.Compress(text, sadc.MIPSAdapter{}, sadc.Options{BlockSize: *blockSize})
+		case "x86":
+			c, err = sadc.Compress(text, sadc.NewX86Adapter(), sadc.Options{BlockSize: *blockSize})
+		default:
+			fatal(fmt.Errorf("unknown isa %q", *isa))
+		}
+		fatal(err)
+		fmt.Printf("SADC: %d blocks, dict %d entries (%d B), tables %d B, payload %d B, total %d B, ratio %.4f\n",
+			c.NumBlocks(), len(c.Dict), c.DictBytes(), c.TableBytes(), c.PayloadBytes(), c.CompressedSize(), c.Ratio())
+		fmt.Printf("      streams: tokens %d B, regs %d B, imm %d B, limm %d B\n",
+			c.StreamBytes(0), c.StreamBytes(1), c.StreamBytes(2), c.StreamBytes(3))
+		image = c.Marshal()
+		if *verify {
+			decompressed, err = c.Decompress()
+			fatal(err)
+		}
+	case "huff":
+		c, err := kozuch.Compress(text, *blockSize)
+		fatal(err)
+		fmt.Printf("byte-Huffman: %d blocks, payload %d B, table %d B, ratio %.4f\n",
+			c.NumBlocks(), c.PayloadBytes(), c.TableBytes(), c.Ratio())
+		image = c.Marshal()
+		if *verify {
+			decompressed, err = c.Decompress()
+			fatal(err)
+		}
+	case "lzw":
+		comp := lzw.Compress(text)
+		fmt.Printf("compress (LZW): %d -> %d B, ratio %.4f\n", len(text), len(comp),
+			float64(len(comp))/float64(len(text)))
+		image = comp
+		if *verify {
+			decompressed, err = lzw.Decompress(comp)
+			fatal(err)
+		}
+	case "gzip":
+		comp := deflate.Compress(text)
+		fmt.Printf("gzip-class (LZ77+Huffman): %d -> %d B, ratio %.4f\n", len(text), len(comp),
+			float64(len(comp))/float64(len(text)))
+		image = comp
+		if *verify {
+			decompressed, err = deflate.Decompress(comp)
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+
+	if *save != "" {
+		fatal(os.WriteFile(*save, image, 0o644))
+		fmt.Printf("image written to %s (%d bytes)\n", *save, len(image))
+	}
+
+	if *verify {
+		if string(decompressed) != string(text) {
+			fatal(fmt.Errorf("round trip FAILED: decompressed output differs"))
+		}
+		fmt.Println("round trip verified")
+		if *out != "" {
+			fatal(os.WriteFile(*out, decompressed, 0o644))
+		}
+	}
+}
+
+// decompressImage auto-detects a serialized image's format by magic (with
+// LZW/gzip fallbacks) and decompresses it.
+func decompressImage(img []byte) ([]byte, error) {
+	if len(img) >= 4 {
+		switch string(img[:4]) {
+		case "SAMC":
+			c, err := samc.Unmarshal(img)
+			if err != nil {
+				return nil, err
+			}
+			return c.Decompress()
+		case "SADC":
+			c, err := sadc.Unmarshal(img)
+			if err != nil {
+				return nil, err
+			}
+			return c.Decompress()
+		case "KZHF":
+			c, err := kozuch.Unmarshal(img)
+			if err != nil {
+				return nil, err
+			}
+			return c.Decompress()
+		}
+	}
+	// Raw LZW/deflate containers carry no magic; try both.
+	if out, err := deflate.Decompress(img); err == nil {
+		return out, nil
+	}
+	if out, err := lzw.Decompress(img); err == nil {
+		return out, nil
+	}
+	return nil, fmt.Errorf("unrecognized image format")
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "codecomp: %v\n", err)
+		os.Exit(1)
+	}
+}

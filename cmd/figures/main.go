@@ -1,0 +1,75 @@
+// Command figures regenerates the paper's evaluation figures and this
+// repository's ablations as aligned text tables.
+//
+// Usage:
+//
+//	figures               # everything, full 18-benchmark suite
+//	figures -quick        # 4-benchmark subset
+//	figures -fig 7        # one experiment: 7, 8, 9, blocksize, connected,
+//	                      # quantized, streams, dict, memsys, hw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"codecomp/internal/experiments"
+	"codecomp/internal/synth"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate (7, 8, 9, blocksize, connected, quantized, streams, dict, memsys, hw, adaptive, precision, clb, all)")
+	quick := flag.Bool("quick", false, "use a 4-benchmark subset instead of the full suite")
+	flag.Parse()
+
+	profiles := synth.SPEC95
+	if *quick {
+		profiles = experiments.QuickProfiles()
+	}
+	gcc, _ := synth.ProfileByName("gcc")
+	goProf, _ := synth.ProfileByName("go")
+
+	run := func(name string, f func() (experiments.Table, error)) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		t0 := time.Now()
+		tbl, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl.String())
+		fmt.Printf("(%s computed in %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("7", func() (experiments.Table, error) { return experiments.Figure7(profiles) })
+	run("8", func() (experiments.Table, error) { return experiments.Figure8(profiles) })
+	run("9", func() (experiments.Table, error) { return experiments.Figure9(profiles) })
+	run("blocksize", func() (experiments.Table, error) {
+		return experiments.AblationBlockSize(goProf, []int{16, 32, 64, 128})
+	})
+	run("connected", func() (experiments.Table, error) {
+		return experiments.AblationConnected(experiments.QuickProfiles())
+	})
+	run("quantized", func() (experiments.Table, error) {
+		return experiments.AblationQuantized(experiments.QuickProfiles())
+	})
+	run("streams", func() (experiments.Table, error) { return experiments.AblationStreams(goProf) })
+	run("dict", func() (experiments.Table, error) { return experiments.AblationDictSize(goProf) })
+	run("memsys", func() (experiments.Table, error) {
+		return experiments.MemSystemSweep(gcc, []int{1, 2, 4, 8, 16, 32}, 2_000_000)
+	})
+	run("hw", func() (experiments.Table, error) { return experiments.HardwareTable(goProf) })
+	run("adaptive", func() (experiments.Table, error) {
+		return experiments.AdaptiveVsSemiadaptive(experiments.QuickProfiles())
+	})
+	run("precision", func() (experiments.Table, error) {
+		return experiments.AblationProbPrecision(goProf)
+	})
+	run("clb", func() (experiments.Table, error) {
+		return experiments.CLBSweep(gcc, 1_500_000)
+	})
+}

@@ -1,0 +1,56 @@
+// Command specgen writes the synthetic SPEC95 stand-in suite to disk as raw
+// text-segment images, one file per benchmark per ISA, for use with
+// cmd/codecomp or external tools.
+//
+// Usage:
+//
+//	specgen -dir ./suite            # all 18 benchmarks, both ISAs
+//	specgen -dir ./suite -bench gcc -isa mips
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"codecomp/internal/synth"
+)
+
+func main() {
+	dir := flag.String("dir", "suite", "output directory")
+	bench := flag.String("bench", "", "single benchmark name (default: all)")
+	isa := flag.String("isa", "", "mips or x86 (default: both)")
+	flag.Parse()
+
+	profiles := synth.SPEC95
+	if *bench != "" {
+		p, ok := synth.ProfileByName(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "specgen: unknown benchmark %q\n", *bench)
+			os.Exit(2)
+		}
+		profiles = []synth.Profile{p}
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "specgen: %v\n", err)
+		os.Exit(1)
+	}
+	for _, p := range profiles {
+		if *isa == "" || *isa == "mips" {
+			write(*dir, p.Name+".mips.bin", synth.GenerateMIPS(p).Text())
+		}
+		if *isa == "" || *isa == "x86" {
+			write(*dir, p.Name+".x86.bin", synth.GenerateX86(p).Text())
+		}
+	}
+}
+
+func write(dir, name string, data []byte) {
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "specgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-24s %7d bytes\n", path, len(data))
+}

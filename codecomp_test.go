@@ -1,0 +1,258 @@
+package codecomp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"codecomp"
+)
+
+// TestPublicAPIRoundTrips exercises every codec through the public façade
+// and the BlockCodec interface.
+func TestPublicAPIRoundTrips(t *testing.T) {
+	mips := codecomp.GenerateMIPS(codecomp.MustProfile("compress")).Text()
+	x86 := codecomp.GenerateX86(codecomp.MustProfile("compress")).Text()
+
+	samcImg, err := codecomp.CompressSAMC(mips, codecomp.SAMCOptions{Connected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sadcImg, err := codecomp.CompressSADCMIPS(mips, codecomp.SADCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sadcX86, err := codecomp.CompressSADCX86(x86, codecomp.SADCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	huffImg, err := codecomp.CompressHuffman(mips, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	codecs := []struct {
+		name  string
+		codec codecomp.BlockCodec
+		want  []byte
+	}{
+		{"SAMC", samcImg, mips},
+		{"SADC/MIPS", sadcImg, mips},
+		{"SADC/x86", sadcX86, x86},
+		{"Huffman", huffImg, mips},
+	}
+	for _, c := range codecs {
+		got, err := c.codec.Decompress()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !bytes.Equal(got, c.want) {
+			t.Fatalf("%s: round trip failed", c.name)
+		}
+		if r := c.codec.Ratio(); r <= 0 || r >= 1 {
+			t.Fatalf("%s: ratio %v", c.name, r)
+		}
+		if c.codec.NumBlocks() <= 0 || c.codec.CompressedSize() <= 0 {
+			t.Fatalf("%s: degenerate image", c.name)
+		}
+		if _, err := c.codec.Block(0); err != nil {
+			t.Fatalf("%s: Block(0): %v", c.name, err)
+		}
+	}
+}
+
+func TestFileBaselines(t *testing.T) {
+	text := codecomp.GenerateMIPS(codecomp.MustProfile("compress")).Text()
+	lz, err := codecomp.LZWDecompress(codecomp.LZWCompress(text))
+	if err != nil || !bytes.Equal(lz, text) {
+		t.Fatal("LZW round trip failed")
+	}
+	df, err := codecomp.DeflateDecompress(codecomp.DeflateCompress(text))
+	if err != nil || !bytes.Equal(df, text) {
+		t.Fatal("deflate round trip failed")
+	}
+	if codecomp.DeflateRatio(text) >= codecomp.LZWRatio(text) {
+		t.Fatal("gzip-class should beat LZW on code")
+	}
+}
+
+func TestSuiteAndProfiles(t *testing.T) {
+	if len(codecomp.SPEC95()) != 18 {
+		t.Fatal("SPEC95 suite should have 18 benchmarks")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustProfile must panic on unknown names")
+		}
+	}()
+	codecomp.MustProfile("nonesuch")
+}
+
+func TestMemorySimulationAPI(t *testing.T) {
+	prog := codecomp.GenerateMIPS(codecomp.MustProfile("compress"))
+	trace := prog.Trace(1, 50000)
+	st, err := codecomp.SimulateMemory(trace, codecomp.TextBase, codecomp.MemConfig{
+		CacheBytes: 4096, Assoc: 2, LineBytes: 32, MemCycles: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accesses != 50000 || st.HitRatio() <= 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	lat := codecomp.BuildLAT([]int{10, 12, 9})
+	if lat.NumBlocks() != 3 {
+		t.Fatal("LAT API broken")
+	}
+}
+
+func TestHardwareAPI(t *testing.T) {
+	text := codecomp.GenerateMIPS(codecomp.MustProfile("compress")).Text()
+	img, err := codecomp.CompressSAMC(text, codecomp.SAMCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nib := codecomp.NewSAMCNibbleDecoder()
+	if nib.CyclesPerBlock(32) <= 0 {
+		t.Fatal("decoder latency must be positive")
+	}
+	if nib.Cost(img.Model).GateEq <= 0 {
+		t.Fatal("gate estimate must be positive")
+	}
+	if codecomp.NewSADCTableDecoder().CyclesPerBlock(32, 8, 100) <= 0 {
+		t.Fatal("SADC decoder latency must be positive")
+	}
+	if codecomp.NewSAMCSerialDecoder().CyclesPerBlock(32) <= nib.CyclesPerBlock(32) {
+		t.Fatal("serial decoder should be slower than nibble decoder")
+	}
+}
+
+func TestDivisionAPI(t *testing.T) {
+	prog := codecomp.GenerateMIPS(codecomp.MustProfile("compress"))
+	words := prog.Words()
+	corr := codecomp.BitCorrelation(words, 32)
+	if len(corr) != 32 {
+		t.Fatal("correlation matrix shape")
+	}
+	res := codecomp.OptimizeDivision(words, 32, 4, codecomp.OptimizeOptions{Seed: 1, Iterations: 10})
+	if err := res.Division.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	img, err := codecomp.CompressSAMC(prog.Text(), codecomp.SAMCOptions{Division: res.Division})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := img.Decompress()
+	if err != nil || !bytes.Equal(got, prog.Text()) {
+		t.Fatal("optimized-division round trip failed")
+	}
+}
+
+func TestImageSerializationAPI(t *testing.T) {
+	mips := codecomp.GenerateMIPS(codecomp.MustProfile("compress")).Text()
+	x86 := codecomp.GenerateX86(codecomp.MustProfile("compress")).Text()
+
+	sa, err := codecomp.CompressSAMC(mips, codecomp.SAMCOptions{Connected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa2, err := codecomp.UnmarshalSAMC(sa.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := sa2.Decompress(); !bytes.Equal(got, mips) {
+		t.Fatal("SAMC image round trip failed")
+	}
+
+	sd, err := codecomp.CompressSADCX86(x86, codecomp.SADCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd2, err := codecomp.UnmarshalSADC(sd.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := sd2.Decompress(); !bytes.Equal(got, x86) {
+		t.Fatal("SADC image round trip failed")
+	}
+
+	hf, err := codecomp.CompressHuffman(mips, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf2, err := codecomp.UnmarshalHuffman(hf.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := hf2.Decompress(); !bytes.Equal(got, mips) {
+		t.Fatal("Huffman image round trip failed")
+	}
+
+	// Cross-format confusion must fail cleanly.
+	if _, err := codecomp.UnmarshalSAMC(sd.Marshal()); err == nil {
+		t.Fatal("SADC image accepted by SAMC unmarshal")
+	}
+	if _, err := codecomp.UnmarshalSADC(hf.Marshal()); err == nil {
+		t.Fatal("Huffman image accepted by SADC unmarshal")
+	}
+}
+
+func TestParallelDecoderAPI(t *testing.T) {
+	text := codecomp.GenerateMIPS(codecomp.MustProfile("compress")).Text()
+	img, err := codecomp.CompressSAMC(text, codecomp.SAMCOptions{Connected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := img.Block(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, st, err := img.BlockParallel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial, par) {
+		t.Fatal("parallel decode differs from serial")
+	}
+	if st.Nibbles <= 0 {
+		t.Fatal("no nibble stats")
+	}
+	dec := codecomp.NewSAMCNibbleDecoder()
+	if c := dec.CyclesMeasured(st.Nibbles, st.Interrupts); c <= 0 {
+		t.Fatal("measured cycles must be positive")
+	}
+}
+
+func TestDMCAPI(t *testing.T) {
+	text := codecomp.GenerateMIPS(codecomp.MustProfile("compress")).Text()
+	c := codecomp.DMCCompress(text, codecomp.DMCOptions{})
+	got, err := codecomp.DMCDecompress(c, codecomp.DMCOptions{})
+	if err != nil || !bytes.Equal(got, text) {
+		t.Fatal("DMC round trip failed")
+	}
+	blocks := codecomp.DMCCompressBlocks(text, 32, codecomp.DMCOptions{})
+	// The paper's §3 argument, visible through the public API: the adaptive
+	// coder collapses at block granularity.
+	if blocks.Ratio() < c.Ratio()+0.2 {
+		t.Fatalf("block DMC %.3f vs file %.3f: no adaptation penalty", blocks.Ratio(), c.Ratio())
+	}
+}
+
+func TestDecompressParallelAPI(t *testing.T) {
+	text := codecomp.GenerateMIPS(codecomp.MustProfile("compress")).Text()
+	sa, err := codecomp.CompressSAMC(text, codecomp.SAMCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sa.DecompressParallel(4)
+	if err != nil || !bytes.Equal(got, text) {
+		t.Fatal("SAMC parallel decompress failed")
+	}
+	sd, err := codecomp.CompressSADCMIPS(text, codecomp.SADCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = sd.DecompressParallel(4)
+	if err != nil || !bytes.Equal(got, text) {
+		t.Fatal("SADC parallel decompress failed")
+	}
+}

@@ -1,0 +1,71 @@
+package codecomp_test
+
+// Executable godoc examples for the public API.
+
+import (
+	"fmt"
+
+	"codecomp"
+)
+
+// Compress a program with SAMC and decompress a single cache block — the
+// random-access operation the refill engine performs on an I-cache miss.
+func Example() {
+	prog := codecomp.GenerateMIPS(codecomp.MustProfile("tomcatv"))
+	text := prog.Text()
+
+	img, err := codecomp.CompressSAMC(text, codecomp.SAMCOptions{Connected: true})
+	if err != nil {
+		panic(err)
+	}
+	block, err := img.Block(3) // independent of every other block
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(block) == 32)
+	// Output: true
+}
+
+// SADC learns a per-program dictionary; the jr r31 return idiom is the
+// paper's flagship fusion example.
+func ExampleCompressSADCMIPS() {
+	text := codecomp.GenerateMIPS(codecomp.MustProfile("tomcatv")).Text()
+	img, err := codecomp.CompressSADCMIPS(text, codecomp.SADCOptions{})
+	if err != nil {
+		panic(err)
+	}
+	got, err := img.Decompress()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(got) == len(text), len(img.Dict) <= 256)
+	// Output: true true
+}
+
+// Serialized images survive a marshal/unmarshal round trip — the bytes a
+// firmware build would place in ROM.
+func ExampleUnmarshalSAMC() {
+	text := codecomp.GenerateMIPS(codecomp.MustProfile("tomcatv")).Text()
+	img, _ := codecomp.CompressSAMC(text, codecomp.SAMCOptions{})
+	restored, err := codecomp.UnmarshalSAMC(img.Marshal())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(restored.NumBlocks() == img.NumBlocks())
+	// Output: true
+}
+
+// The memory-system simulator replays an instruction fetch trace against
+// the Wolfe/Chanin organization.
+func ExampleSimulateMemory() {
+	prog := codecomp.GenerateMIPS(codecomp.MustProfile("tomcatv"))
+	trace := prog.Trace(1, 100000)
+	stats, err := codecomp.SimulateMemory(trace, codecomp.TextBase, codecomp.MemConfig{
+		CacheBytes: 4096, Assoc: 2, LineBytes: 32, MemCycles: 12,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(stats.Accesses == 100000, stats.HitRatio() > 0.9, stats.CPF() >= 1)
+	// Output: true true true
+}

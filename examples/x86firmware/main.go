@@ -1,0 +1,61 @@
+// X86firmware: the CISC path. Generate an IA-32 program, compare every
+// algorithm on it, and show why the paper's x86 results differ from MIPS:
+// SAMC degenerates to a byte-stream model (no fixed instruction width to
+// subdivide), while SADC still benefits from the 3-way opcode / ModR/M+SIB /
+// imm+disp stream split.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"codecomp"
+)
+
+func main() {
+	prog := codecomp.GenerateX86(codecomp.MustProfile("ijpeg"))
+	text := prog.Text()
+	fmt.Printf("x86 firmware: %d bytes, %d instructions (variable length)\n\n",
+		len(text), len(prog.Instrs))
+
+	fmt.Printf("%-22s %8s\n", "algorithm", "ratio")
+	fmt.Printf("%-22s %8.3f\n", "compress (LZW)", codecomp.LZWRatio(text))
+	fmt.Printf("%-22s %8.3f\n", "gzip (LZ77+Huffman)", codecomp.DeflateRatio(text))
+
+	samcImg, err := codecomp.CompressSAMC(text, codecomp.SAMCOptions{WordBytes: 1, Connected: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %8.3f   (single byte stream: no subdivision possible)\n", "SAMC", samcImg.Ratio())
+
+	sadcImg, err := codecomp.CompressSADCX86(text, codecomp.SADCOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %8.3f   (op/modrm/imm streams, %d dict entries)\n", "SADC", sadcImg.Ratio(), len(sadcImg.Dict))
+
+	huffImg, err := codecomp.CompressHuffman(text, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %8.3f\n\n", "byte Huffman", huffImg.Ratio())
+
+	fmt.Printf("SADC stream breakdown: tokens %d B, modrm+sib %d B, imm+disp %d B\n",
+		sadcImg.StreamBytes(0), sadcImg.StreamBytes(1), sadcImg.StreamBytes(2))
+
+	// Verify random access on the variable-length ISA: decompress block 3
+	// independently and locate it in the original text.
+	blk, err := sadcImg.Block(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	off := 0
+	for i := 0; i < 3; i++ {
+		off += sadcImg.Blocks[i].Bytes
+	}
+	if !bytes.Equal(blk, text[off:off+len(blk)]) {
+		log.Fatal("block 3 mismatch")
+	}
+	fmt.Println("block 3 decompressed independently and verified")
+}

@@ -1,0 +1,3 @@
+module codecomp
+
+go 1.22

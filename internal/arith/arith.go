@@ -1,0 +1,232 @@
+// Package arith implements the 24-bit binary arithmetic coder from §3 of
+// Lekatsas & Wolf, "Code Compression for Embedded Systems" (DAC 1998).
+//
+// The decoder follows the paper's pseudocode exactly: a 24-bit interval
+// [min, max), a midpoint computed as min + (max-min-1)·p with degenerate-mid
+// fixups, and byte-wise renormalization whenever the interval narrows below
+// 256. Carries are avoided with the paper's clamp — after shifting, if
+// min ≥ max the upper bound snaps back to 2^24 — which confines the interval
+// to the region sharing the already-emitted byte prefix. The matching
+// encoder emits the top byte of min on every renormalization and flushes the
+// final 24-bit min, which is exactly the 24-bit window the decoder primes
+// itself with at the start of a block.
+//
+// Probabilities are 16-bit fixed point predictions that the next bit is 0.
+// The optional power-of-two quantization mode models the paper's shift-only
+// hardware midpoint unit (Witten et al.'s ≈95 % worst-case efficiency).
+package arith
+
+import "math"
+
+const (
+	// Top is the exclusive upper bound of the coding interval (2^24); the
+	// paper's pseudocode initializes max to 0x1000000.
+	Top = 1 << 24
+	// minRange triggers byte renormalization, per the pseudocode's
+	// `while ((max-min) < 0xff)` guard (we use the 256 boundary so that a
+	// full byte always fits; the off-by-one does not affect correctness as
+	// long as encoder and decoder agree).
+	minRange = 1 << 8
+	// ProbBits is the fixed-point precision of bit predictions.
+	ProbBits = 16
+	// ProbOne is the fixed-point representation of probability 1.0.
+	ProbOne = 1 << ProbBits
+	// ProbHalf is the fixed-point representation of probability 0.5.
+	ProbHalf = ProbOne / 2
+)
+
+// ClampProb forces a probability into the coder's valid open interval
+// (0, 1), i.e. [1, ProbOne-1] in fixed point.
+func ClampProb(p int) uint16 {
+	if p < 1 {
+		return 1
+	}
+	if p > ProbOne-1 {
+		return ProbOne - 1
+	}
+	return uint16(p)
+}
+
+// mid computes the paper's midpoint: min + (max-min-1)·p0, with the two
+// fixups from the pseudocode (`if mid==min mid++`, `if mid==max-1 mid--`)
+// that keep both subintervals non-empty.
+func mid(lo, hi uint32, p0 uint16) uint32 {
+	r := uint64(hi - lo - 1)
+	m := lo + uint32(r*uint64(p0)>>ProbBits)
+	if m == lo {
+		m++
+	}
+	if m >= hi-1 {
+		m = hi - 2
+	}
+	return m
+}
+
+// Encoder is the compression-side dual of the paper's decompressor.
+// A zero-value Encoder is ready to use; Reset reuses the output buffer.
+type Encoder struct {
+	lo, hi uint32
+	out    []byte
+	primed bool
+}
+
+// NewEncoder returns an Encoder with the interval reset and an output buffer
+// pre-allocated for sizeHint bytes.
+func NewEncoder(sizeHint int) *Encoder {
+	e := &Encoder{out: make([]byte, 0, sizeHint)}
+	e.Reset()
+	return e
+}
+
+// Reset clears the output and restores the full interval. The paper resets
+// the interval (and the Markov model, which lives in the caller) at every
+// cache-block boundary so blocks decompress independently.
+func (e *Encoder) Reset() {
+	e.lo, e.hi = 0, Top
+	e.out = e.out[:0]
+	e.primed = true
+}
+
+// EncodeBit narrows the interval according to bit and the prediction p0 that
+// the bit is 0. p0 must be in [1, ProbOne-1] (use ClampProb).
+func (e *Encoder) EncodeBit(bit int, p0 uint16) {
+	m := mid(e.lo, e.hi, p0)
+	if bit != 0 {
+		e.lo = m
+	} else {
+		e.hi = m
+	}
+	for e.hi-e.lo < minRange {
+		e.out = append(e.out, byte(e.lo>>16))
+		e.lo = e.lo << 8 & (Top - 1)
+		e.hi = e.hi << 8 & (Top - 1)
+		if e.lo >= e.hi {
+			// Carry-avoidance clamp: keep only the part of the interval that
+			// shares the emitted byte prefix (paper pseudocode line 29).
+			e.hi = Top
+		}
+	}
+}
+
+// Flush terminates the block by emitting the final 24-bit min — a value
+// guaranteed to lie inside every interval chosen so far — and returns the
+// complete compressed block. The Encoder must be Reset before reuse.
+func (e *Encoder) Flush() []byte {
+	e.out = append(e.out, byte(e.lo>>16), byte(e.lo>>8), byte(e.lo))
+	return e.out
+}
+
+// Len reports the number of bytes emitted so far, excluding the 3-byte
+// flush.
+func (e *Encoder) Len() int { return len(e.out) }
+
+// Decoder implements the paper's cache-line decompressor loop.
+type Decoder struct {
+	lo, hi uint32
+	val    uint32
+	data   []byte
+	pos    int
+}
+
+// NewDecoder primes a Decoder with the first 24 bits of a compressed block,
+// exactly like the pseudocode's get_24bits_of_compressed_code().
+func NewDecoder(data []byte) *Decoder {
+	d := &Decoder{data: data}
+	d.Reset(data)
+	return d
+}
+
+// Reset re-primes the decoder on a new block.
+func (d *Decoder) Reset(data []byte) {
+	d.data = data
+	d.pos = 0
+	d.lo, d.hi = 0, Top
+	d.val = uint32(d.next())<<16 | uint32(d.next())<<8 | uint32(d.next())
+}
+
+// next fetches the next compressed byte, zero-filling past the end: the
+// hardware refill engine keeps shifting bytes in, and bytes past the block's
+// compressed length are never examined by a correct decode.
+func (d *Decoder) next() byte {
+	if d.pos >= len(d.data) {
+		return 0
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b
+}
+
+// DecodeBit recovers one bit using the prediction p0 that it is 0.
+func (d *Decoder) DecodeBit(p0 uint16) int {
+	m := mid(d.lo, d.hi, p0)
+	var bit int
+	if d.val >= m {
+		bit = 1
+		d.lo = m
+	} else {
+		bit = 0
+		d.hi = m
+	}
+	for d.hi-d.lo < minRange {
+		d.val = (d.val<<8 | uint32(d.next())) & (Top - 1)
+		d.lo = d.lo << 8 & (Top - 1)
+		d.hi = d.hi << 8 & (Top - 1)
+		if d.lo >= d.hi {
+			d.hi = Top
+		}
+	}
+	return bit
+}
+
+// Consumed reports how many input bytes the decoder has fetched, including
+// the 3 priming bytes.
+func (d *Decoder) Consumed() int { return d.pos }
+
+// QuantizePow2 rounds a probability to the paper's shift-only form: the
+// probability of the less probable symbol becomes the nearest (in log space)
+// integral power of ½, so the hardware midpoint unit needs a shifter instead
+// of a multiplier. The returned value is still a p0 (probability of zero).
+func QuantizePow2(p0 uint16) uint16 {
+	lps := uint32(p0) // probability of the less probable symbol
+	flip := false
+	if p0 > ProbHalf {
+		lps = ProbOne - uint32(p0)
+		flip = true
+	}
+	if lps == 0 {
+		lps = 1
+	}
+	// Choose k minimizing |log2(lps/ProbOne) + k|, i.e. the power 2^-k
+	// nearest in ratio. k ranges over [1, ProbBits].
+	bestK, bestErr := 1, math.MaxFloat64
+	target := math.Log2(float64(lps) / ProbOne)
+	for k := 1; k <= ProbBits; k++ {
+		err := math.Abs(target + float64(k))
+		if err < bestErr {
+			bestErr = err
+			bestK = k
+		}
+	}
+	q := uint32(ProbOne >> bestK)
+	if flip {
+		q = ProbOne - q
+	}
+	if q >= ProbOne {
+		q = ProbOne - 1
+	}
+	if q == 0 {
+		q = 1
+	}
+	return uint16(q)
+}
+
+// CostBits returns the ideal information content, in bits, of coding bit
+// under prediction p0 — the yardstick for model quality and for the
+// quantization-efficiency experiment.
+func CostBits(bit int, p0 uint16) float64 {
+	p := float64(p0) / ProbOne
+	if bit != 0 {
+		p = 1 - p
+	}
+	return -math.Log2(p)
+}

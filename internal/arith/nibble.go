@@ -1,0 +1,121 @@
+package arith
+
+// Nibble-parallel decoding — the hardware design of the paper's §3 and
+// Figure 5. The serial pseudocode decodes one bit per midpoint; to decode k
+// bits per cycle the engine precomputes the midpoints of every possible
+// bit path (2^k − 1 of them; "a reasonable solution is to decode 4-bit
+// values which means we need 15 mids and 15 probs"), then selects the real
+// path with comparators against val.
+//
+// The speculative midpoints are only valid while no renormalization occurs
+// inside the nibble: a renormalization rescales min/max (and fetches a
+// byte), invalidating the remaining precomputed values. NibbleDecoder
+// models that faithfully: it commits the bits decoded so far, renormalizes,
+// recomputes the remaining speculative tree, and counts the event as an
+// interrupt — an extra hardware cycle. The result is bit-exact with the
+// serial Decoder, which the property tests verify.
+
+// NibbleStats reports the work a parallel decode performed.
+type NibbleStats struct {
+	Nibbles    int // speculative evaluations (≈ cycles without interrupts)
+	Interrupts int // mid-nibble renormalizations (one extra cycle each)
+}
+
+// NibbleDecoder wraps a Decoder with k-bit parallel decoding.
+type NibbleDecoder struct {
+	d     *Decoder
+	k     int
+	mids  []uint32 // speculative midpoint tree, 2^k - 1 entries
+	stats NibbleStats
+}
+
+// NewNibbleDecoder returns a parallel decoder over a compressed block.
+// k is the decode width in bits (the paper's design uses 4).
+func NewNibbleDecoder(data []byte, k int) *NibbleDecoder {
+	if k < 1 || k > 8 {
+		panic("arith: nibble width outside [1,8]")
+	}
+	return &NibbleDecoder{d: NewDecoder(data), k: k, mids: make([]uint32, (1<<k)-1)}
+}
+
+// Stats returns the accumulated work counters.
+func (nd *NibbleDecoder) Stats() NibbleStats { return nd.stats }
+
+// Consumed reports input bytes fetched.
+func (nd *NibbleDecoder) Consumed() int { return nd.d.Consumed() }
+
+// speculate fills the midpoint tree for up to n bits from the current
+// interval. probs(path, depth) must return the model's P0 for the node
+// reached by the bits in path (LSB = most recent); this is what the
+// probability memory feeds the 15 midpoint units.
+func (nd *NibbleDecoder) speculate(n int, probs func(path uint32, depth int) uint16) {
+	// Node index convention matches a heap: node for (depth d, path p) is
+	// (1<<d - 1) + p. Each node's interval bounds derive from its
+	// ancestors' midpoints.
+	type bound struct{ lo, hi uint32 }
+	bounds := make([]bound, (1<<n)-1)
+	bounds[0] = bound{nd.d.lo, nd.d.hi}
+	for d := 0; d < n; d++ {
+		for p := 0; p < 1<<d; p++ {
+			idx := (1<<d - 1) + p
+			b := bounds[idx]
+			m := mid(b.lo, b.hi, probs(uint32(p), d))
+			nd.mids[idx] = m
+			if d+1 < n {
+				left := (1<<(d+1) - 1) + 2*p
+				bounds[left] = bound{b.lo, m}   // bit 0: max := mid
+				bounds[left+1] = bound{m, b.hi} // bit 1: min := mid
+			}
+		}
+	}
+}
+
+// DecodeNibble decodes n ≤ k bits in parallel, returning them packed MSB
+// first. The result is identical to n serial DecodeBit calls against the
+// same model.
+func (nd *NibbleDecoder) DecodeNibble(n int, probs func(path uint32, depth int) uint16) uint32 {
+	if n > nd.k {
+		panic("arith: nibble larger than configured width")
+	}
+	var out uint32
+	for decoded := 0; decoded < n; {
+		remaining := n - decoded
+		// One parallel evaluation: all midpoints for the remaining bits.
+		nd.speculate(remaining, func(path uint32, depth int) uint16 {
+			return probs(out<<depth|path, decoded+depth)
+		})
+		nd.stats.Nibbles++
+		// Comparator cascade: walk the precomputed tree against val.
+		path := 0
+		for i := 0; i < remaining; i++ {
+			m := nd.mids[(1<<i-1)+path]
+			var bit int
+			if nd.d.val >= m {
+				bit = 1
+				nd.d.lo = m
+			} else {
+				nd.d.hi = m
+			}
+			out = out<<1 | uint32(bit)
+			path = path<<1 | bit
+			decoded++
+			if nd.d.hi-nd.d.lo < minRange {
+				// Renormalize exactly as the serial decoder would; the
+				// rest of the speculative tree is now stale.
+				for nd.d.hi-nd.d.lo < minRange {
+					nd.d.val = (nd.d.val<<8 | uint32(nd.d.next())) & (Top - 1)
+					nd.d.lo = nd.d.lo << 8 & (Top - 1)
+					nd.d.hi = nd.d.hi << 8 & (Top - 1)
+					if nd.d.lo >= nd.d.hi {
+						nd.d.hi = Top
+					}
+				}
+				if decoded < n {
+					nd.stats.Interrupts++
+				}
+				break
+			}
+		}
+	}
+	return out
+}

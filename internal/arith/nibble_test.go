@@ -1,0 +1,190 @@
+package arith
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// hashProb derives a deterministic pseudo-random probability from the
+// absolute bit position and the in-nibble path, so serial and parallel
+// decoders can be driven by the same "model" without sharing state.
+func hashProb(absPos int, path uint32, depth int) uint16 {
+	h := uint32(absPos)*2654435761 ^ path*40503 ^ uint32(depth)*9176
+	h ^= h >> 13
+	return ClampProb(int(h % ProbOne))
+}
+
+func TestNibbleMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 8192 // bits, multiple of 4
+	bits := make([]int, n)
+	probs := make([]uint16, n)
+	for i := range bits {
+		bits[i] = rng.Intn(2)
+		// The serial encoder's probability at bit i must equal what the
+		// parallel decoder will derive: path = bits since nibble start.
+		nibStart := i &^ 3
+		var path uint32
+		for j := nibStart; j < i; j++ {
+			path = path<<1 | uint32(bits[j])
+		}
+		probs[i] = hashProb(nibStart, path, i-nibStart)
+	}
+	data := encodeAll(bits, probs)
+
+	// Serial reference.
+	serial := decodeAll(data, probs)
+	for i := range bits {
+		if serial[i] != bits[i] {
+			t.Fatalf("serial decode broken at bit %d", i)
+		}
+	}
+
+	// Parallel decode, 4 bits at a time.
+	nd := NewNibbleDecoder(data, 4)
+	pos := 0
+	for pos < n {
+		v := nd.DecodeNibble(4, func(path uint32, depth int) uint16 {
+			return hashProb(pos, path, depth)
+		})
+		for b := 0; b < 4; b++ {
+			bit := int(v >> uint(3-b) & 1)
+			if bit != bits[pos] {
+				t.Fatalf("parallel decode differs at bit %d", pos)
+			}
+			pos++
+		}
+	}
+	st := nd.Stats()
+	if st.Nibbles < n/4 {
+		t.Fatalf("stats report %d nibbles for %d bits", st.Nibbles, n)
+	}
+	if st.Interrupts == 0 {
+		t.Fatal("expected some renormalization interrupts on random data")
+	}
+	t.Logf("nibbles=%d interrupts=%d (%.2f per nibble)",
+		st.Nibbles, st.Interrupts, float64(st.Interrupts)/float64(n/4))
+}
+
+func TestNibbleWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{1, 2, 3, 4, 6, 8} {
+		n := 64 * k
+		bits := make([]int, n)
+		probs := make([]uint16, n)
+		for i := range bits {
+			bits[i] = rng.Intn(2)
+			nibStart := (i / k) * k
+			var path uint32
+			for j := nibStart; j < i; j++ {
+				path = path<<1 | uint32(bits[j])
+			}
+			probs[i] = hashProb(nibStart, path, i-nibStart)
+		}
+		data := encodeAll(bits, probs)
+		nd := NewNibbleDecoder(data, k)
+		pos := 0
+		for pos < n {
+			v := nd.DecodeNibble(k, func(path uint32, depth int) uint16 {
+				return hashProb(pos, path, depth)
+			})
+			for b := 0; b < k; b++ {
+				if int(v>>uint(k-1-b)&1) != bits[pos] {
+					t.Fatalf("width %d: mismatch at bit %d", k, pos)
+				}
+				pos++
+			}
+		}
+	}
+}
+
+func TestNibblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width 0 must panic")
+		}
+	}()
+	NewNibbleDecoder(nil, 0)
+}
+
+func TestNibbleOverWidth(t *testing.T) {
+	nd := NewNibbleDecoder([]byte{0, 0, 0}, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("decoding more bits than the configured width must panic")
+		}
+	}()
+	nd.DecodeNibble(3, func(uint32, int) uint16 { return ProbHalf })
+}
+
+// Property: parallel and serial decoders agree for arbitrary bit/prob
+// sequences and nibble widths.
+func TestQuickNibbleParity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		n := k * (8 + rng.Intn(200))
+		bits := make([]int, n)
+		probs := make([]uint16, n)
+		for i := range bits {
+			bits[i] = rng.Intn(2)
+			nibStart := (i / k) * k
+			var path uint32
+			for j := nibStart; j < i; j++ {
+				path = path<<1 | uint32(bits[j])
+			}
+			probs[i] = hashProb(nibStart, path, i-nibStart)
+		}
+		data := encodeAll(bits, probs)
+		nd := NewNibbleDecoder(data, k)
+		pos := 0
+		for pos < n {
+			v := nd.DecodeNibble(k, func(path uint32, depth int) uint16 {
+				return hashProb(pos, path, depth)
+			})
+			for b := 0; b < k; b++ {
+				if int(v>>uint(k-1-b)&1) != bits[pos] {
+					return false
+				}
+				pos++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecodeNibble(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 1 << 16
+	bits := make([]int, n)
+	probs := make([]uint16, n)
+	for i := range bits {
+		bits[i] = rng.Intn(2)
+		nibStart := i &^ 3
+		var path uint32
+		for j := nibStart; j < i; j++ {
+			path = path<<1 | uint32(bits[j])
+		}
+		probs[i] = hashProb(nibStart, path, i-nibStart)
+	}
+	data := encodeAll(bits, probs)
+	b.SetBytes(1) // per nibble ≈ half a byte; close enough for comparison
+	b.ResetTimer()
+	pos := 0
+	nd := NewNibbleDecoder(data, 4)
+	for i := 0; i < b.N; i++ {
+		if pos >= n {
+			pos = 0
+			nd = NewNibbleDecoder(data, 4)
+		}
+		p := pos
+		nd.DecodeNibble(4, func(path uint32, depth int) uint16 {
+			return hashProb(p, path, depth)
+		})
+		pos += 4
+	}
+}

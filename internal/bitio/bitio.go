@@ -1,0 +1,176 @@
+// Package bitio provides MSB-first bit-granular readers and writers over
+// in-memory byte slices. Every entropy coder in this repository (Huffman,
+// the binary arithmetic coder, SAMC, SADC) is built on top of it.
+//
+// Bits are packed most-significant-bit first within each byte, matching the
+// convention of the paper's hardware decompressor, which shifts compressed
+// bytes into a 24-bit window from the left.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnexpectedEOF is returned when a read requests more bits than remain.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of bit stream")
+
+// Writer accumulates bits MSB-first into an internal byte buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  byte  // partially filled byte
+	nCur uint  // number of bits in cur (0..7)
+	bits int64 // total bits written
+}
+
+// NewWriter returns a Writer with capacity pre-allocated for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// WriteBit appends a single bit (0 or 1).
+func (w *Writer) WriteBit(bit int) {
+	w.cur = w.cur<<1 | byte(bit&1)
+	w.nCur++
+	w.bits++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first. n may be
+// 0..64.
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitio: WriteBits n=%d > 64", n))
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(int(v >> uint(i) & 1))
+	}
+}
+
+// WriteU8 appends 8 bits.
+func (w *Writer) WriteU8(b byte) {
+	w.WriteBits(uint64(b), 8)
+}
+
+// WriteBytes appends each byte of p in order.
+func (w *Writer) WriteBytes(p []byte) {
+	for _, b := range p {
+		w.WriteU8(b)
+	}
+}
+
+// AlignByte pads the stream with zero bits up to the next byte boundary and
+// returns the number of padding bits added.
+func (w *Writer) AlignByte() int {
+	pad := 0
+	for w.nCur != 0 {
+		w.WriteBit(0)
+		pad++
+	}
+	return pad
+}
+
+// BitLen reports the total number of bits written so far.
+func (w *Writer) BitLen() int64 { return w.bits }
+
+// Len reports the number of whole bytes the stream occupies after padding.
+func (w *Writer) Len() int { return int((w.bits + 7) / 8) }
+
+// Bytes returns the written stream, zero-padded to a byte boundary. The
+// Writer remains usable; further writes must not be interleaved with use of
+// the returned slice.
+func (w *Writer) Bytes() []byte {
+	out := make([]byte, 0, w.Len())
+	out = append(out, w.buf...)
+	if w.nCur != 0 {
+		out = append(out, w.cur<<(8-w.nCur))
+	}
+	return out
+}
+
+// Reset truncates the writer to empty.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nCur, w.bits = 0, 0, 0
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	data []byte
+	pos  int64 // bit position
+}
+
+// NewReader returns a Reader over data. The Reader does not copy data.
+func NewReader(data []byte) *Reader {
+	return &Reader{data: data}
+}
+
+// ReadBit consumes and returns one bit.
+func (r *Reader) ReadBit() (int, error) {
+	if r.pos >= int64(len(r.data))*8 {
+		return 0, ErrUnexpectedEOF
+	}
+	b := r.data[r.pos>>3]
+	bit := int(b >> (7 - uint(r.pos&7)) & 1)
+	r.pos++
+	return bit, nil
+}
+
+// ReadBits consumes n bits (n ≤ 64) and returns them right-aligned.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitio: ReadBits n=%d > 64", n))
+	}
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(bit)
+	}
+	return v, nil
+}
+
+// ReadByte consumes 8 bits.
+func (r *Reader) ReadByte() (byte, error) {
+	v, err := r.ReadBits(8)
+	return byte(v), err
+}
+
+// ReadByteOrZero consumes 8 bits if available, returning zero bytes past the
+// end of the stream. The paper's decompressor keeps shifting bytes into its
+// 24-bit window past the end of a block's compressed data; the trailing
+// bytes it fetches are never examined, so zero-fill is safe and keeps the
+// decoder free of end-of-input special cases.
+func (r *Reader) ReadByteOrZero() byte {
+	b, err := r.ReadByte()
+	if err != nil {
+		return 0
+	}
+	return b
+}
+
+// AlignByte advances the read position to the next byte boundary.
+func (r *Reader) AlignByte() {
+	r.pos = (r.pos + 7) &^ 7
+}
+
+// BitPos reports the current bit position.
+func (r *Reader) BitPos() int64 { return r.pos }
+
+// SeekBit moves the read position to absolute bit offset pos.
+func (r *Reader) SeekBit(pos int64) error {
+	if pos < 0 || pos > int64(len(r.data))*8 {
+		return fmt.Errorf("bitio: seek to bit %d outside stream of %d bits", pos, int64(len(r.data))*8)
+	}
+	r.pos = pos
+	return nil
+}
+
+// Remaining reports the number of unread bits.
+func (r *Reader) Remaining() int64 { return int64(len(r.data))*8 - r.pos }

@@ -1,0 +1,201 @@
+package bitio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBit(t *testing.T) {
+	w := NewWriter(4)
+	pattern := []int{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if got, want := w.BitLen(), int64(len(pattern)); got != want {
+		t.Fatalf("BitLen = %d, want %d", got, want)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("ReadBit %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsRoundTrip(t *testing.T) {
+	cases := []struct {
+		v uint64
+		n uint
+	}{
+		{0, 0}, {1, 1}, {0, 1}, {0xA5, 8}, {0x1234, 16},
+		{0xFFFFFF, 24}, {1 << 33, 40}, {^uint64(0), 64}, {5, 3},
+	}
+	w := NewWriter(64)
+	for _, c := range cases {
+		w.WriteBits(c.v, c.n)
+	}
+	r := NewReader(w.Bytes())
+	for i, c := range cases {
+		got, err := r.ReadBits(c.n)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		mask := ^uint64(0)
+		if c.n < 64 {
+			mask = (1 << c.n) - 1
+		}
+		if got != c.v&mask {
+			t.Errorf("case %d: got %#x, want %#x", i, got, c.v&mask)
+		}
+	}
+}
+
+func TestBytesPadding(t *testing.T) {
+	w := NewWriter(2)
+	w.WriteBits(0b101, 3)
+	got := w.Bytes()
+	if len(got) != 1 || got[0] != 0b10100000 {
+		t.Fatalf("Bytes = %08b, want 10100000", got)
+	}
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", w.Len())
+	}
+}
+
+func TestAlignByte(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0b11, 2)
+	if pad := w.AlignByte(); pad != 6 {
+		t.Fatalf("pad = %d, want 6", pad)
+	}
+	w.WriteU8(0xCD)
+	data := w.Bytes()
+	if !bytes.Equal(data, []byte{0b11000000, 0xCD}) {
+		t.Fatalf("data = %x", data)
+	}
+	r := NewReader(data)
+	if _, err := r.ReadBits(2); err != nil {
+		t.Fatal(err)
+	}
+	r.AlignByte()
+	b, err := r.ReadByte()
+	if err != nil || b != 0xCD {
+		t.Fatalf("aligned byte = %x err %v", b, err)
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+	if b := r.ReadByteOrZero(); b != 0 {
+		t.Fatalf("ReadByteOrZero past end = %x, want 0", b)
+	}
+}
+
+func TestSeekBit(t *testing.T) {
+	r := NewReader([]byte{0b10110100})
+	if err := r.SeekBit(2); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.ReadBits(3)
+	if err != nil || v != 0b110 {
+		t.Fatalf("got %03b err %v, want 110", v, err)
+	}
+	if err := r.SeekBit(9); err == nil {
+		t.Fatal("SeekBit past end should fail")
+	}
+	if err := r.SeekBit(-1); err == nil {
+		t.Fatal("SeekBit negative should fail")
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0xABCD, 16)
+	w.Reset()
+	if w.BitLen() != 0 || len(w.Bytes()) != 0 {
+		t.Fatal("Reset did not clear writer")
+	}
+	w.WriteU8(0x42)
+	if got := w.Bytes(); len(got) != 1 || got[0] != 0x42 {
+		t.Fatalf("post-reset bytes = %x", got)
+	}
+}
+
+// Property: any sequence of (value,width) writes reads back identically.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(vals []uint64, widths []uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := len(vals)
+		if len(widths) < n {
+			n = len(widths)
+		}
+		type rec struct {
+			v uint64
+			n uint
+		}
+		recs := make([]rec, 0, n)
+		w := NewWriter(8 * n)
+		for i := 0; i < n; i++ {
+			width := uint(widths[i] % 65)
+			v := vals[i]
+			if rng.Intn(2) == 0 {
+				v = rng.Uint64()
+			}
+			recs = append(recs, rec{v, width})
+			w.WriteBits(v, width)
+		}
+		r := NewReader(w.Bytes())
+		for _, rc := range recs {
+			got, err := r.ReadBits(rc.n)
+			if err != nil {
+				return false
+			}
+			mask := ^uint64(0)
+			if rc.n < 64 {
+				mask = (1 << rc.n) - 1
+			}
+			if got != rc.v&mask {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: byte-stream write then read reproduces the input exactly.
+func TestQuickBytesRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		w := NewWriter(len(data))
+		w.WriteBytes(data)
+		return bytes.Equal(w.Bytes(), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	w := NewWriter(1 << 16)
+	b.SetBytes(4)
+	for i := 0; i < b.N; i++ {
+		if w.BitLen() > 1<<19 {
+			w.Reset()
+		}
+		w.WriteBits(uint64(i), 32)
+	}
+}

@@ -1,0 +1,296 @@
+// Package deflate implements a gzip-class LZ77 + Huffman compressor from
+// scratch: 32 KiB sliding window, hash-chain match finder with lazy
+// matching, and per-block canonical Huffman codes over DEFLATE's
+// literal/length and distance alphabets. It is the second file-oriented
+// baseline of the paper's Figures 7 and 8 ("gzip").
+//
+// The container format is our own (the paper compares ratios, not file
+// formats): a 4-byte length header, then blocks of up to 65536 tokens, each
+// carrying its two code-length tables followed by the coded tokens.
+package deflate
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"codecomp/internal/bitio"
+	"codecomp/internal/huffman"
+)
+
+const (
+	windowSize  = 32 * 1024
+	minMatch    = 3
+	maxMatch    = 258
+	maxChain    = 128   // match-finder effort, gzip -6..-7 territory
+	blockTokens = 65536 // tokens per Huffman block
+	numLitLen   = 286   // 0..255 literals, 256 EOB, 257..285 lengths
+	numDist     = 30
+	eobSymbol   = 256
+	hashBits    = 15
+	hashShift   = 5
+)
+
+// DEFLATE length code table: symbol 257+i covers lengths [base, base+2^extra).
+var lengthCodes = []struct {
+	base  int
+	extra uint
+}{
+	{3, 0}, {4, 0}, {5, 0}, {6, 0}, {7, 0}, {8, 0}, {9, 0}, {10, 0},
+	{11, 1}, {13, 1}, {15, 1}, {17, 1}, {19, 2}, {23, 2}, {27, 2}, {31, 2},
+	{35, 3}, {43, 3}, {51, 3}, {59, 3}, {67, 4}, {83, 4}, {99, 4}, {115, 4},
+	{131, 5}, {163, 5}, {195, 5}, {227, 5}, {258, 0},
+}
+
+// DEFLATE distance code table: symbol i covers distances [base, base+2^extra).
+var distCodes = []struct {
+	base  int
+	extra uint
+}{
+	{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 1}, {7, 1}, {9, 2}, {13, 2},
+	{17, 3}, {25, 3}, {33, 4}, {49, 4}, {65, 5}, {97, 5}, {129, 6}, {193, 6},
+	{257, 7}, {385, 7}, {513, 8}, {769, 8}, {1025, 9}, {1537, 9},
+	{2049, 10}, {3073, 10}, {4097, 11}, {6145, 11}, {8193, 12}, {12289, 12},
+	{16385, 13}, {24577, 13},
+}
+
+func lengthSymbol(l int) int {
+	for i := len(lengthCodes) - 1; i >= 0; i-- {
+		if l >= lengthCodes[i].base {
+			return 257 + i
+		}
+	}
+	panic("deflate: length below minimum")
+}
+
+func distSymbol(d int) int {
+	for i := len(distCodes) - 1; i >= 0; i-- {
+		if d >= distCodes[i].base {
+			return i
+		}
+	}
+	panic("deflate: distance below minimum")
+}
+
+// token is either a literal (dist == 0) or a match.
+type token struct {
+	lit  byte
+	len  int
+	dist int
+}
+
+// findTokens runs LZ77 with lazy matching over data.
+func findTokens(data []byte) []token {
+	var tokens []token
+	head := make([]int32, 1<<hashBits)
+	prev := make([]int32, len(data))
+	for i := range head {
+		head[i] = -1
+	}
+	hash := func(i int) uint32 {
+		return (uint32(data[i])<<(2*hashShift) ^ uint32(data[i+1])<<hashShift ^ uint32(data[i+2])) & (1<<hashBits - 1)
+	}
+	insert := func(i int) {
+		if i+minMatch <= len(data) {
+			h := hash(i)
+			prev[i] = head[h]
+			head[h] = int32(i)
+		}
+	}
+	bestMatch := func(i int) (length, dist int) {
+		if i+minMatch > len(data) {
+			return 0, 0
+		}
+		limit := i - windowSize
+		if limit < 0 {
+			limit = 0
+		}
+		maxLen := len(data) - i
+		if maxLen > maxMatch {
+			maxLen = maxMatch
+		}
+		chain := maxChain
+		for cand := head[hash(i)]; cand >= 0 && int(cand) >= limit && chain > 0; cand = prev[cand] {
+			chain--
+			c := int(cand)
+			if c >= i {
+				continue
+			}
+			l := 0
+			for l < maxLen && data[c+l] == data[i+l] {
+				l++
+			}
+			if l > length {
+				length, dist = l, i-c
+				if l == maxLen {
+					break
+				}
+			}
+		}
+		if length < minMatch {
+			return 0, 0
+		}
+		return length, dist
+	}
+
+	i := 0
+	for i < len(data) {
+		l, d := bestMatch(i)
+		if l == 0 {
+			tokens = append(tokens, token{lit: data[i]})
+			insert(i)
+			i++
+			continue
+		}
+		// Lazy matching: if the next position matches longer, emit a
+		// literal here and take the longer match next round.
+		if l < maxMatch && i+1 < len(data) {
+			insert(i)
+			l2, d2 := bestMatch(i + 1)
+			if l2 > l {
+				tokens = append(tokens, token{lit: data[i]})
+				i++
+				l, d = l2, d2
+			}
+			// The position was already inserted; fall through.
+			tokens = append(tokens, token{len: l, dist: d})
+			for k := 1; k < l; k++ {
+				insert(i + k)
+			}
+			i += l
+			continue
+		}
+		tokens = append(tokens, token{len: l, dist: d})
+		for k := 0; k < l; k++ {
+			insert(i + k)
+		}
+		i += l
+	}
+	return tokens
+}
+
+// Compress encodes data.
+func Compress(data []byte) []byte {
+	hdr := binary.BigEndian.AppendUint32(nil, uint32(len(data)))
+	if len(data) == 0 {
+		return hdr
+	}
+	tokens := findTokens(data)
+	w := bitio.NewWriter(len(data)/3 + 64)
+
+	for start := 0; start < len(tokens); start += blockTokens {
+		end := start + blockTokens
+		if end > len(tokens) {
+			end = len(tokens)
+		}
+		blk := tokens[start:end]
+
+		litFreq := make([]uint64, numLitLen)
+		distFreq := make([]uint64, numDist)
+		litFreq[eobSymbol] = 1
+		for _, t := range blk {
+			if t.dist == 0 {
+				litFreq[t.lit]++
+			} else {
+				litFreq[lengthSymbol(t.len)]++
+				distFreq[distSymbol(t.dist)]++
+			}
+		}
+		litTbl, err := huffman.Build(litFreq, huffman.MaxBits)
+		if err != nil {
+			panic(err) // alphabet sizes are static; cannot fail
+		}
+		distTbl, err := huffman.Build(distFreq, huffman.MaxBits)
+		if err != nil {
+			panic(err)
+		}
+		writeTables(w, litTbl, distTbl)
+		for _, t := range blk {
+			if t.dist == 0 {
+				mustEncode(litTbl, w, int(t.lit))
+				continue
+			}
+			ls := lengthSymbol(t.len)
+			mustEncode(litTbl, w, ls)
+			lc := lengthCodes[ls-257]
+			w.WriteBits(uint64(t.len-lc.base), lc.extra)
+			ds := distSymbol(t.dist)
+			mustEncode(distTbl, w, ds)
+			dc := distCodes[ds]
+			w.WriteBits(uint64(t.dist-dc.base), dc.extra)
+		}
+		mustEncode(litTbl, w, eobSymbol)
+	}
+	return append(hdr, w.Bytes()...)
+}
+
+func mustEncode(t *huffman.Table, w *bitio.Writer, sym int) {
+	if err := t.Encode(w, sym); err != nil {
+		panic(err) // frequencies were gathered from the same tokens
+	}
+}
+
+// Decompress decodes a Compress output.
+func Decompress(data []byte) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("deflate: truncated header")
+	}
+	origLen := int(binary.BigEndian.Uint32(data))
+	out := make([]byte, 0, origLen)
+	if origLen == 0 {
+		return out, nil
+	}
+	r := bitio.NewReader(data[4:])
+	for len(out) < origLen {
+		litTbl, distTbl, err := readTables(r)
+		if err != nil {
+			return nil, fmt.Errorf("deflate: code-length tables: %w", err)
+		}
+		for {
+			sym, err := litTbl.Decode(r)
+			if err != nil {
+				return nil, fmt.Errorf("deflate: at %d/%d bytes: %w", len(out), origLen, err)
+			}
+			if sym == eobSymbol {
+				break
+			}
+			if sym < 256 {
+				out = append(out, byte(sym))
+				continue
+			}
+			lc := lengthCodes[sym-257]
+			extra, err := r.ReadBits(lc.extra)
+			if err != nil {
+				return nil, err
+			}
+			length := lc.base + int(extra)
+			ds, err := distTbl.Decode(r)
+			if err != nil {
+				return nil, err
+			}
+			dc := distCodes[ds]
+			dextra, err := r.ReadBits(dc.extra)
+			if err != nil {
+				return nil, err
+			}
+			dist := dc.base + int(dextra)
+			if dist > len(out) {
+				return nil, fmt.Errorf("deflate: distance %d exceeds output size %d", dist, len(out))
+			}
+			for k := 0; k < length; k++ {
+				out = append(out, out[len(out)-dist])
+			}
+		}
+	}
+	if len(out) != origLen {
+		return nil, fmt.Errorf("deflate: decoded %d bytes, header says %d", len(out), origLen)
+	}
+	return out, nil
+}
+
+// Ratio compresses data and returns compressed/original size.
+func Ratio(data []byte) float64 {
+	if len(data) == 0 {
+		return 1
+	}
+	return float64(len(Compress(data))) / float64(len(data))
+}

@@ -1,0 +1,189 @@
+package deflate
+
+import (
+	"bytes"
+	stdflate "compress/flate"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"codecomp/internal/synth"
+)
+
+func TestRoundTripSimple(t *testing.T) {
+	cases := [][]byte{
+		[]byte("TOBEORNOTTOBEORTOBEORNOT"),
+		[]byte("aaaaaaaaaaaaaaaaaaaaaaaaaaa"),
+		[]byte("ab"),
+		[]byte{0},
+		bytes.Repeat([]byte("abc"), 100000),
+		[]byte(strings.Repeat("the quick brown fox ", 5000)),
+	}
+	for i, data := range cases {
+		got, err := Decompress(Compress(data))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("case %d: round trip failed", i)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	got, err := Decompress(Compress(nil))
+	if err != nil || len(got) != 0 {
+		t.Fatal("empty round trip failed")
+	}
+}
+
+func TestOverlappingCopy(t *testing.T) {
+	// Matches with dist < len exercise the RLE-style overlapped copy.
+	data := append([]byte("x"), bytes.Repeat([]byte("x"), 500)...)
+	data = append(data, []byte("abcabcabcabcabcabcabc")...)
+	got, err := Decompress(Compress(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatal("overlapping-copy round trip failed")
+	}
+}
+
+func TestLongInput(t *testing.T) {
+	// Multiple Huffman blocks (> blockTokens tokens).
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 300*1024)
+	for i := range data {
+		data[i] = byte(rng.Intn(16))
+	}
+	got, err := Decompress(Compress(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatal("long-input round trip failed")
+	}
+}
+
+func TestRatioCompetitiveWithStdlib(t *testing.T) {
+	// Our gzip-class baseline must land near compress/flate level 6 on
+	// code-like data (within 25%), or it cannot play gzip's role in the
+	// figures.
+	prof := synth.Profile{Name: "t", KB: 64, FP: 0.2, Reuse: 0.4, SmallImm: 0.7, CallDensity: 0.05, Seed: 7}
+	text := synth.GenerateMIPS(prof).Text()
+
+	ours := len(Compress(text))
+	var buf bytes.Buffer
+	fw, err := stdflate.NewWriter(&buf, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Write(text); err != nil {
+		t.Fatal(err)
+	}
+	fw.Close()
+	std := buf.Len()
+	t.Logf("ours = %d bytes, stdlib flate = %d bytes (%.1f%%)", ours, std, 100*float64(ours)/float64(std))
+	if float64(ours) > 1.25*float64(std) {
+		t.Fatalf("our deflate %d bytes vs stdlib %d: more than 25%% behind", ours, std)
+	}
+}
+
+func TestBeatsLZWOnCode(t *testing.T) {
+	// Figure 7: gzip consistently beats UNIX compress on code.
+	prof := synth.Profile{Name: "t", KB: 64, FP: 0.2, Reuse: 0.4, SmallImm: 0.7, CallDensity: 0.05, Seed: 9}
+	text := synth.GenerateMIPS(prof).Text()
+	if Ratio(text) >= 0.75 {
+		t.Fatalf("deflate ratio %.3f on MIPS code is implausibly poor", Ratio(text))
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	data := Compress([]byte(strings.Repeat("hello world ", 100)))
+	if _, err := Decompress(data[:3]); err == nil {
+		t.Fatal("truncated header must fail")
+	}
+	if _, err := Decompress(data[:10]); err == nil {
+		t.Fatal("truncated table must fail")
+	}
+	if _, err := Decompress(data[:len(data)-8]); err == nil {
+		t.Fatal("truncated stream must fail")
+	}
+}
+
+func TestLengthSymbolBounds(t *testing.T) {
+	if lengthSymbol(3) != 257 || lengthSymbol(258) != 285 {
+		t.Fatal("length symbol endpoints wrong")
+	}
+	if distSymbol(1) != 0 || distSymbol(32768) != 29 {
+		t.Fatal("distance symbol endpoints wrong")
+	}
+	// Every length in [3,258] maps to a symbol whose range contains it.
+	for l := 3; l <= 258; l++ {
+		s := lengthSymbol(l)
+		lc := lengthCodes[s-257]
+		if l < lc.base || l >= lc.base+(1<<lc.extra) {
+			// symbol 285 (length 258) has extra 0 and base 258.
+			if !(s == 285 && l == 258) {
+				t.Fatalf("length %d maps to symbol %d range [%d,%d)", l, s, lc.base, lc.base+1<<lc.extra)
+			}
+		}
+	}
+	for d := 1; d <= 32768; d++ {
+		s := distSymbol(d)
+		dc := distCodes[s]
+		if d < dc.base || d >= dc.base+(1<<dc.extra) {
+			t.Fatalf("distance %d maps to symbol %d range [%d,%d)", d, s, dc.base, dc.base+1<<dc.extra)
+		}
+	}
+}
+
+// Property: Decompress ∘ Compress is the identity.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		got, err := Decompress(Compress(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mixed structured/random inputs round-trip at every size.
+func TestQuickMixedRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50000)
+		data := make([]byte, n)
+		for i := range data {
+			if rng.Intn(4) == 0 {
+				data[i] = byte(rng.Intn(256))
+			} else if i > 0 {
+				data[i] = data[i-1]
+			}
+		}
+		got, err := Decompress(Compress(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	prof := synth.Profile{Name: "t", KB: 64, FP: 0.2, Reuse: 0.4, SmallImm: 0.7, CallDensity: 0.05, Seed: 7}
+	text := synth.GenerateMIPS(prof).Text()
+	b.SetBytes(int64(len(text)))
+	for i := 0; i < b.N; i++ {
+		Compress(text)
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	prof := synth.Profile{Name: "t", KB: 64, FP: 0.2, Reuse: 0.4, SmallImm: 0.7, CallDensity: 0.05, Seed: 7}
+	text := synth.GenerateMIPS(prof).Text()
+	comp := Compress(text)
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

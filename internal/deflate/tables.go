@@ -1,0 +1,174 @@
+package deflate
+
+import (
+	"fmt"
+
+	"codecomp/internal/bitio"
+	"codecomp/internal/huffman"
+)
+
+// Code-length table serialization, DEFLATE-style: the literal/length and
+// distance code lengths are concatenated, run-length encoded over the CL
+// alphabet (0–15 literal lengths; 16 = repeat previous 3–6×, 2 extra bits;
+// 17 = 3–10 zeros, 3 extra bits; 18 = 11–138 zeros, 7 extra bits), and that
+// sequence is itself Huffman coded with a 19-symbol code whose lengths are
+// stored in plain 3-bit fields.
+
+const (
+	clRepeat   = 16
+	clZeros    = 17
+	clBigZeros = 18
+	numCL      = 19
+	clMaxBits  = 7
+)
+
+// clToken is one RLE symbol with its extra-bits payload.
+type clToken struct {
+	sym   int
+	extra uint32
+	bits  uint
+}
+
+// rleLengths encodes a code-length vector into CL tokens.
+func rleLengths(lens []uint8) []clToken {
+	var out []clToken
+	for i := 0; i < len(lens); {
+		l := lens[i]
+		run := 1
+		for i+run < len(lens) && lens[i+run] == l {
+			run++
+		}
+		if l == 0 {
+			for run >= 3 {
+				n := run
+				if n > 138 {
+					n = 138
+				}
+				if n >= 11 {
+					out = append(out, clToken{clBigZeros, uint32(n - 11), 7})
+				} else {
+					out = append(out, clToken{clZeros, uint32(n - 3), 3})
+				}
+				run -= n
+				i += n
+			}
+			for ; run > 0; run-- {
+				out = append(out, clToken{sym: 0})
+				i++
+			}
+			continue
+		}
+		// Emit the length itself, then repeats.
+		out = append(out, clToken{sym: int(l)})
+		i++
+		run--
+		for run >= 3 {
+			n := run
+			if n > 6 {
+				n = 6
+			}
+			out = append(out, clToken{clRepeat, uint32(n - 3), 2})
+			run -= n
+			i += n
+		}
+		for ; run > 0; run-- {
+			out = append(out, clToken{sym: int(l)})
+			i++
+		}
+	}
+	return out
+}
+
+// writeTables emits both code tables as one CL-coded sequence.
+func writeTables(w *bitio.Writer, litTbl, distTbl *huffman.Table) {
+	lens := make([]uint8, 0, numLitLen+numDist)
+	for s := 0; s < numLitLen; s++ {
+		lens = append(lens, uint8(litTbl.BitLen(s)))
+	}
+	for s := 0; s < numDist; s++ {
+		lens = append(lens, uint8(distTbl.BitLen(s)))
+	}
+	tokens := rleLengths(lens)
+	freq := make([]uint64, numCL)
+	for _, t := range tokens {
+		freq[t.sym]++
+	}
+	clTbl, err := huffman.Build(freq, clMaxBits)
+	if err != nil {
+		panic(err) // 19 symbols always fit in 7 bits
+	}
+	for s := 0; s < numCL; s++ {
+		w.WriteBits(uint64(clTbl.BitLen(s)), 3)
+	}
+	for _, t := range tokens {
+		if err := clTbl.Encode(w, t.sym); err != nil {
+			panic(err)
+		}
+		w.WriteBits(uint64(t.extra), t.bits)
+	}
+}
+
+// readTables reverses writeTables.
+func readTables(r *bitio.Reader) (litTbl, distTbl *huffman.Table, err error) {
+	clLens := make([]uint8, numCL)
+	for s := range clLens {
+		v, err := r.ReadBits(3)
+		if err != nil {
+			return nil, nil, err
+		}
+		clLens[s] = uint8(v)
+	}
+	clTbl, err := huffman.New(clLens)
+	if err != nil {
+		return nil, nil, err
+	}
+	lens := make([]uint8, 0, numLitLen+numDist)
+	for len(lens) < numLitLen+numDist {
+		sym, err := clTbl.Decode(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case sym < 16:
+			lens = append(lens, uint8(sym))
+		case sym == clRepeat:
+			if len(lens) == 0 {
+				return nil, nil, fmt.Errorf("deflate: repeat with no previous length")
+			}
+			n, err := r.ReadBits(2)
+			if err != nil {
+				return nil, nil, err
+			}
+			prev := lens[len(lens)-1]
+			for k := uint64(0); k < n+3; k++ {
+				lens = append(lens, prev)
+			}
+		case sym == clZeros:
+			n, err := r.ReadBits(3)
+			if err != nil {
+				return nil, nil, err
+			}
+			for k := uint64(0); k < n+3; k++ {
+				lens = append(lens, 0)
+			}
+		default: // clBigZeros
+			n, err := r.ReadBits(7)
+			if err != nil {
+				return nil, nil, err
+			}
+			for k := uint64(0); k < n+11; k++ {
+				lens = append(lens, 0)
+			}
+		}
+	}
+	if len(lens) != numLitLen+numDist {
+		return nil, nil, fmt.Errorf("deflate: code-length overrun (%d)", len(lens))
+	}
+	if litTbl, err = huffman.New(lens[:numLitLen]); err != nil {
+		return nil, nil, err
+	}
+	if distTbl, err = huffman.New(lens[numLitLen:]); err != nil {
+		return nil, nil, err
+	}
+	return litTbl, distTbl, nil
+}

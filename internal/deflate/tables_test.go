@@ -1,0 +1,169 @@
+package deflate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"codecomp/internal/bitio"
+	"codecomp/internal/huffman"
+)
+
+func TestRLELengths(t *testing.T) {
+	cases := []struct {
+		lens []uint8
+		want int // expected token count
+	}{
+		{[]uint8{5, 5, 5, 5, 5}, 2}, // 5 + repeat(4)... -> 5, rep(3), 5? see below
+		{[]uint8{0, 0, 0, 0}, 1},    // zeros(4)
+		{make([]uint8, 138), 1},     // big zeros, exactly 138
+		{make([]uint8, 139), 2},     // 138 + 1 literal zero
+		{[]uint8{7}, 1},
+		{[]uint8{1, 2, 3}, 3},
+	}
+	for i, c := range cases {
+		toks := rleLengths(c.lens)
+		// Verify by expansion rather than exact token counts for the
+		// non-trivial cases.
+		var back []uint8
+		for _, tk := range toks {
+			switch {
+			case tk.sym < 16:
+				back = append(back, uint8(tk.sym))
+			case tk.sym == clRepeat:
+				for k := uint32(0); k < tk.extra+3; k++ {
+					back = append(back, back[len(back)-1])
+				}
+			case tk.sym == clZeros:
+				for k := uint32(0); k < tk.extra+3; k++ {
+					back = append(back, 0)
+				}
+			default:
+				for k := uint32(0); k < tk.extra+11; k++ {
+					back = append(back, 0)
+				}
+			}
+		}
+		if len(back) != len(c.lens) {
+			t.Fatalf("case %d: expanded %d lengths, want %d", i, len(back), len(c.lens))
+		}
+		for j := range back {
+			if back[j] != c.lens[j] {
+				t.Fatalf("case %d: length %d = %d, want %d", i, j, back[j], c.lens[j])
+			}
+		}
+	}
+}
+
+func TestTablesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	litFreq := make([]uint64, numLitLen)
+	distFreq := make([]uint64, numDist)
+	for i := range litFreq {
+		if rng.Intn(3) > 0 {
+			litFreq[i] = uint64(rng.Intn(1000) + 1)
+		}
+	}
+	litFreq[eobSymbol] = 1
+	for i := range distFreq {
+		if rng.Intn(2) > 0 {
+			distFreq[i] = uint64(rng.Intn(100) + 1)
+		}
+	}
+	lit, err := huffman.Build(litFreq, huffman.MaxBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := huffman.Build(distFreq, huffman.MaxBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(256)
+	writeTables(w, lit, dist)
+	t.Logf("tables serialized in %d bytes (plain 4-bit: %d)", w.Len(), (numLitLen+numDist)/2)
+	r := bitio.NewReader(w.Bytes())
+	lit2, dist2, err := readTables(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < numLitLen; s++ {
+		if lit.BitLen(s) != lit2.BitLen(s) {
+			t.Fatalf("lit symbol %d: %d != %d", s, lit.BitLen(s), lit2.BitLen(s))
+		}
+	}
+	for s := 0; s < numDist; s++ {
+		if dist.BitLen(s) != dist2.BitLen(s) {
+			t.Fatalf("dist symbol %d: %d != %d", s, dist.BitLen(s), dist2.BitLen(s))
+		}
+	}
+}
+
+func TestReadTablesErrors(t *testing.T) {
+	// Truncated header.
+	if _, _, err := readTables(bitio.NewReader([]byte{0x01})); err == nil {
+		t.Fatal("truncated CL header must fail")
+	}
+	// A stream whose first CL symbol is "repeat previous" is invalid.
+	clLens := make([]uint8, numCL)
+	clLens[clRepeat] = 1
+	clTbl, err := huffman.New(clLens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(64)
+	for s := 0; s < numCL; s++ {
+		w.WriteBits(uint64(clLens[s]), 3)
+	}
+	if err := clTbl.Encode(w, clRepeat); err != nil {
+		t.Fatal(err)
+	}
+	w.WriteBits(0, 2)
+	if _, _, err := readTables(bitio.NewReader(w.Bytes())); err == nil {
+		t.Fatal("leading repeat must fail")
+	}
+}
+
+// Property: random sparse frequency vectors always round-trip through the
+// CL coding.
+func TestQuickTablesRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		litFreq := make([]uint64, numLitLen)
+		distFreq := make([]uint64, numDist)
+		for i := 0; i < 1+rng.Intn(numLitLen); i++ {
+			litFreq[rng.Intn(numLitLen)] = uint64(rng.Intn(10000) + 1)
+		}
+		litFreq[eobSymbol] = 1
+		for i := 0; i < rng.Intn(numDist); i++ {
+			distFreq[rng.Intn(numDist)] = uint64(rng.Intn(10000) + 1)
+		}
+		lit, err := huffman.Build(litFreq, huffman.MaxBits)
+		if err != nil {
+			return false
+		}
+		dist, err := huffman.Build(distFreq, huffman.MaxBits)
+		if err != nil {
+			return false
+		}
+		w := bitio.NewWriter(256)
+		writeTables(w, lit, dist)
+		lit2, dist2, err := readTables(bitio.NewReader(w.Bytes()))
+		if err != nil {
+			return false
+		}
+		for s := 0; s < numLitLen; s++ {
+			if lit.BitLen(s) != lit2.BitLen(s) {
+				return false
+			}
+		}
+		for s := 0; s < numDist; s++ {
+			if dist.BitLen(s) != dist2.BitLen(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

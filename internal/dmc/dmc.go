@@ -1,0 +1,278 @@
+// Package dmc implements Dynamic Markov Compression (Cormack & Horspool,
+// "Data compression using dynamic Markov modelling" — the paper's reference
+// [3]), an adaptive, bit-level finite-context compressor driven by the same
+// binary arithmetic coder as SAMC.
+//
+// DMC exists in this repository to reproduce two of the paper's §1/§3
+// arguments quantitatively:
+//
+//  1. Finite-context adaptive modelling achieves the best ratios of the
+//     era, but its model grows with the input ("large amounts of memory for
+//     compression and decompression") — ModelBytes exposes that.
+//  2. "Since we are compressing cache blocks, an adaptive method cannot be
+//     used effectively as the coder will not be able to gather enough
+//     statistical information from just one block" — CompressBlocks resets
+//     the adaptive model at every block boundary and duly collapses to
+//     near-raw size, which is why SAMC is semiadaptive.
+//
+// The model starts as a braid of 8 bit-position states (one per bit of a
+// byte) and clones states as transitions become heavily used, up to a
+// configurable node budget.
+package dmc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"codecomp/internal/arith"
+)
+
+// Options configures the DMC model.
+type Options struct {
+	// MaxNodes bounds the model; cloning stops when reached (the classic
+	// implementation flushes — we simply freeze). 0 means 1<<20.
+	MaxNodes int
+	// CloneThreshold is the transition count that triggers cloning (classic
+	// value 2).
+	CloneThreshold uint32
+	// BigThreshold is the minimum residual count on the donor state
+	// (classic value 2).
+	BigThreshold uint32
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 1 << 20
+	}
+	if o.CloneThreshold == 0 {
+		o.CloneThreshold = 2
+	}
+	if o.BigThreshold == 0 {
+		o.BigThreshold = 2
+	}
+	return o
+}
+
+type node struct {
+	next  [2]int32
+	count [2]uint32
+}
+
+// model is the adaptive state machine shared by compressor and
+// decompressor; both sides evolve it identically from the decoded bits.
+type model struct {
+	opts  Options
+	nodes []node
+	cur   int32
+}
+
+// newModel builds the initial 8-state bit-position braid.
+func newModel(opts Options) *model {
+	m := &model{opts: opts, nodes: make([]node, 8, 256)}
+	for i := range m.nodes {
+		nxt := int32((i + 1) % 8)
+		m.nodes[i] = node{next: [2]int32{nxt, nxt}, count: [2]uint32{1, 1}}
+	}
+	return m
+}
+
+// p0 is the current prediction that the next bit is 0.
+func (m *model) p0() uint16 {
+	n := &m.nodes[m.cur]
+	return arith.ClampProb(int(uint64(n.count[0]) * arith.ProbOne / uint64(n.count[0]+n.count[1])))
+}
+
+// update observes a bit: bump counts, maybe clone the successor, advance.
+func (m *model) update(bit int) {
+	n := &m.nodes[m.cur]
+	n.count[bit]++
+	next := n.next[bit]
+	t := &m.nodes[next]
+	total := t.count[0] + t.count[1]
+	if n.count[bit] > m.opts.CloneThreshold &&
+		total > n.count[bit]+m.opts.BigThreshold &&
+		len(m.nodes) < m.opts.MaxNodes {
+		// Clone: the new state inherits the successor's transitions and a
+		// share of its counts proportional to this transition's usage.
+		ratio := float64(n.count[bit]) / float64(total)
+		clone := node{next: t.next}
+		for b := 0; b < 2; b++ {
+			moved := uint32(float64(t.count[b]) * ratio)
+			if moved < 1 {
+				moved = 1
+			}
+			if moved >= t.count[b] {
+				moved = t.count[b] - 1
+				if moved < 1 {
+					moved = 1
+				}
+			}
+			clone.count[b] = moved
+			if t.count[b] > moved {
+				t.count[b] -= moved
+			}
+		}
+		m.nodes = append(m.nodes, clone)
+		id := int32(len(m.nodes) - 1)
+		m.nodes[m.cur].next[bit] = id
+		next = id
+	}
+	m.cur = next
+}
+
+// reset returns the walk to the initial state without discarding learned
+// structure (used between blocks only by the whole-file mode's caller; the
+// block mode rebuilds the model from scratch per block).
+func (m *model) resetWalk() { m.cur = 0 }
+
+// Compressed is a DMC-compressed buffer with model accounting.
+type Compressed struct {
+	Data     []byte
+	OrigSize int
+	// PeakNodes is the model's final node count; ModelBytes derives the
+	// memory footprint the paper's argument is about.
+	PeakNodes int
+}
+
+// ModelBytes is the decompressor's working-memory requirement: 16 bytes per
+// node (two int32 pointers + two uint32 counts).
+func (c *Compressed) ModelBytes() int { return 16 * c.PeakNodes }
+
+// Ratio is compressed/original (excluding working memory — DMC's model is
+// rebuilt during decompression, not stored, which is exactly its problem
+// for an embedded decompressor).
+func (c *Compressed) Ratio() float64 {
+	if c.OrigSize == 0 {
+		return 1
+	}
+	return float64(len(c.Data)) / float64(c.OrigSize)
+}
+
+// Compress encodes data as one adaptive stream (file mode).
+func Compress(data []byte, opts Options) *Compressed {
+	opts = opts.withDefaults()
+	m := newModel(opts)
+	e := arith.NewEncoder(len(data)/2 + 16)
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			bit := int(b >> uint(i) & 1)
+			e.EncodeBit(bit, m.p0())
+			m.update(bit)
+		}
+	}
+	out := binary.BigEndian.AppendUint32(nil, uint32(len(data)))
+	out = append(out, e.Flush()...)
+	return &Compressed{Data: out, OrigSize: len(data), PeakNodes: len(m.nodes)}
+}
+
+// Decompress reverses Compress.
+func Decompress(c *Compressed, opts Options) ([]byte, error) {
+	return decompress(c.Data, opts)
+}
+
+func decompress(data []byte, opts Options) ([]byte, error) {
+	opts = opts.withDefaults()
+	if len(data) < 4 {
+		return nil, fmt.Errorf("dmc: truncated header")
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	m := newModel(opts)
+	d := arith.NewDecoder(data[4:])
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		var b byte
+		for i := 0; i < 8; i++ {
+			bit := d.DecodeBit(m.p0())
+			m.update(bit)
+			b = b<<1 | byte(bit)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// BlockCompressed is the per-cache-block variant the paper rules out.
+type BlockCompressed struct {
+	Blocks    [][]byte
+	BlockSize int
+	OrigSize  int
+}
+
+// CompressBlocks restarts the adaptive model at every block boundary —
+// the only way an adaptive coder can offer random access — demonstrating
+// the paper's point that one block is far too little data to adapt on.
+func CompressBlocks(data []byte, blockSize int, opts Options) *BlockCompressed {
+	opts = opts.withDefaults()
+	if blockSize <= 0 {
+		blockSize = 32
+	}
+	c := &BlockCompressed{BlockSize: blockSize, OrigSize: len(data)}
+	for off := 0; off < len(data); off += blockSize {
+		end := off + blockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		m := newModel(opts)
+		m.resetWalk()
+		e := arith.NewEncoder(blockSize)
+		for _, b := range data[off:end] {
+			for i := 7; i >= 0; i-- {
+				bit := int(b >> uint(i) & 1)
+				e.EncodeBit(bit, m.p0())
+				m.update(bit)
+			}
+		}
+		c.Blocks = append(c.Blocks, append([]byte(nil), e.Flush()...))
+	}
+	return c
+}
+
+// Block decompresses one block independently.
+func (c *BlockCompressed) Block(i int, opts Options) ([]byte, error) {
+	opts = opts.withDefaults()
+	if i < 0 || i >= len(c.Blocks) {
+		return nil, fmt.Errorf("dmc: block %d out of range [0,%d)", i, len(c.Blocks))
+	}
+	n := c.BlockSize
+	if (i+1)*c.BlockSize > c.OrigSize {
+		n = c.OrigSize - i*c.BlockSize
+	}
+	m := newModel(opts)
+	d := arith.NewDecoder(c.Blocks[i])
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		var b byte
+		for k := 0; k < 8; k++ {
+			bit := d.DecodeBit(m.p0())
+			m.update(bit)
+			b = b<<1 | byte(bit)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// Decompress reconstructs the whole buffer from blocks.
+func (c *BlockCompressed) Decompress(opts Options) ([]byte, error) {
+	out := make([]byte, 0, c.OrigSize)
+	for i := range c.Blocks {
+		b, err := c.Block(i, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// Ratio is total block payload / original size.
+func (c *BlockCompressed) Ratio() float64 {
+	if c.OrigSize == 0 {
+		return 1
+	}
+	n := 0
+	for _, b := range c.Blocks {
+		n += len(b)
+	}
+	return float64(n) / float64(c.OrigSize)
+}

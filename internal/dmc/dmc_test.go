@@ -1,0 +1,174 @@
+package dmc
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"codecomp/internal/lzw"
+	"codecomp/internal/synth"
+)
+
+func mipsText() []byte {
+	prof := synth.Profile{Name: "t", KB: 32, FP: 0.2, Reuse: 0.4, SmallImm: 0.7, CallDensity: 0.05, Seed: 7}
+	return synth.GenerateMIPS(prof).Text()
+}
+
+func TestRoundTripSimple(t *testing.T) {
+	cases := [][]byte{
+		[]byte("TOBEORNOTTOBEORTOBEORNOT"),
+		bytes.Repeat([]byte{0xAA}, 1000),
+		[]byte{0xFF},
+		[]byte(strings.Repeat("compression ", 500)),
+	}
+	for i, data := range cases {
+		c := Compress(data, Options{})
+		got, err := Decompress(c, Options{})
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("case %d: round trip failed", i)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	c := Compress(nil, Options{})
+	got, err := Decompress(c, Options{})
+	if err != nil || len(got) != 0 {
+		t.Fatal("empty round trip failed")
+	}
+	if c.Ratio() != 1 {
+		t.Fatal("empty ratio should be 1")
+	}
+}
+
+func TestAdaptiveCompressesCode(t *testing.T) {
+	// File-mode DMC should be competitive with LZW on code — the "best
+	// compression but impractical memory" family of §1.
+	text := mipsText()
+	c := Compress(text, Options{})
+	got, err := Decompress(c, Options{})
+	if err != nil || !bytes.Equal(got, text) {
+		t.Fatal("code round trip failed")
+	}
+	if c.Ratio() > 0.7 {
+		t.Fatalf("DMC ratio %.3f on MIPS code is implausibly poor", c.Ratio())
+	}
+	if c.Ratio() > lzw.Ratio(text)*1.25 {
+		t.Fatalf("DMC ratio %.3f far behind LZW %.3f", c.Ratio(), lzw.Ratio(text))
+	}
+}
+
+func TestModelGrowth(t *testing.T) {
+	text := mipsText()
+	c := Compress(text, Options{})
+	if c.PeakNodes < 1000 {
+		t.Fatalf("model grew to only %d nodes", c.PeakNodes)
+	}
+	if c.ModelBytes() != 16*c.PeakNodes {
+		t.Fatal("ModelBytes accounting wrong")
+	}
+	// The paper's memory argument: the adaptive model's working memory is
+	// a significant fraction of (or exceeds) the data compressed.
+	if c.ModelBytes() < len(text)/4 {
+		t.Fatalf("model %d bytes for %d input: memory argument would not hold",
+			c.ModelBytes(), len(text))
+	}
+}
+
+func TestNodeBudgetRespected(t *testing.T) {
+	text := mipsText()
+	c := Compress(text, Options{MaxNodes: 2000})
+	if c.PeakNodes > 2000 {
+		t.Fatalf("model exceeded budget: %d nodes", c.PeakNodes)
+	}
+	got, err := Decompress(c, Options{MaxNodes: 2000})
+	if err != nil || !bytes.Equal(got, text) {
+		t.Fatal("budgeted round trip failed")
+	}
+}
+
+func TestMismatchedOptionsFail(t *testing.T) {
+	// Compressor and decompressor must agree on cloning parameters; a
+	// mismatch yields garbage (but no panic). This documents that DMC,
+	// unlike SAMC, has hidden coupling — another strike against it for a
+	// hardware decompressor.
+	text := mipsText()[:4096]
+	c := Compress(text, Options{MaxNodes: 4096})
+	got, err := Decompress(c, Options{MaxNodes: 64})
+	if err == nil && bytes.Equal(got, text) {
+		t.Fatal("mismatched models should not round trip")
+	}
+}
+
+func TestBlockModeCollapses(t *testing.T) {
+	// The paper's §3 claim: an adaptive coder restarted per 32-byte block
+	// cannot learn anything useful. Its per-block ratio must be far worse
+	// than file mode — near or above 1.
+	text := mipsText()
+	file := Compress(text, Options{})
+	blocks := CompressBlocks(text, 32, Options{})
+	got, err := blocks.Decompress(Options{})
+	if err != nil || !bytes.Equal(got, text) {
+		t.Fatal("block-mode round trip failed")
+	}
+	if blocks.Ratio() < file.Ratio()+0.25 {
+		t.Fatalf("block-mode DMC %.3f vs file %.3f: adaptation penalty missing",
+			blocks.Ratio(), file.Ratio())
+	}
+	if blocks.Ratio() < 0.85 {
+		t.Fatalf("block-mode DMC %.3f: should be close to incompressible", blocks.Ratio())
+	}
+}
+
+func TestBlockRandomAccess(t *testing.T) {
+	text := mipsText()[:2048]
+	c := CompressBlocks(text, 32, Options{})
+	rng := rand.New(rand.NewSource(1))
+	for _, i := range rng.Perm(len(c.Blocks)) {
+		blk, err := c.Block(i, Options{})
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if !bytes.Equal(blk, text[i*32:i*32+len(blk)]) {
+			t.Fatalf("block %d mismatch", i)
+		}
+	}
+	if _, err := c.Block(-1, Options{}); err == nil {
+		t.Fatal("negative index must fail")
+	}
+	if _, err := c.Block(len(c.Blocks), Options{}); err == nil {
+		t.Fatal("out-of-range index must fail")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	if _, err := decompress([]byte{1, 2}, Options{}); err == nil {
+		t.Fatal("truncated header must fail")
+	}
+}
+
+// Property: file-mode round trip for arbitrary inputs and budgets.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data []byte, budget uint16) bool {
+		opts := Options{MaxNodes: 64 + int(budget)}
+		c := Compress(data, opts)
+		got, err := Decompress(c, opts)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	text := mipsText()
+	b.SetBytes(int64(len(text)))
+	for i := 0; i < b.N; i++ {
+		Compress(text, Options{})
+	}
+}

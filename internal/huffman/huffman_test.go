@@ -1,0 +1,303 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"codecomp/internal/bitio"
+)
+
+func roundTrip(t *testing.T, freq []uint64, msg []int, maxBits uint8) {
+	t.Helper()
+	tbl, err := Build(freq, maxBits)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	w := bitio.NewWriter(len(msg))
+	for _, s := range msg {
+		if err := tbl.Encode(w, s); err != nil {
+			t.Fatalf("Encode %d: %v", s, err)
+		}
+	}
+	r := bitio.NewReader(w.Bytes())
+	for i, want := range msg {
+		got, err := tbl.Decode(r)
+		if err != nil {
+			t.Fatalf("Decode %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("symbol %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRoundTripSimple(t *testing.T) {
+	freq := []uint64{50, 20, 20, 5, 5}
+	msg := []int{0, 1, 2, 3, 4, 0, 0, 1, 2, 4, 3, 0}
+	roundTrip(t, freq, msg, MaxBits)
+}
+
+func TestSingleSymbol(t *testing.T) {
+	freq := []uint64{0, 0, 7, 0}
+	roundTrip(t, freq, []int{2, 2, 2, 2}, MaxBits)
+	tbl, _ := Build(freq, MaxBits)
+	if tbl.Codes[2].Len != 1 {
+		t.Fatalf("single-symbol code length = %d, want 1", tbl.Codes[2].Len)
+	}
+}
+
+func TestEmptyAlphabet(t *testing.T) {
+	tbl, err := Build(make([]uint64, 8), MaxBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range tbl.Codes {
+		if c.Len != 0 {
+			t.Fatal("empty alphabet should assign no codes")
+		}
+	}
+}
+
+func TestOptimality(t *testing.T) {
+	// A classic distribution: lengths must satisfy Kraft equality and
+	// frequent symbols must not get longer codes than rare ones.
+	freq := []uint64{45, 13, 12, 16, 9, 5}
+	lens, err := Lengths(freq, MaxBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kraft float64
+	for _, l := range lens {
+		if l > 0 {
+			kraft += 1 / float64(uint64(1)<<l)
+		}
+	}
+	if kraft != 1.0 {
+		t.Fatalf("kraft sum = %v, want 1.0", kraft)
+	}
+	for i := range freq {
+		for j := range freq {
+			if freq[i] > freq[j] && lens[i] > lens[j] {
+				t.Errorf("freq[%d]=%d > freq[%d]=%d but len %d > %d",
+					i, freq[i], j, freq[j], lens[i], lens[j])
+			}
+		}
+	}
+	// Expected total cost of the canonical Huffman code for this classic
+	// example (CLRS): 45*1+13*4+12*3+16*3+9*4+5*4 = 224.
+	var cost uint64
+	for i, l := range lens {
+		cost += freq[i] * uint64(l)
+	}
+	if cost != 224 {
+		t.Fatalf("total cost = %d, want 224", cost)
+	}
+}
+
+func TestLengthLimiting(t *testing.T) {
+	// Fibonacci-like frequencies force deep trees; cap at 6 bits.
+	freq := []uint64{1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144}
+	lens, err := Lengths(freq, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kraft uint64
+	for _, l := range lens {
+		if l == 0 {
+			t.Fatal("nonzero frequency got zero length")
+		}
+		if l > 6 {
+			t.Fatalf("length %d exceeds limit 6", l)
+		}
+		kraft += uint64(1) << (6 - l)
+	}
+	if kraft > 1<<6 {
+		t.Fatalf("over-subscribed: kraft %d", kraft)
+	}
+	msg := make([]int, 0, 64)
+	for s := range freq {
+		for k := 0; k < 3; k++ {
+			msg = append(msg, s)
+		}
+	}
+	roundTrip(t, freq, msg, 6)
+}
+
+func TestMaxBitsTooSmall(t *testing.T) {
+	freq := make([]uint64, 16)
+	for i := range freq {
+		freq[i] = 1
+	}
+	if _, err := Lengths(freq, 3); err == nil {
+		t.Fatal("expected error: 16 symbols cannot fit in 3-bit codes")
+	}
+}
+
+func TestTableSerialization(t *testing.T) {
+	freq := []uint64{9, 0, 4, 1, 1, 0, 22, 3}
+	tbl, err := Build(freq, MaxBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitio.NewWriter(16)
+	tbl.WriteLengths(w)
+	if int(w.BitLen()) != tbl.TableBits() {
+		t.Fatalf("serialized %d bits, TableBits says %d", w.BitLen(), tbl.TableBits())
+	}
+	r := bitio.NewReader(w.Bytes())
+	tbl2, err := ReadLengths(r, len(freq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range freq {
+		if tbl.Codes[s] != tbl2.Codes[s] {
+			t.Fatalf("symbol %d: %+v != %+v", s, tbl.Codes[s], tbl2.Codes[s])
+		}
+	}
+}
+
+func TestEncodedBits(t *testing.T) {
+	freq := []uint64{10, 10, 10, 10}
+	tbl, _ := Build(freq, MaxBits)
+	if got := tbl.EncodedBits(freq); got != 80 {
+		t.Fatalf("EncodedBits = %d, want 80 (uniform 4-symbol = 2 bits each)", got)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	tbl, _ := Build([]uint64{5, 0, 5}, MaxBits)
+	w := bitio.NewWriter(4)
+	if err := tbl.Encode(w, 1); err == nil {
+		t.Fatal("encoding an absent symbol should fail")
+	}
+	if err := tbl.Encode(w, 99); err == nil {
+		t.Fatal("encoding out-of-range symbol should fail")
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	// Single-symbol table: the codeword is "0"; a stream starting with 1 is
+	// invalid.
+	tbl, _ := Build([]uint64{3}, MaxBits)
+	r := bitio.NewReader([]byte{0xFF})
+	if _, err := tbl.Decode(r); err == nil {
+		t.Fatal("expected invalid-code error")
+	}
+}
+
+// Property: random frequency vectors always yield decodable prefix codes.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(300)
+		freq := make([]uint64, n)
+		for i := range freq {
+			if rng.Intn(3) > 0 {
+				freq[i] = uint64(rng.Intn(10000))
+			}
+		}
+		nonzero := []int{}
+		for s, f := range freq {
+			if f > 0 {
+				nonzero = append(nonzero, s)
+			}
+		}
+		tbl, err := Build(freq, MaxBits)
+		if err != nil {
+			return false
+		}
+		if len(nonzero) == 0 {
+			return true
+		}
+		msg := make([]int, 500)
+		for i := range msg {
+			msg[i] = nonzero[rng.Intn(len(nonzero))]
+		}
+		w := bitio.NewWriter(1024)
+		for _, s := range msg {
+			if err := tbl.Encode(w, s); err != nil {
+				return false
+			}
+		}
+		r := bitio.NewReader(w.Bytes())
+		for _, want := range msg {
+			got, err := tbl.Decode(r)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the Kraft inequality holds for every generated code.
+func TestQuickKraft(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		freq := make([]uint64, 2+rng.Intn(256))
+		for i := range freq {
+			freq[i] = uint64(rng.Intn(1 << uint(rng.Intn(20))))
+		}
+		lens, err := Lengths(freq, MaxBits)
+		if err != nil {
+			return false
+		}
+		var kraft uint64
+		for _, l := range lens {
+			if l > 0 {
+				kraft += uint64(1) << (MaxBits - l)
+			}
+		}
+		return kraft <= 1<<MaxBits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	freq := make([]uint64, 256)
+	rng := rand.New(rand.NewSource(1))
+	for i := range freq {
+		freq[i] = uint64(rng.Intn(1000) + 1)
+	}
+	tbl, _ := Build(freq, MaxBits)
+	w := bitio.NewWriter(1 << 16)
+	b.SetBytes(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w.BitLen() > 1<<19 {
+			w.Reset()
+		}
+		_ = tbl.Encode(w, i&255)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	freq := make([]uint64, 256)
+	rng := rand.New(rand.NewSource(1))
+	for i := range freq {
+		freq[i] = uint64(rng.Intn(1000) + 1)
+	}
+	tbl, _ := Build(freq, MaxBits)
+	w := bitio.NewWriter(1 << 16)
+	for i := 0; i < 4096; i++ {
+		_ = tbl.Encode(w, rng.Intn(256))
+	}
+	data := w.Bytes()
+	b.SetBytes(1)
+	b.ResetTimer()
+	r := bitio.NewReader(data)
+	for i := 0; i < b.N; i++ {
+		if i%4096 == 0 {
+			r = bitio.NewReader(data)
+		}
+		if _, err := tbl.Decode(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

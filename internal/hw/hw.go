@@ -1,0 +1,122 @@
+// Package hw models the decompression hardware the paper sketches: the
+// SAMC nibble-parallel arithmetic decoder of Figure 5 (15 speculative
+// midpoint units and comparators decode 4 bits per cycle) and the SADC
+// table decoder of Figure 6 (per-stream 256-entry table decoders driven by
+// control logic, one instruction per cycle once the opcode is available).
+//
+// The paper leaves silicon details as future work; these models turn its
+// block diagrams into cycle counts for the memory-system simulation and
+// into rough gate-equivalent budgets for the "kept as small as possible"
+// constraint of §1.
+package hw
+
+import "codecomp/internal/markov"
+
+// Cost is a rough hardware budget. GateEq lumps the datapath into
+// two-input-NAND equivalents using standard folk constants (full adder ≈ 5
+// gates/bit, comparator ≈ 3 gates/bit, register ≈ 6 gates/bit, SRAM/ROM ≈
+// 0.25 gates/bit).
+type Cost struct {
+	Adders      int // 24-bit add/subtract units
+	Shifters    int // 24-bit shifters
+	Comparators int // 24-bit comparators
+	RegBits     int
+	MemBits     int // probability memory / dictionary tables
+	GateEq      int
+}
+
+func gateEq(c Cost) int {
+	const width = 24
+	return c.Adders*5*width + c.Shifters*2*width + c.Comparators*3*width +
+		c.RegBits*6 + c.MemBits/4
+}
+
+// SAMCDecoder describes a configured SAMC decompression engine.
+type SAMCDecoder struct {
+	// BitsPerCycle is the parallel decode width: 1 for the bit-serial
+	// pseudocode, 4 for the paper's nibble design (15 midpoints).
+	BitsPerCycle int
+	// PipelineFill covers the 24-bit prime and the first midpoint cascade.
+	PipelineFill int
+}
+
+// NewSAMCSerial returns the bit-serial engine of the §3 pseudocode.
+func NewSAMCSerial() SAMCDecoder { return SAMCDecoder{BitsPerCycle: 1, PipelineFill: 4} }
+
+// NewSAMCNibble returns the paper's 4-bit parallel engine.
+func NewSAMCNibble() SAMCDecoder { return SAMCDecoder{BitsPerCycle: 4, PipelineFill: 6} }
+
+// CyclesPerBlock is the refill-engine latency to decompress one cache block
+// of blockBytes uncompressed bytes, assuming no mid-nibble renormalization
+// interrupts (the optimistic bound).
+func (d SAMCDecoder) CyclesPerBlock(blockBytes int) int {
+	bits := 8 * blockBytes
+	return d.PipelineFill + (bits+d.BitsPerCycle-1)/d.BitsPerCycle
+}
+
+// CyclesMeasured refines the latency with counts measured by the functional
+// nibble-parallel decoder (arith.NibbleStats): one cycle per speculative
+// evaluation plus one per renormalization that split a nibble.
+func (d SAMCDecoder) CyclesMeasured(nibbles, interrupts int) int {
+	return d.PipelineFill + nibbles + interrupts
+}
+
+// Cost estimates the engine's hardware. Decoding k bits per cycle needs
+// 2^k - 1 speculative midpoint units and comparators (the paper's "15 mids
+// and 15 probs" for k = 4), plus the probability memory for the model.
+func (d SAMCDecoder) Cost(m *markov.Model) Cost {
+	units := 1<<d.BitsPerCycle - 1
+	c := Cost{
+		Adders:      units,
+		Shifters:    units,
+		Comparators: units,
+		// min, max, val, and the midpoint rank registers.
+		RegBits: 3*24 + units*24,
+		MemBits: m.StorageBits(),
+	}
+	c.GateEq = gateEq(c)
+	return c
+}
+
+// SADCDecoder describes the Figure 6 dictionary decompression engine.
+type SADCDecoder struct {
+	// CyclesPerInstruction covers the opcode-extractor + instruction
+	// generator path: with per-stream table decoders running in parallel,
+	// one instruction per cycle plus one extra cycle per dictionary group
+	// for the control-logic handoff.
+	CyclesPerInstruction int
+	// HuffmanSerial, if true, models bit-serial canonical Huffman decode
+	// (≈1 cycle per coded bit) instead of single-cycle table lookups.
+	HuffmanSerial bool
+}
+
+// NewSADCTable returns the parallel table-decoder engine.
+func NewSADCTable() SADCDecoder { return SADCDecoder{CyclesPerInstruction: 1} }
+
+// NewSADCSerial returns a conservative bit-serial engine.
+func NewSADCSerial() SADCDecoder { return SADCDecoder{CyclesPerInstruction: 1, HuffmanSerial: true} }
+
+// CyclesPerBlock is the latency to rebuild one block of blockBytes
+// uncompressed bytes containing instrs instructions from compressedBits of
+// coded streams.
+func (d SADCDecoder) CyclesPerBlock(blockBytes, instrs, compressedBits int) int {
+	cycles := 2 + instrs*d.CyclesPerInstruction
+	if d.HuffmanSerial {
+		cycles += compressedBits
+	}
+	return cycles
+}
+
+// Cost estimates the Figure 6 engine: four 256-entry tables (dictionary +
+// three operand-stream decode tables), the opcode extractor and the
+// instruction generator mux network.
+func (d SADCDecoder) Cost(dictBytes, tableBytes int) Cost {
+	c := Cost{
+		Adders:   1,         // stream pointer arithmetic
+		RegBits:  4*32 + 32, // stream cursors + assembly register
+		MemBits:  8 * (dictBytes + tableBytes),
+		Shifters: 2, // operand placement in the instruction generator
+	}
+	c.GateEq = gateEq(c)
+	return c
+}

@@ -1,0 +1,394 @@
+// Package mips models the MIPS-I instruction encoding: the "typical RISC"
+// target of the paper. It provides word-level field access, a table of
+// operations with their operand shapes, encode/decode between 32-bit words
+// and a structured Instr form, and the stream split SADC uses (opcode,
+// register, 16-bit immediate, 26-bit immediate — §5 of the paper).
+//
+// The operation table doubles as the paper's "simplified opcode" space: each
+// table index is the 8-bit opcode value SADC's dictionary and the hardware
+// "operand length unit" work with.
+package mips
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WordBits is the fixed MIPS instruction width.
+const WordBits = 32
+
+// Field accessors for a raw instruction word.
+func OpcodeField(w uint32) uint32 { return w >> 26 }
+func RsField(w uint32) uint32     { return w >> 21 & 0x1F }
+func RtField(w uint32) uint32     { return w >> 16 & 0x1F }
+func RdField(w uint32) uint32     { return w >> 11 & 0x1F }
+func SaField(w uint32) uint32     { return w >> 6 & 0x1F }
+func FunctField(w uint32) uint32  { return w & 0x3F }
+func Imm16Field(w uint32) uint32  { return w & 0xFFFF }
+func Target26Field(w uint32) uint32 {
+	return w & 0x3FFFFFF
+}
+
+// RegField identifies one of the four 5-bit register/shift-amount slots.
+type RegField uint8
+
+const (
+	Rs RegField = iota // bits 25..21 (also COP1 fmt)
+	Rt                 // bits 20..16 (also COP1 ft)
+	Rd                 // bits 15..11 (also COP1 fs)
+	Sa                 // bits 10..6  (also COP1 fd; shift amount)
+)
+
+// ImmKind classifies an operation's immediate operand.
+type ImmKind uint8
+
+const (
+	ImmNone ImmKind = iota
+	Imm16           // 16-bit immediate / offset (I-format)
+	Imm26           // 26-bit jump target (J-format)
+)
+
+// class distinguishes how an operation is selected inside its primary
+// opcode.
+type class uint8
+
+const (
+	clPrimary  class = iota // selected by the 6-bit opcode alone
+	clSpecial               // opcode 0, selected by funct
+	clRegimm                // opcode 1, selected by rt
+	clCop1Fmt               // opcode 0x11, rs = fmt, selected by (fmt, funct)
+	clCop1Move              // opcode 0x11, selected by rs (mfc1/mtc1 etc.)
+	clCop1BC                // opcode 0x11, rs = 8, selected by rt bit 0
+)
+
+// Op describes one operation: its encoding selectors and operand shape.
+type Op struct {
+	Name string
+	cls  class
+	op   uint32 // primary opcode
+	sel  uint32 // funct / rt / (fmt<<8|funct) / rs, depending on class
+	// Regs lists the register fields that are true operands of this
+	// operation, in assembly order. SADC's register stream carries exactly
+	// these fields; the rest of the word is structurally zero.
+	Regs []RegField
+	Imm  ImmKind
+}
+
+// Code is an index into the operation table: the paper's simplified opcode.
+type Code uint8
+
+// The operation table. Order is stable; Code values index it.
+var Ops = []Op{
+	// SPECIAL (R-format).
+	{Name: "sll", cls: clSpecial, sel: 0x00, Regs: []RegField{Rd, Rt, Sa}},
+	{Name: "srl", cls: clSpecial, sel: 0x02, Regs: []RegField{Rd, Rt, Sa}},
+	{Name: "sra", cls: clSpecial, sel: 0x03, Regs: []RegField{Rd, Rt, Sa}},
+	{Name: "sllv", cls: clSpecial, sel: 0x04, Regs: []RegField{Rd, Rt, Rs}},
+	{Name: "srlv", cls: clSpecial, sel: 0x06, Regs: []RegField{Rd, Rt, Rs}},
+	{Name: "srav", cls: clSpecial, sel: 0x07, Regs: []RegField{Rd, Rt, Rs}},
+	{Name: "jr", cls: clSpecial, sel: 0x08, Regs: []RegField{Rs}},
+	{Name: "jalr", cls: clSpecial, sel: 0x09, Regs: []RegField{Rd, Rs}},
+	{Name: "syscall", cls: clSpecial, sel: 0x0C},
+	{Name: "break", cls: clSpecial, sel: 0x0D},
+	{Name: "mfhi", cls: clSpecial, sel: 0x10, Regs: []RegField{Rd}},
+	{Name: "mthi", cls: clSpecial, sel: 0x11, Regs: []RegField{Rs}},
+	{Name: "mflo", cls: clSpecial, sel: 0x12, Regs: []RegField{Rd}},
+	{Name: "mtlo", cls: clSpecial, sel: 0x13, Regs: []RegField{Rs}},
+	{Name: "mult", cls: clSpecial, sel: 0x18, Regs: []RegField{Rs, Rt}},
+	{Name: "multu", cls: clSpecial, sel: 0x19, Regs: []RegField{Rs, Rt}},
+	{Name: "div", cls: clSpecial, sel: 0x1A, Regs: []RegField{Rs, Rt}},
+	{Name: "divu", cls: clSpecial, sel: 0x1B, Regs: []RegField{Rs, Rt}},
+	{Name: "add", cls: clSpecial, sel: 0x20, Regs: []RegField{Rd, Rs, Rt}},
+	{Name: "addu", cls: clSpecial, sel: 0x21, Regs: []RegField{Rd, Rs, Rt}},
+	{Name: "sub", cls: clSpecial, sel: 0x22, Regs: []RegField{Rd, Rs, Rt}},
+	{Name: "subu", cls: clSpecial, sel: 0x23, Regs: []RegField{Rd, Rs, Rt}},
+	{Name: "and", cls: clSpecial, sel: 0x24, Regs: []RegField{Rd, Rs, Rt}},
+	{Name: "or", cls: clSpecial, sel: 0x25, Regs: []RegField{Rd, Rs, Rt}},
+	{Name: "xor", cls: clSpecial, sel: 0x26, Regs: []RegField{Rd, Rs, Rt}},
+	{Name: "nor", cls: clSpecial, sel: 0x27, Regs: []RegField{Rd, Rs, Rt}},
+	{Name: "slt", cls: clSpecial, sel: 0x2A, Regs: []RegField{Rd, Rs, Rt}},
+	{Name: "sltu", cls: clSpecial, sel: 0x2B, Regs: []RegField{Rd, Rs, Rt}},
+
+	// REGIMM branches.
+	{Name: "bltz", cls: clRegimm, sel: 0x00, Regs: []RegField{Rs}, Imm: Imm16},
+	{Name: "bgez", cls: clRegimm, sel: 0x01, Regs: []RegField{Rs}, Imm: Imm16},
+	{Name: "bltzal", cls: clRegimm, sel: 0x10, Regs: []RegField{Rs}, Imm: Imm16},
+	{Name: "bgezal", cls: clRegimm, sel: 0x11, Regs: []RegField{Rs}, Imm: Imm16},
+
+	// J-format.
+	{Name: "j", cls: clPrimary, op: 0x02, Imm: Imm26},
+	{Name: "jal", cls: clPrimary, op: 0x03, Imm: Imm26},
+
+	// I-format.
+	{Name: "beq", cls: clPrimary, op: 0x04, Regs: []RegField{Rs, Rt}, Imm: Imm16},
+	{Name: "bne", cls: clPrimary, op: 0x05, Regs: []RegField{Rs, Rt}, Imm: Imm16},
+	{Name: "blez", cls: clPrimary, op: 0x06, Regs: []RegField{Rs}, Imm: Imm16},
+	{Name: "bgtz", cls: clPrimary, op: 0x07, Regs: []RegField{Rs}, Imm: Imm16},
+	{Name: "addi", cls: clPrimary, op: 0x08, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "addiu", cls: clPrimary, op: 0x09, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "slti", cls: clPrimary, op: 0x0A, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "sltiu", cls: clPrimary, op: 0x0B, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "andi", cls: clPrimary, op: 0x0C, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "ori", cls: clPrimary, op: 0x0D, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "xori", cls: clPrimary, op: 0x0E, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "lui", cls: clPrimary, op: 0x0F, Regs: []RegField{Rt}, Imm: Imm16},
+	{Name: "lb", cls: clPrimary, op: 0x20, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "lh", cls: clPrimary, op: 0x21, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "lwl", cls: clPrimary, op: 0x22, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "lw", cls: clPrimary, op: 0x23, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "lbu", cls: clPrimary, op: 0x24, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "lhu", cls: clPrimary, op: 0x25, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "lwr", cls: clPrimary, op: 0x26, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "sb", cls: clPrimary, op: 0x28, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "sh", cls: clPrimary, op: 0x29, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "swl", cls: clPrimary, op: 0x2A, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "sw", cls: clPrimary, op: 0x2B, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "swr", cls: clPrimary, op: 0x2E, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+
+	// COP1 loads/stores and moves.
+	{Name: "lwc1", cls: clPrimary, op: 0x31, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "swc1", cls: clPrimary, op: 0x39, Regs: []RegField{Rt, Rs}, Imm: Imm16},
+	{Name: "mfc1", cls: clCop1Move, sel: 0x00, Regs: []RegField{Rt, Rd}},
+	{Name: "mtc1", cls: clCop1Move, sel: 0x04, Regs: []RegField{Rt, Rd}},
+	{Name: "bc1f", cls: clCop1BC, sel: 0x00, Imm: Imm16},
+	{Name: "bc1t", cls: clCop1BC, sel: 0x01, Imm: Imm16},
+
+	// COP1 arithmetic, single (fmt 0x10) and double (fmt 0x11).
+	{Name: "add.s", cls: clCop1Fmt, sel: 0x10<<8 | 0x00, Regs: []RegField{Sa, Rd, Rt}},
+	{Name: "sub.s", cls: clCop1Fmt, sel: 0x10<<8 | 0x01, Regs: []RegField{Sa, Rd, Rt}},
+	{Name: "mul.s", cls: clCop1Fmt, sel: 0x10<<8 | 0x02, Regs: []RegField{Sa, Rd, Rt}},
+	{Name: "div.s", cls: clCop1Fmt, sel: 0x10<<8 | 0x03, Regs: []RegField{Sa, Rd, Rt}},
+	{Name: "mov.s", cls: clCop1Fmt, sel: 0x10<<8 | 0x06, Regs: []RegField{Sa, Rd}},
+	{Name: "cvt.s.w", cls: clCop1Fmt, sel: 0x14<<8 | 0x20, Regs: []RegField{Sa, Rd}},
+	{Name: "add.d", cls: clCop1Fmt, sel: 0x11<<8 | 0x00, Regs: []RegField{Sa, Rd, Rt}},
+	{Name: "sub.d", cls: clCop1Fmt, sel: 0x11<<8 | 0x01, Regs: []RegField{Sa, Rd, Rt}},
+	{Name: "mul.d", cls: clCop1Fmt, sel: 0x11<<8 | 0x02, Regs: []RegField{Sa, Rd, Rt}},
+	{Name: "div.d", cls: clCop1Fmt, sel: 0x11<<8 | 0x03, Regs: []RegField{Sa, Rd, Rt}},
+	{Name: "mov.d", cls: clCop1Fmt, sel: 0x11<<8 | 0x06, Regs: []RegField{Sa, Rd}},
+	{Name: "cvt.d.w", cls: clCop1Fmt, sel: 0x14<<8 | 0x21, Regs: []RegField{Sa, Rd}},
+	{Name: "c.lt.d", cls: clCop1Fmt, sel: 0x11<<8 | 0x3C, Regs: []RegField{Rd, Rt}},
+	{Name: "c.eq.d", cls: clCop1Fmt, sel: 0x11<<8 | 0x32, Regs: []RegField{Rd, Rt}},
+}
+
+// NumOps is the size of the operation table.
+func NumOps() int { return len(Ops) }
+
+var (
+	byName   map[string]Code
+	decodeLU map[uint32]Code
+)
+
+// decodeKey builds the lookup key used by Decode for a raw word.
+func decodeKey(w uint32) (uint32, bool) {
+	op := OpcodeField(w)
+	switch op {
+	case 0x00:
+		return 0x00<<16 | FunctField(w), true
+	case 0x01:
+		return 0x01<<16 | RtField(w), true
+	case 0x11:
+		rs := RsField(w)
+		switch {
+		case rs == 0x00 || rs == 0x04: // mfc1 / mtc1
+			return 0x11<<16 | 0x1000 | rs, true
+		case rs == 0x08: // bc1f / bc1t
+			return 0x11<<16 | 0x2000 | RtField(w)&1, true
+		case rs >= 0x10: // fmt arithmetic
+			return 0x11<<16 | rs<<6 | FunctField(w), true
+		}
+		return 0, false
+	default:
+		return op << 16, true
+	}
+}
+
+// keyFor builds the same key from a table entry.
+func keyFor(o Op) uint32 {
+	switch o.cls {
+	case clSpecial:
+		return 0x00<<16 | o.sel
+	case clRegimm:
+		return 0x01<<16 | o.sel
+	case clCop1Move:
+		return 0x11<<16 | 0x1000 | o.sel
+	case clCop1BC:
+		return 0x11<<16 | 0x2000 | o.sel
+	case clCop1Fmt:
+		fmtv, funct := o.sel>>8, o.sel&0x3F
+		return 0x11<<16 | fmtv<<6 | funct
+	default:
+		return o.op << 16
+	}
+}
+
+func init() {
+	byName = make(map[string]Code, len(Ops))
+	decodeLU = make(map[uint32]Code, len(Ops))
+	for i, o := range Ops {
+		if _, dup := byName[o.Name]; dup {
+			panic("mips: duplicate op name " + o.Name)
+		}
+		byName[o.Name] = Code(i)
+		k := keyFor(o)
+		if _, dup := decodeLU[k]; dup {
+			panic(fmt.Sprintf("mips: ambiguous decode key for %s", o.Name))
+		}
+		decodeLU[k] = Code(i)
+	}
+}
+
+// Lookup returns the Code for a mnemonic.
+func Lookup(name string) (Code, bool) {
+	c, ok := byName[name]
+	return c, ok
+}
+
+// MustLookup is Lookup that panics on unknown mnemonics; for use in
+// generators and tests with literal names.
+func MustLookup(name string) Code {
+	c, ok := byName[name]
+	if !ok {
+		panic("mips: unknown op " + name)
+	}
+	return c
+}
+
+// Instr is a decoded instruction: the operation plus its operand values.
+// Regs holds the values of Ops[Op].Regs in order; Imm holds the immediate
+// when the operation has one.
+type Instr struct {
+	Op   Code
+	Regs [3]uint8
+	Imm  uint32
+}
+
+// Encode produces the 32-bit instruction word.
+func (ins Instr) Encode() uint32 {
+	o := Ops[ins.Op]
+	var w uint32
+	switch o.cls {
+	case clSpecial:
+		w = o.sel
+	case clRegimm:
+		w = 0x01<<26 | o.sel<<16
+	case clCop1Move:
+		w = 0x11<<26 | o.sel<<21
+	case clCop1BC:
+		w = 0x11<<26 | 0x08<<21 | o.sel<<16
+	case clCop1Fmt:
+		w = 0x11<<26 | (o.sel>>8)<<21 | o.sel&0x3F
+	default:
+		w = o.op << 26
+	}
+	for i, f := range o.Regs {
+		v := uint32(ins.Regs[i]) & 0x1F
+		switch f {
+		case Rs:
+			w |= v << 21
+		case Rt:
+			w |= v << 16
+		case Rd:
+			w |= v << 11
+		case Sa:
+			w |= v << 6
+		}
+	}
+	switch o.Imm {
+	case Imm16:
+		w |= ins.Imm & 0xFFFF
+	case Imm26:
+		w |= ins.Imm & 0x3FFFFFF
+	}
+	return w
+}
+
+// Decode parses a word into an Instr. Unknown encodings are an error — the
+// synthetic programs only contain table operations, mirroring the paper's
+// observation that benchmarks use a small instruction repertoire.
+func Decode(w uint32) (Instr, error) {
+	k, ok := decodeKey(w)
+	if !ok {
+		return Instr{}, fmt.Errorf("mips: cannot decode word %#08x", w)
+	}
+	c, ok := decodeLU[k]
+	if !ok {
+		return Instr{}, fmt.Errorf("mips: unknown operation in word %#08x", w)
+	}
+	o := Ops[c]
+	ins := Instr{Op: c}
+	for i, f := range o.Regs {
+		switch f {
+		case Rs:
+			ins.Regs[i] = uint8(RsField(w))
+		case Rt:
+			ins.Regs[i] = uint8(RtField(w))
+		case Rd:
+			ins.Regs[i] = uint8(RdField(w))
+		case Sa:
+			ins.Regs[i] = uint8(SaField(w))
+		}
+	}
+	switch o.Imm {
+	case Imm16:
+		ins.Imm = Imm16Field(w)
+	case Imm26:
+		ins.Imm = Target26Field(w)
+	}
+	return ins, nil
+}
+
+// NumRegs reports how many register operands the operation carries — the
+// paper's "operand length unit" output.
+func (c Code) NumRegs() int { return len(Ops[c].Regs) }
+
+// ImmKind reports the operation's immediate class.
+func (c Code) ImmKind() ImmKind { return Ops[c].Imm }
+
+// Name returns the mnemonic.
+func (c Code) Name() string { return Ops[c].Name }
+
+// Disassemble renders an instruction for debugging.
+func (ins Instr) Disassemble() string {
+	o := Ops[ins.Op]
+	var b strings.Builder
+	b.WriteString(o.Name)
+	sep := " "
+	for i := range o.Regs {
+		fmt.Fprintf(&b, "%sr%d", sep, ins.Regs[i])
+		sep = ", "
+	}
+	switch o.Imm {
+	case Imm16:
+		fmt.Fprintf(&b, "%s%#x", sep, ins.Imm&0xFFFF)
+	case Imm26:
+		fmt.Fprintf(&b, "%s%#x", sep, ins.Imm&0x3FFFFFF)
+	}
+	return b.String()
+}
+
+// DecodeProgram splits a byte image (big-endian words) into instructions.
+func DecodeProgram(text []byte) ([]Instr, error) {
+	if len(text)%4 != 0 {
+		return nil, fmt.Errorf("mips: text size %d not a multiple of 4", len(text))
+	}
+	out := make([]Instr, 0, len(text)/4)
+	for i := 0; i < len(text); i += 4 {
+		w := uint32(text[i])<<24 | uint32(text[i+1])<<16 | uint32(text[i+2])<<8 | uint32(text[i+3])
+		ins, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("at offset %#x: %w", i, err)
+		}
+		out = append(out, ins)
+	}
+	return out, nil
+}
+
+// EncodeProgram renders instructions as a big-endian byte image.
+func EncodeProgram(prog []Instr) []byte {
+	out := make([]byte, 0, 4*len(prog))
+	for _, ins := range prog {
+		w := ins.Encode()
+		out = append(out, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+	}
+	return out
+}

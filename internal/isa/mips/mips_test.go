@@ -1,0 +1,210 @@
+package mips
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldAccessors(t *testing.T) {
+	// addu r3, r1, r2 = 0x00221821: op=0 rs=1 rt=2 rd=3 sa=0 funct=0x21.
+	w := uint32(0x00221821)
+	if OpcodeField(w) != 0 || RsField(w) != 1 || RtField(w) != 2 ||
+		RdField(w) != 3 || SaField(w) != 0 || FunctField(w) != 0x21 {
+		t.Fatalf("field extraction wrong for %#08x", w)
+	}
+	// lw r5, 0x1234(r29) = op 0x23, rs=29, rt=5, imm 0x1234.
+	w = 0x23<<26 | 29<<21 | 5<<16 | 0x1234
+	if Imm16Field(w) != 0x1234 {
+		t.Fatal("Imm16Field wrong")
+	}
+	// jal target.
+	w = 0x03<<26 | 0x3FFFFFF
+	if Target26Field(w) != 0x3FFFFFF {
+		t.Fatal("Target26Field wrong")
+	}
+}
+
+func TestKnownEncodings(t *testing.T) {
+	cases := []struct {
+		ins  Instr
+		want uint32
+	}{
+		{Instr{Op: MustLookup("addu"), Regs: [3]uint8{3, 1, 2}}, 0x00221821},
+		{Instr{Op: MustLookup("lw"), Regs: [3]uint8{5, 29}, Imm: 0x1234}, 0x8FA51234},
+		{Instr{Op: MustLookup("jr"), Regs: [3]uint8{31}}, 0x03E00008},
+		{Instr{Op: MustLookup("jal"), Imm: 0x100}, 0x0C000100},
+		{Instr{Op: MustLookup("sll"), Regs: [3]uint8{4, 4, 2}}, 0x00042080},
+		{Instr{Op: MustLookup("lui"), Regs: [3]uint8{8}, Imm: 0x8000}, 0x3C088000},
+		{Instr{Op: MustLookup("bgez"), Regs: [3]uint8{9}, Imm: 0xFFFE}, 0x0521FFFE},
+	}
+	for _, c := range cases {
+		if got := c.ins.Encode(); got != c.want {
+			t.Errorf("%s: Encode = %#08x, want %#08x", c.ins.Disassemble(), got, c.want)
+		}
+		back, err := Decode(c.want)
+		if err != nil {
+			t.Errorf("Decode(%#08x): %v", c.want, err)
+			continue
+		}
+		if back != c.ins {
+			t.Errorf("Decode(%#08x) = %+v, want %+v", c.want, back, c.ins)
+		}
+	}
+}
+
+func TestDecodeUnknown(t *testing.T) {
+	// opcode 0x3F is unused in our table.
+	if _, err := Decode(0x3F << 26); err == nil {
+		t.Fatal("expected decode error for unused opcode")
+	}
+	// SPECIAL with an unused funct.
+	if _, err := Decode(0x3F); err == nil {
+		t.Fatal("expected decode error for unused funct")
+	}
+	// COP1 with rs=2 (unsupported move class).
+	if _, err := Decode(0x11<<26 | 2<<21); err == nil {
+		t.Fatal("expected decode error for unsupported COP1 form")
+	}
+}
+
+func TestAllOpsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for c := range Ops {
+		code := Code(c)
+		for trial := 0; trial < 20; trial++ {
+			ins := Instr{Op: code}
+			for i := 0; i < code.NumRegs(); i++ {
+				ins.Regs[i] = uint8(rng.Intn(32))
+			}
+			switch code.ImmKind() {
+			case Imm16:
+				ins.Imm = uint32(rng.Intn(1 << 16))
+			case Imm26:
+				ins.Imm = uint32(rng.Intn(1 << 26))
+			}
+			w := ins.Encode()
+			back, err := Decode(w)
+			if err != nil {
+				t.Fatalf("%s: Decode(%#08x): %v", code.Name(), w, err)
+			}
+			if back != ins {
+				t.Fatalf("%s: round trip %+v -> %#08x -> %+v", code.Name(), ins, w, back)
+			}
+		}
+	}
+}
+
+func TestOperandShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		regs int
+		imm  ImmKind
+	}{
+		{"addu", 3, ImmNone},
+		{"jr", 1, ImmNone},
+		{"syscall", 0, ImmNone},
+		{"lw", 2, Imm16},
+		{"j", 0, Imm26},
+		{"lui", 1, Imm16},
+		{"add.d", 3, ImmNone},
+		{"bc1t", 0, Imm16},
+	}
+	for _, c := range cases {
+		code := MustLookup(c.name)
+		if code.NumRegs() != c.regs {
+			t.Errorf("%s: NumRegs = %d, want %d", c.name, code.NumRegs(), c.regs)
+		}
+		if code.ImmKind() != c.imm {
+			t.Errorf("%s: ImmKind = %d, want %d", c.name, code.ImmKind(), c.imm)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("addu"); !ok {
+		t.Fatal("addu must exist")
+	}
+	if _, ok := Lookup("frobnicate"); ok {
+		t.Fatal("frobnicate must not exist")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup must panic on unknown op")
+		}
+	}()
+	MustLookup("frobnicate")
+}
+
+func TestDisassemble(t *testing.T) {
+	ins := Instr{Op: MustLookup("addu"), Regs: [3]uint8{3, 1, 2}}
+	s := ins.Disassemble()
+	if !strings.HasPrefix(s, "addu") || !strings.Contains(s, "r3") {
+		t.Fatalf("Disassemble = %q", s)
+	}
+	j := Instr{Op: MustLookup("jal"), Imm: 0x40}
+	if s := j.Disassemble(); !strings.Contains(s, "0x40") {
+		t.Fatalf("Disassemble = %q", s)
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	prog := []Instr{
+		{Op: MustLookup("lui"), Regs: [3]uint8{28}, Imm: 0x1000},
+		{Op: MustLookup("addiu"), Regs: [3]uint8{29, 29}, Imm: 0xFFE0},
+		{Op: MustLookup("sw"), Regs: [3]uint8{31, 29}, Imm: 0x1C},
+		{Op: MustLookup("jal"), Imm: 0x2000},
+		{Op: MustLookup("lw"), Regs: [3]uint8{31, 29}, Imm: 0x1C},
+		{Op: MustLookup("jr"), Regs: [3]uint8{31}},
+	}
+	text := EncodeProgram(prog)
+	if len(text) != 4*len(prog) {
+		t.Fatalf("text = %d bytes", len(text))
+	}
+	back, err := DecodeProgram(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prog {
+		if back[i] != prog[i] {
+			t.Fatalf("instr %d: %+v != %+v", i, back[i], prog[i])
+		}
+	}
+	if _, err := DecodeProgram(text[:5]); err == nil {
+		t.Fatal("non-word-aligned program must fail")
+	}
+}
+
+// Property: Encode/Decode are inverse over random operand values for every
+// operation in the table.
+func TestQuickEncodeDecode(t *testing.T) {
+	f := func(opIdx uint8, r0, r1, r2 uint8, imm uint32) bool {
+		code := Code(int(opIdx) % len(Ops))
+		ins := Instr{Op: code}
+		regs := []uint8{r0 % 32, r1 % 32, r2 % 32}
+		for i := 0; i < code.NumRegs(); i++ {
+			ins.Regs[i] = regs[i]
+		}
+		switch code.ImmKind() {
+		case Imm16:
+			ins.Imm = imm & 0xFFFF
+		case Imm26:
+			ins.Imm = imm & 0x3FFFFFF
+		}
+		back, err := Decode(ins.Encode())
+		return err == nil && back == ins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	w := Instr{Op: MustLookup("addu"), Regs: [3]uint8{3, 1, 2}}.Encode()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

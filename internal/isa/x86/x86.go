@@ -1,0 +1,358 @@
+// Package x86 models a simplified IA-32 ("Pentium Pro") instruction
+// encoding: the "typical CISC" target of the paper. Instructions are
+// variable length: opcode (1–2 bytes), optional ModR/M and SIB bytes,
+// optional displacement (1 or 4 bytes) and optional immediate (1 or 4
+// bytes). Prefixes are not modeled; the synthetic generator does not emit
+// them and the paper's stream split does not treat them specially.
+//
+// The package provides encode/decode between byte images and structured
+// instructions, and the paper's 3-way byte-stream split for SADC on x86:
+// opcode stream, ModR/M+SIB stream, and immediate+displacement stream (§5).
+package x86
+
+import "fmt"
+
+// opInfo describes how one opcode's tail is laid out.
+type opInfo struct {
+	modrm bool
+	imm   int // immediate length in bytes: 0, 1 or 4
+}
+
+// oneByte and twoByte are the decode tables for the supported subset; a nil
+// entry means the opcode is outside the model.
+var (
+	oneByte [256]*opInfo
+	twoByte [256]*opInfo
+)
+
+func set(tbl *[256]*opInfo, lo, hi int, info opInfo) {
+	for b := lo; b <= hi; b++ {
+		i := info
+		tbl[b] = &i
+	}
+}
+
+func init() {
+	mr := opInfo{modrm: true}
+	none := opInfo{}
+	// ALU r/m,r and r,r/m forms.
+	for _, b := range []int{0x01, 0x03, 0x09, 0x0B, 0x11, 0x13, 0x19, 0x1B,
+		0x21, 0x23, 0x29, 0x2B, 0x31, 0x33, 0x39, 0x3B, 0x85, 0x88, 0x89,
+		0x8A, 0x8B, 0x8D, 0xD1, 0xFF, 0x84, 0x86, 0x87} {
+		set(&oneByte, b, b, mr)
+	}
+	// ALU eax, imm32.
+	for _, b := range []int{0x05, 0x0D, 0x15, 0x1D, 0x25, 0x2D, 0x35, 0x3D, 0xA9} {
+		set(&oneByte, b, b, opInfo{imm: 4})
+	}
+	set(&oneByte, 0x40, 0x4F, none) // inc/dec r32
+	set(&oneByte, 0x50, 0x5F, none) // push/pop r32
+	set(&oneByte, 0x68, 0x68, opInfo{imm: 4})
+	set(&oneByte, 0x6A, 0x6A, opInfo{imm: 1})
+	set(&oneByte, 0x70, 0x7F, opInfo{imm: 1}) // jcc rel8
+	set(&oneByte, 0x80, 0x80, opInfo{modrm: true, imm: 1})
+	set(&oneByte, 0x81, 0x81, opInfo{modrm: true, imm: 4})
+	set(&oneByte, 0x83, 0x83, opInfo{modrm: true, imm: 1})
+	set(&oneByte, 0x90, 0x90, none)           // nop
+	set(&oneByte, 0xA1, 0xA1, opInfo{imm: 4}) // mov eax, moffs32
+	set(&oneByte, 0xA3, 0xA3, opInfo{imm: 4}) // mov moffs32, eax
+	set(&oneByte, 0xB8, 0xBF, opInfo{imm: 4}) // mov r32, imm32
+	set(&oneByte, 0xC1, 0xC1, opInfo{modrm: true, imm: 1})
+	set(&oneByte, 0xC3, 0xC3, none) // ret
+	set(&oneByte, 0xC6, 0xC6, opInfo{modrm: true, imm: 1})
+	set(&oneByte, 0xC7, 0xC7, opInfo{modrm: true, imm: 4})
+	set(&oneByte, 0xC9, 0xC9, none)           // leave
+	set(&oneByte, 0xCD, 0xCD, opInfo{imm: 1}) // int n
+	set(&oneByte, 0xD8, 0xDF, mr)             // x87
+	set(&oneByte, 0xE8, 0xE9, opInfo{imm: 4}) // call/jmp rel32
+	set(&oneByte, 0xEB, 0xEB, opInfo{imm: 1}) // jmp rel8
+
+	set(&twoByte, 0x80, 0x8F, opInfo{imm: 4}) // jcc rel32
+	set(&twoByte, 0x94, 0x9F, mr)             // setcc
+	set(&twoByte, 0xAF, 0xAF, mr)             // imul
+	set(&twoByte, 0xB6, 0xB7, mr)             // movzx
+	set(&twoByte, 0xBE, 0xBF, mr)             // movsx
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Opcode  []byte // 1 byte, or 2 with a leading 0x0F escape
+	ModRM   byte
+	HasMRM  bool
+	SIB     byte
+	HasSIB  bool
+	DispLen int // 0, 1 or 4
+	Disp    uint32
+	ImmLen  int // 0, 1 or 4
+	Imm     uint32
+}
+
+// info resolves the layout entry for the instruction's opcode.
+func (ins *Instr) info() (*opInfo, error) {
+	switch len(ins.Opcode) {
+	case 1:
+		if inf := oneByte[ins.Opcode[0]]; inf != nil {
+			return inf, nil
+		}
+	case 2:
+		if ins.Opcode[0] == 0x0F {
+			if inf := twoByte[ins.Opcode[1]]; inf != nil {
+				return inf, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("x86: unsupported opcode % x", ins.Opcode)
+}
+
+// dispSpec computes (hasSIB, dispLen) implied by a ModR/M byte (and its SIB
+// byte if present).
+func dispSpec(modrm, sib byte) (hasSIB bool, dispLen int) {
+	mod := modrm >> 6
+	rm := modrm & 7
+	if mod == 3 {
+		return false, 0
+	}
+	hasSIB = rm == 4
+	switch mod {
+	case 0:
+		if rm == 5 {
+			dispLen = 4
+		} else if hasSIB && sib&7 == 5 {
+			dispLen = 4 // SIB with base=101 under mod=00 carries disp32
+		}
+	case 1:
+		dispLen = 1
+	case 2:
+		dispLen = 4
+	}
+	return hasSIB, dispLen
+}
+
+// Len returns the encoded instruction length in bytes.
+func (ins Instr) Len() int {
+	n := len(ins.Opcode)
+	if ins.HasMRM {
+		n++
+	}
+	if ins.HasSIB {
+		n++
+	}
+	return n + ins.DispLen + ins.ImmLen
+}
+
+// Encode appends the instruction's bytes to dst. The instruction must be
+// internally consistent (use Normalize after constructing one by hand).
+func (ins Instr) Encode(dst []byte) []byte {
+	dst = append(dst, ins.Opcode...)
+	if ins.HasMRM {
+		dst = append(dst, ins.ModRM)
+		if ins.HasSIB {
+			dst = append(dst, ins.SIB)
+		}
+		dst = appendLE(dst, ins.Disp, ins.DispLen)
+	}
+	return appendLE(dst, ins.Imm, ins.ImmLen)
+}
+
+func appendLE(dst []byte, v uint32, n int) []byte {
+	for i := 0; i < n; i++ {
+		dst = append(dst, byte(v>>(8*i)))
+	}
+	return dst
+}
+
+// Normalize fills the layout fields (HasMRM, HasSIB, DispLen, ImmLen) from
+// the opcode tables and the ModR/M byte, so generators only need to set the
+// semantic fields. It reports an error for opcodes outside the model.
+func (ins *Instr) Normalize() error {
+	inf, err := ins.info()
+	if err != nil {
+		return err
+	}
+	ins.HasMRM = inf.modrm
+	ins.ImmLen = inf.imm
+	if ins.HasMRM {
+		ins.HasSIB, ins.DispLen = dispSpec(ins.ModRM, ins.SIB)
+	} else {
+		ins.HasSIB, ins.DispLen = false, 0
+	}
+	return nil
+}
+
+// Decode parses one instruction at the start of data, returning it and the
+// number of bytes consumed.
+func Decode(data []byte) (Instr, int, error) {
+	if len(data) == 0 {
+		return Instr{}, 0, fmt.Errorf("x86: empty input")
+	}
+	var ins Instr
+	if data[0] == 0x0F {
+		if len(data) < 2 {
+			return Instr{}, 0, fmt.Errorf("x86: truncated two-byte opcode")
+		}
+		ins.Opcode = []byte{0x0F, data[1]}
+	} else {
+		ins.Opcode = []byte{data[0]}
+	}
+	inf, err := ins.info()
+	if err != nil {
+		return Instr{}, 0, err
+	}
+	pos := len(ins.Opcode)
+	ins.HasMRM = inf.modrm
+	ins.ImmLen = inf.imm
+	if ins.HasMRM {
+		if pos >= len(data) {
+			return Instr{}, 0, fmt.Errorf("x86: truncated ModR/M")
+		}
+		ins.ModRM = data[pos]
+		pos++
+		hasSIB, _ := dispSpec(ins.ModRM, 0)
+		if hasSIB {
+			if pos >= len(data) {
+				return Instr{}, 0, fmt.Errorf("x86: truncated SIB")
+			}
+			ins.SIB = data[pos]
+			pos++
+		}
+		ins.HasSIB, ins.DispLen = dispSpec(ins.ModRM, ins.SIB)
+		if pos+ins.DispLen > len(data) {
+			return Instr{}, 0, fmt.Errorf("x86: truncated displacement")
+		}
+		for i := 0; i < ins.DispLen; i++ {
+			ins.Disp |= uint32(data[pos+i]) << (8 * i)
+		}
+		pos += ins.DispLen
+	}
+	if pos+ins.ImmLen > len(data) {
+		return Instr{}, 0, fmt.Errorf("x86: truncated immediate")
+	}
+	for i := 0; i < ins.ImmLen; i++ {
+		ins.Imm |= uint32(data[pos+i]) << (8 * i)
+	}
+	pos += ins.ImmLen
+	return ins, pos, nil
+}
+
+// DecodeProgram parses a full byte image into instructions.
+func DecodeProgram(text []byte) ([]Instr, error) {
+	var out []Instr
+	for pos := 0; pos < len(text); {
+		ins, n, err := Decode(text[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("at offset %#x: %w", pos, err)
+		}
+		out = append(out, ins)
+		pos += n
+	}
+	return out, nil
+}
+
+// EncodeProgram renders instructions to a byte image.
+func EncodeProgram(prog []Instr) []byte {
+	var out []byte
+	for _, ins := range prog {
+		out = ins.Encode(out)
+	}
+	return out
+}
+
+// Streams is the paper's 3-way split for the Pentium: opcode bytes, ModR/M
+// and SIB bytes, and immediate+displacement bytes. All three are byte
+// streams ("the Pentium streams are 8 consecutive bits wide"), so an x86
+// decompressor needs no instruction generator unit.
+type Streams struct {
+	Op      []byte // opcode bytes (escape byte included)
+	ModSIB  []byte // ModR/M and SIB bytes
+	ImmDisp []byte // displacement then immediate bytes, per instruction
+}
+
+// Split separates a program into the three streams.
+func Split(prog []Instr) Streams {
+	var s Streams
+	for _, ins := range prog {
+		s.Op = append(s.Op, ins.Opcode...)
+		if ins.HasMRM {
+			s.ModSIB = append(s.ModSIB, ins.ModRM)
+			if ins.HasSIB {
+				s.ModSIB = append(s.ModSIB, ins.SIB)
+			}
+			s.ImmDisp = appendLE(s.ImmDisp, ins.Disp, ins.DispLen)
+		}
+		s.ImmDisp = appendLE(s.ImmDisp, ins.Imm, ins.ImmLen)
+	}
+	return s
+}
+
+// Merge reassembles n instructions from the three streams — the software
+// model of the paper's control logic, which pulls from each stream as the
+// opcode dictates. It fails if the streams are inconsistent or short.
+func Merge(s Streams, n int) ([]Instr, error) {
+	out := make([]Instr, 0, n)
+	op, ms, id := s.Op, s.ModSIB, s.ImmDisp
+	takeLE := func(src *[]byte, n int) (uint32, error) {
+		if len(*src) < n {
+			return 0, fmt.Errorf("x86: stream underflow")
+		}
+		var v uint32
+		for i := 0; i < n; i++ {
+			v |= uint32((*src)[i]) << (8 * i)
+		}
+		*src = (*src)[n:]
+		return v, nil
+	}
+	for k := 0; k < n; k++ {
+		if len(op) == 0 {
+			return nil, fmt.Errorf("x86: opcode stream underflow at instruction %d", k)
+		}
+		var ins Instr
+		if op[0] == 0x0F {
+			if len(op) < 2 {
+				return nil, fmt.Errorf("x86: truncated two-byte opcode in stream")
+			}
+			ins.Opcode = []byte{0x0F, op[1]}
+			op = op[2:]
+		} else {
+			ins.Opcode = []byte{op[0]}
+			op = op[1:]
+		}
+		inf, err := ins.info()
+		if err != nil {
+			return nil, err
+		}
+		ins.HasMRM = inf.modrm
+		ins.ImmLen = inf.imm
+		if ins.HasMRM {
+			if len(ms) == 0 {
+				return nil, fmt.Errorf("x86: ModR/M stream underflow at instruction %d", k)
+			}
+			ins.ModRM = ms[0]
+			ms = ms[1:]
+			hasSIB, _ := dispSpec(ins.ModRM, 0)
+			if hasSIB {
+				if len(ms) == 0 {
+					return nil, fmt.Errorf("x86: SIB stream underflow at instruction %d", k)
+				}
+				ins.SIB = ms[0]
+				ms = ms[1:]
+			}
+			ins.HasSIB, ins.DispLen = dispSpec(ins.ModRM, ins.SIB)
+			if ins.Disp, err = takeLE(&id, ins.DispLen); err != nil {
+				return nil, fmt.Errorf("x86: disp underflow at instruction %d", k)
+			}
+		}
+		if ins.Imm, err = takeLE(&id, ins.ImmLen); err != nil {
+			return nil, fmt.Errorf("x86: imm underflow at instruction %d", k)
+		}
+		out = append(out, ins)
+	}
+	return out, nil
+}
+
+// Supported reports whether a one- or two-byte opcode is inside the model;
+// generators use it to stay within the decodable subset.
+func Supported(opcode []byte) bool {
+	ins := Instr{Opcode: opcode}
+	_, err := ins.info()
+	return err == nil
+}

@@ -1,0 +1,277 @@
+package x86
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownEncodings(t *testing.T) {
+	cases := []struct {
+		name string
+		ins  Instr
+		want []byte
+	}{
+		{"push ebp", Instr{Opcode: []byte{0x55}}, []byte{0x55}},
+		{"mov ebp, esp", Instr{Opcode: []byte{0x89}, ModRM: 0xE5}, []byte{0x89, 0xE5}},
+		{"mov eax, imm32", Instr{Opcode: []byte{0xB8}, Imm: 0x12345678},
+			[]byte{0xB8, 0x78, 0x56, 0x34, 0x12}},
+		{"mov eax, [ebp-8]", Instr{Opcode: []byte{0x8B}, ModRM: 0x45, Disp: 0xF8},
+			[]byte{0x8B, 0x45, 0xF8}},
+		{"add eax, [ebx+esi*4+0x10]", Instr{Opcode: []byte{0x03}, ModRM: 0x44, SIB: 0xB3, Disp: 0x10},
+			[]byte{0x03, 0x44, 0xB3, 0x10}},
+		{"call rel32", Instr{Opcode: []byte{0xE8}, Imm: 0x100},
+			[]byte{0xE8, 0x00, 0x01, 0x00, 0x00}},
+		{"jz rel8", Instr{Opcode: []byte{0x74}, Imm: 0x05}, []byte{0x74, 0x05}},
+		{"imul eax, ecx", Instr{Opcode: []byte{0x0F, 0xAF}, ModRM: 0xC1},
+			[]byte{0x0F, 0xAF, 0xC1}},
+		{"jcc rel32", Instr{Opcode: []byte{0x0F, 0x84}, Imm: 0x40},
+			[]byte{0x0F, 0x84, 0x40, 0x00, 0x00, 0x00}},
+		{"cmp [mem32], imm8", Instr{Opcode: []byte{0x83}, ModRM: 0x3D, Disp: 0x8000, Imm: 3},
+			[]byte{0x83, 0x3D, 0x00, 0x80, 0x00, 0x00, 0x03}},
+	}
+	for _, c := range cases {
+		if err := c.ins.Normalize(); err != nil {
+			t.Fatalf("%s: Normalize: %v", c.name, err)
+		}
+		got := c.ins.Encode(nil)
+		if !bytes.Equal(got, c.want) {
+			t.Errorf("%s: Encode = % x, want % x", c.name, got, c.want)
+		}
+		if c.ins.Len() != len(c.want) {
+			t.Errorf("%s: Len = %d, want %d", c.name, c.ins.Len(), len(c.want))
+		}
+		back, n, err := Decode(c.want)
+		if err != nil {
+			t.Errorf("%s: Decode: %v", c.name, err)
+			continue
+		}
+		if n != len(c.want) {
+			t.Errorf("%s: Decode consumed %d of %d", c.name, n, len(c.want))
+		}
+		reenc := back.Encode(nil)
+		if !bytes.Equal(reenc, c.want) {
+			t.Errorf("%s: re-encode = % x, want % x", c.name, reenc, c.want)
+		}
+	}
+}
+
+func TestDispSpec(t *testing.T) {
+	cases := []struct {
+		modrm, sib byte
+		hasSIB     bool
+		dispLen    int
+	}{
+		{0xC0, 0, false, 0},   // mod=3: register direct
+		{0x00, 0, false, 0},   // [eax]
+		{0x05, 0, false, 4},   // disp32 absolute
+		{0x45, 0, false, 1},   // [ebp+disp8]
+		{0x85, 0, false, 4},   // [ebp+disp32]
+		{0x04, 0x20, true, 0}, // SIB, base=eax
+		{0x04, 0x25, true, 4}, // SIB base=101 under mod 0: disp32
+		{0x44, 0x25, true, 1}, // SIB + disp8
+	}
+	for _, c := range cases {
+		hs, dl := dispSpec(c.modrm, c.sib)
+		if hs != c.hasSIB || dl != c.dispLen {
+			t.Errorf("dispSpec(%#02x,%#02x) = (%v,%d), want (%v,%d)",
+				c.modrm, c.sib, hs, dl, c.hasSIB, c.dispLen)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := [][]byte{
+		{},
+		{0x0F},             // truncated escape
+		{0xF4},             // hlt: outside the model
+		{0x0F, 0x01},       // outside the model
+		{0x8B},             // missing ModR/M
+		{0x8B, 0x45},       // missing disp8
+		{0xB8, 0x01, 0x02}, // truncated imm32
+		{0x8B, 0x04},       // missing SIB
+	}
+	for _, data := range bad {
+		if _, _, err := Decode(data); err == nil {
+			t.Errorf("Decode(% x) should fail", data)
+		}
+	}
+}
+
+func genInstr(rng *rand.Rand) Instr {
+	ops := [][]byte{
+		{0x55}, {0x89}, {0x8B}, {0xB8}, {0x83}, {0xC7}, {0xE8}, {0x74},
+		{0x0F, 0xAF}, {0x0F, 0xB6}, {0x03}, {0x50}, {0xC3}, {0xC9}, {0x6A},
+		{0xD9}, {0xDC}, {0x0F, 0x84},
+	}
+	ins := Instr{Opcode: ops[rng.Intn(len(ops))]}
+	ins.ModRM = byte(rng.Intn(256))
+	ins.SIB = byte(rng.Intn(256))
+	ins.Disp = rng.Uint32()
+	ins.Imm = rng.Uint32()
+	if err := ins.Normalize(); err != nil {
+		panic(err)
+	}
+	// Mask value fields to their encoded widths so equality survives the
+	// round trip.
+	ins.Disp &= lenMask(ins.DispLen)
+	ins.Imm &= lenMask(ins.ImmLen)
+	if !ins.HasMRM {
+		ins.ModRM = 0
+	}
+	if !ins.HasSIB {
+		ins.SIB = 0
+	}
+	return ins
+}
+
+func lenMask(n int) uint32 {
+	switch n {
+	case 1:
+		return 0xFF
+	case 4:
+		return 0xFFFFFFFF
+	default:
+		return 0
+	}
+}
+
+func equalInstr(a, b Instr) bool {
+	return bytes.Equal(a.Opcode, b.Opcode) && a.ModRM == b.ModRM &&
+		a.HasMRM == b.HasMRM && a.SIB == b.SIB && a.HasSIB == b.HasSIB &&
+		a.DispLen == b.DispLen && a.Disp == b.Disp &&
+		a.ImmLen == b.ImmLen && a.Imm == b.Imm
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	prog := make([]Instr, 500)
+	for i := range prog {
+		prog[i] = genInstr(rng)
+	}
+	text := EncodeProgram(prog)
+	back, err := DecodeProgram(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(prog) {
+		t.Fatalf("decoded %d instructions, want %d", len(back), len(prog))
+	}
+	for i := range prog {
+		if !equalInstr(prog[i], back[i]) {
+			t.Fatalf("instr %d: %+v != %+v", i, back[i], prog[i])
+		}
+	}
+}
+
+func TestSplitMergeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	prog := make([]Instr, 300)
+	for i := range prog {
+		prog[i] = genInstr(rng)
+	}
+	s := Split(prog)
+	// Stream sizes must add up to the program size.
+	if len(s.Op)+len(s.ModSIB)+len(s.ImmDisp) != len(EncodeProgram(prog)) {
+		t.Fatal("streams do not partition the program bytes")
+	}
+	back, err := Merge(s, len(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prog {
+		if !equalInstr(prog[i], back[i]) {
+			t.Fatalf("instr %d: %+v != %+v", i, back[i], prog[i])
+		}
+	}
+}
+
+func TestMergeUnderflow(t *testing.T) {
+	prog := []Instr{{Opcode: []byte{0x8B}, ModRM: 0x45, Disp: 8}}
+	if err := prog[0].Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	s := Split(prog)
+	if _, err := Merge(Streams{Op: s.Op}, 1); err == nil {
+		t.Fatal("Merge with empty ModSIB stream must fail")
+	}
+	if _, err := Merge(Streams{Op: s.Op, ModSIB: s.ModSIB}, 1); err == nil {
+		t.Fatal("Merge with empty ImmDisp stream must fail")
+	}
+	if _, err := Merge(s, 2); err == nil {
+		t.Fatal("Merge asking for too many instructions must fail")
+	}
+}
+
+func TestSupported(t *testing.T) {
+	if !Supported([]byte{0x89}) || !Supported([]byte{0x0F, 0xAF}) {
+		t.Fatal("known opcodes reported unsupported")
+	}
+	if Supported([]byte{0xF4}) || Supported([]byte{0x0F, 0x01}) {
+		t.Fatal("unknown opcodes reported supported")
+	}
+}
+
+// Property: encode/decode round-trips for arbitrary generated instructions,
+// and instruction lengths always match consumed bytes.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for k := 0; k < 30; k++ {
+			ins := genInstr(rng)
+			data := ins.Encode(nil)
+			if len(data) != ins.Len() {
+				return false
+			}
+			back, n, err := Decode(data)
+			if err != nil || n != len(data) || !equalInstr(ins, back) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Split ∘ Merge is the identity on random programs.
+func TestQuickSplitMerge(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := make([]Instr, 1+rng.Intn(100))
+		for i := range prog {
+			prog[i] = genInstr(rng)
+		}
+		back, err := Merge(Split(prog), len(prog))
+		if err != nil {
+			return false
+		}
+		for i := range prog {
+			if !equalInstr(prog[i], back[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	prog := make([]Instr, 1000)
+	for i := range prog {
+		prog[i] = genInstr(rng)
+	}
+	text := EncodeProgram(prog)
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeProgram(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package kozuch implements the byte-based Huffman code compressor of
+// Kozuch & Wolfe ("Compression of embedded system programs", ICCD 1994) —
+// the prior instruction-compression scheme the paper compares against in
+// Figure 9. A single canonical Huffman code over 8-bit symbols is built per
+// program; every cache block is encoded separately and padded to a byte
+// boundary, so blocks decompress independently. The paper reports an
+// average ratio around 0.73 with this scheme and criticizes it for coding
+// all four bytes of a RISC word with one table.
+package kozuch
+
+import (
+	"fmt"
+
+	"codecomp/internal/bitio"
+	"codecomp/internal/huffman"
+)
+
+// Compressed is a byte-Huffman compressed image.
+type Compressed struct {
+	Table     *huffman.Table
+	Blocks    [][]byte
+	BlockSize int
+	OrigSize  int
+}
+
+// Compress builds the per-program byte code and encodes each block.
+func Compress(text []byte, blockSize int) (*Compressed, error) {
+	if blockSize <= 0 {
+		blockSize = 32
+	}
+	freq := make([]uint64, 256)
+	for _, b := range text {
+		freq[b]++
+	}
+	tbl, err := huffman.Build(freq, huffman.MaxBits)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compressed{Table: tbl, BlockSize: blockSize, OrigSize: len(text)}
+	w := bitio.NewWriter(blockSize)
+	for off := 0; off < len(text); off += blockSize {
+		end := off + blockSize
+		if end > len(text) {
+			end = len(text)
+		}
+		w.Reset()
+		for _, b := range text[off:end] {
+			if err := tbl.Encode(w, int(b)); err != nil {
+				return nil, err
+			}
+		}
+		c.Blocks = append(c.Blocks, append([]byte(nil), w.Bytes()...))
+	}
+	return c, nil
+}
+
+// NumBlocks returns the block count.
+func (c *Compressed) NumBlocks() int { return len(c.Blocks) }
+
+// Block decompresses one cache block.
+func (c *Compressed) Block(i int) ([]byte, error) {
+	if i < 0 || i >= len(c.Blocks) {
+		return nil, fmt.Errorf("kozuch: block %d out of range [0,%d)", i, len(c.Blocks))
+	}
+	n := c.BlockSize
+	if (i+1)*c.BlockSize > c.OrigSize {
+		n = c.OrigSize - i*c.BlockSize
+	}
+	r := bitio.NewReader(c.Blocks[i])
+	out := make([]byte, n)
+	for k := range out {
+		sym, err := c.Table.Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = byte(sym)
+	}
+	return out, nil
+}
+
+// Decompress reconstructs the whole program.
+func (c *Compressed) Decompress() ([]byte, error) {
+	out := make([]byte, 0, c.OrigSize)
+	for i := range c.Blocks {
+		b, err := c.Block(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// PayloadBytes is the total encoded block payload.
+func (c *Compressed) PayloadBytes() int {
+	n := 0
+	for _, b := range c.Blocks {
+		n += len(b)
+	}
+	return n
+}
+
+// TableBytes is the stored code-length table (4 bits × 256 symbols).
+func (c *Compressed) TableBytes() int { return (c.Table.TableBits() + 7) / 8 }
+
+// CompressedSize is payload plus table.
+func (c *Compressed) CompressedSize() int { return c.PayloadBytes() + c.TableBytes() }
+
+// Ratio is compressed/original size.
+func (c *Compressed) Ratio() float64 {
+	if c.OrigSize == 0 {
+		return 1
+	}
+	return float64(c.CompressedSize()) / float64(c.OrigSize)
+}

@@ -1,0 +1,131 @@
+package kozuch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"codecomp/internal/synth"
+)
+
+func mipsText() []byte {
+	prof := synth.Profile{Name: "t", KB: 32, FP: 0.2, Reuse: 0.4, SmallImm: 0.7, CallDensity: 0.05, Seed: 7}
+	return synth.GenerateMIPS(prof).Text()
+}
+
+func TestRoundTrip(t *testing.T) {
+	text := mipsText()
+	c, err := Compress(text, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress()
+	if err != nil || !bytes.Equal(got, text) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestRandomAccess(t *testing.T) {
+	text := mipsText()
+	c, err := Compress(text, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, i := range rng.Perm(c.NumBlocks()) {
+		blk, err := c.Block(i)
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		lo := i * 32
+		if !bytes.Equal(blk, text[lo:lo+len(blk)]) {
+			t.Fatalf("block %d mismatch", i)
+		}
+	}
+	if _, err := c.Block(-1); err == nil {
+		t.Fatal("negative index must fail")
+	}
+	if _, err := c.Block(c.NumBlocks()); err == nil {
+		t.Fatal("out-of-range index must fail")
+	}
+}
+
+func TestRatioInKozuchBand(t *testing.T) {
+	// Kozuch & Wolfe report ≈0.73 on MIPS-class code with byte Huffman;
+	// per-block byte padding costs a few extra points. Accept 0.6–0.9.
+	text := mipsText()
+	c, err := Compress(text, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Ratio(); r < 0.6 || r > 0.9 {
+		t.Fatalf("ratio = %.3f, expected in [0.6, 0.9]", r)
+	}
+}
+
+func TestBlockPaddingOverhead(t *testing.T) {
+	// Smaller blocks mean more padding: ratio must be monotone (weakly)
+	// in padding overhead.
+	text := mipsText()
+	small, _ := Compress(text, 16)
+	big, _ := Compress(text, 128)
+	if small.PayloadBytes() < big.PayloadBytes() {
+		t.Fatalf("16B blocks payload %d < 128B blocks %d", small.PayloadBytes(), big.PayloadBytes())
+	}
+}
+
+func TestDefaultBlockSize(t *testing.T) {
+	text := mipsText()
+	c, err := Compress(text, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BlockSize != 32 {
+		t.Fatalf("default block size = %d", c.BlockSize)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	c, err := Compress(nil, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress()
+	if err != nil || len(got) != 0 {
+		t.Fatal("empty round trip failed")
+	}
+	if c.Ratio() != 1 {
+		t.Fatal("empty ratio should be 1")
+	}
+}
+
+// Property: arbitrary byte strings round-trip at arbitrary block sizes.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data []byte, bs uint8) bool {
+		c, err := Compress(data, int(bs%100)+1)
+		if err != nil {
+			return false
+		}
+		got, err := c.Decompress()
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecompressBlock(b *testing.B) {
+	text := mipsText()
+	c, err := Compress(text, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Block(i % c.NumBlocks()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package kozuch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"codecomp/internal/bitio"
+	"codecomp/internal/huffman"
+)
+
+// Image serialization. Layout (big-endian):
+//
+//	magic "KZHF" | version u8 | crc32 u32 (IEEE, over everything after)
+//	blockSize u16 | origSize u32 | numBlocks u32
+//	128 bytes of 4-bit code lengths
+//	LAT: numBlocks+1 offsets u32 | payload
+
+const (
+	kzMagic   = "KZHF"
+	kzVersion = 1
+)
+
+// Marshal serializes the compressed image.
+func (c *Compressed) Marshal() []byte {
+	var out []byte
+	out = append(out, kzMagic...)
+	out = append(out, kzVersion)
+	out = append(out, 0, 0, 0, 0) // CRC placeholder
+	out = binary.BigEndian.AppendUint16(out, uint16(c.BlockSize))
+	out = binary.BigEndian.AppendUint32(out, uint32(c.OrigSize))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(c.Blocks)))
+	w := bitio.NewWriter(128)
+	c.Table.WriteLengths(w)
+	out = append(out, w.Bytes()...)
+	var off uint32
+	for _, b := range c.Blocks {
+		out = binary.BigEndian.AppendUint32(out, off)
+		off += uint32(len(b))
+	}
+	out = binary.BigEndian.AppendUint32(out, off)
+	for _, b := range c.Blocks {
+		out = append(out, b...)
+	}
+	binary.BigEndian.PutUint32(out[5:], crc32.ChecksumIEEE(out[9:]))
+	return out
+}
+
+// Unmarshal reconstructs an image serialized by Marshal.
+func Unmarshal(data []byte) (*Compressed, error) {
+	need := func(n int) error {
+		if len(data) < n {
+			return fmt.Errorf("kozuch: truncated image")
+		}
+		return nil
+	}
+	if err := need(19); err != nil {
+		return nil, err
+	}
+	if string(data[:4]) != kzMagic {
+		return nil, fmt.Errorf("kozuch: bad magic")
+	}
+	if data[4] != kzVersion {
+		return nil, fmt.Errorf("kozuch: unsupported version %d", data[4])
+	}
+	if got, want := crc32.ChecksumIEEE(data[9:]), binary.BigEndian.Uint32(data[5:]); got != want {
+		return nil, fmt.Errorf("kozuch: image checksum mismatch (%08x != %08x)", got, want)
+	}
+	c := &Compressed{
+		BlockSize: int(binary.BigEndian.Uint16(data[9:])),
+		OrigSize:  int(binary.BigEndian.Uint32(data[11:])),
+	}
+	numBlocks := int(binary.BigEndian.Uint32(data[15:]))
+	if c.BlockSize <= 0 {
+		return nil, fmt.Errorf("kozuch: invalid block size")
+	}
+	if want := (c.OrigSize + c.BlockSize - 1) / c.BlockSize; numBlocks != want {
+		return nil, fmt.Errorf("kozuch: %d blocks, expected %d", numBlocks, want)
+	}
+	data = data[19:]
+	if err := need(128); err != nil {
+		return nil, err
+	}
+	tbl, err := huffman.ReadLengths(bitio.NewReader(data[:128]), 256)
+	if err != nil {
+		return nil, err
+	}
+	c.Table = tbl
+	data = data[128:]
+	if len(data) < 4*(numBlocks+1) {
+		return nil, fmt.Errorf("kozuch: truncated LAT")
+	}
+	offsets := make([]int, numBlocks+1)
+	for i := range offsets {
+		offsets[i] = int(binary.BigEndian.Uint32(data[4*i:]))
+	}
+	payload := data[4*(numBlocks+1):]
+	for i := 0; i < numBlocks; i++ {
+		lo, hi := offsets[i], offsets[i+1]
+		if lo > hi || hi > len(payload) {
+			return nil, fmt.Errorf("kozuch: corrupt LAT entry %d", i)
+		}
+		c.Blocks = append(c.Blocks, payload[lo:hi])
+	}
+	return c, nil
+}

@@ -1,0 +1,66 @@
+package kozuch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	text := mipsText()
+	c, err := Compress(text, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Unmarshal(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Decompress()
+	if err != nil || !bytes.Equal(got, text) {
+		t.Fatalf("round trip after unmarshal failed: %v", err)
+	}
+	if c2.CompressedSize() != c.CompressedSize() {
+		t.Fatal("size accounting changed")
+	}
+	blk, err := c2.Block(2)
+	if err != nil || !bytes.Equal(blk, text[64:96]) {
+		t.Fatal("random access after unmarshal failed")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	c, _ := Compress(mipsText()[:512], 32)
+	img := c.Marshal()
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("nil must fail")
+	}
+	if _, err := Unmarshal([]byte("BAD!xxxxxxxxxxxxxxx")); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	for cut := 0; cut < len(img)-33; cut += 11 {
+		if _, err := Unmarshal(img[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// Property: corruption never panics.
+func TestQuickCorruptionSafety(t *testing.T) {
+	c, _ := Compress(mipsText()[:512], 32)
+	img := c.Marshal()
+	f := func(pos uint16, val byte) bool {
+		bad := append([]byte(nil), img...)
+		bad[int(pos)%len(bad)] ^= val | 1
+		c2, err := Unmarshal(bad)
+		if err != nil {
+			return true
+		}
+		_, _ = c2.Decompress()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}

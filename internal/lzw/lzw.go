@@ -1,0 +1,220 @@
+// Package lzw reimplements the UNIX compress(1) algorithm — adaptive LZW
+// with variable-width codes (9 to 16 bits) and block mode (a CLEAR code that
+// resets the dictionary when compression degrades). It is one of the two
+// file-oriented baselines of the paper's Figures 7 and 8.
+//
+// The bit-packing order and header differ from .Z files (we pack MSB-first
+// and carry the original length), but the algorithm — and therefore the
+// compression ratio — is the same. As the paper notes (§1), LZ-family
+// pointers into earlier text make per-cache-block random access impossible,
+// which is exactly why compress/gzip serve only as file-level yardsticks.
+package lzw
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"codecomp/internal/bitio"
+)
+
+const (
+	minWidth  = 9
+	maxWidth  = 16
+	clearCode = 256
+	firstCode = 257
+	maxCodes  = 1 << maxWidth
+	// ratioWindow is how often (in input bytes) the encoder re-checks
+	// whether a full dictionary is still paying off.
+	ratioWindow = 8192
+)
+
+// Compress encodes data.
+func Compress(data []byte) []byte {
+	hdr := binary.BigEndian.AppendUint32(nil, uint32(len(data)))
+	if len(data) == 0 {
+		return hdr
+	}
+	w := bitio.NewWriter(len(data)/2 + 16)
+
+	type pend struct {
+		prefix int32
+		c      byte
+	}
+	var (
+		dict    map[int64]int32
+		next    int32
+		width   uint
+		pending *pend
+	)
+	reset := func() {
+		dict = make(map[int64]int32, 4096)
+		next = firstCode
+		width = minWidth
+		pending = nil
+	}
+	key := func(prefix int32, c byte) int64 { return int64(prefix)<<8 | int64(c) }
+	// addPending mirrors the decoder: exactly one dictionary entry is added
+	// per emitted code (starting with the second), so code widths stay in
+	// lockstep without the classic early-change hack.
+	addPending := func() {
+		if pending != nil && next < maxCodes {
+			dict[key(pending.prefix, pending.c)] = next
+			next++
+			if next < maxCodes && next == 1<<width && width < maxWidth {
+				width++
+			}
+		}
+		pending = nil
+	}
+	reset()
+
+	// Degradation check state for block mode.
+	var inSinceCheck, outBitsSinceCheck int64
+	var lastRatio float64
+
+	cur := int32(data[0])
+	for i := 1; i < len(data); i++ {
+		c := data[i]
+		if code, ok := dict[key(cur, c)]; ok {
+			cur = code
+			continue
+		}
+		w.WriteBits(uint64(cur), width)
+		outBitsSinceCheck += int64(width)
+		addPending()
+		pending = &pend{cur, c}
+		cur = int32(c)
+		inSinceCheck += 1
+
+		// Block mode: once the dictionary is full, watch the running ratio
+		// and emit CLEAR when it degrades.
+		if next >= maxCodes && inSinceCheck >= ratioWindow {
+			ratio := float64(outBitsSinceCheck) / float64(8*inSinceCheck)
+			if lastRatio > 0 && ratio > lastRatio {
+				w.WriteBits(uint64(clearCode), width)
+				reset()
+				lastRatio = 0
+			} else {
+				lastRatio = ratio
+			}
+			inSinceCheck, outBitsSinceCheck = 0, 0
+		}
+	}
+	w.WriteBits(uint64(cur), width)
+	return append(hdr, w.Bytes()...)
+}
+
+// Decompress decodes a Compress output.
+func Decompress(data []byte) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("lzw: truncated header")
+	}
+	origLen := int(binary.BigEndian.Uint32(data))
+	out := make([]byte, 0, origLen)
+	if origLen == 0 {
+		return out, nil
+	}
+	r := bitio.NewReader(data[4:])
+
+	// Decoder dictionary: code → (prefix code, suffix byte); literals are
+	// implicit.
+	type entry struct {
+		prefix int32
+		c      byte
+	}
+	var (
+		entries []entry
+		next    int32
+		width   uint
+	)
+	reset := func() {
+		entries = entries[:0]
+		next = firstCode
+		width = minWidth
+	}
+	reset()
+
+	var expand func(code int32, buf []byte) ([]byte, error)
+	expand = func(code int32, buf []byte) ([]byte, error) {
+		for code >= firstCode {
+			e := entries[code-firstCode]
+			buf = append(buf, e.c)
+			code = e.prefix
+		}
+		if code < 0 || code > 255 || code == clearCode {
+			return nil, fmt.Errorf("lzw: invalid code chain")
+		}
+		buf = append(buf, byte(code))
+		// Reverse the suffix-first expansion.
+		for i, j := 0, len(buf)-1; i < j; i, j = i+1, j-1 {
+			buf[i], buf[j] = buf[j], buf[i]
+		}
+		return buf, nil
+	}
+	firstByte := func(code int32) (byte, error) {
+		for code >= firstCode {
+			code = entries[code-firstCode].prefix
+		}
+		if code < 0 || code > 255 {
+			return 0, fmt.Errorf("lzw: invalid code chain")
+		}
+		return byte(code), nil
+	}
+
+	var prev int32 = -1
+	var scratch []byte
+	for len(out) < origLen {
+		v, err := r.ReadBits(width)
+		if err != nil {
+			return nil, fmt.Errorf("lzw: truncated stream at %d/%d bytes", len(out), origLen)
+		}
+		code := int32(v)
+		if code == clearCode {
+			reset()
+			prev = -1
+			continue
+		}
+		limit := next
+		if prev >= 0 {
+			limit++ // the KwKwK case: code may reference the entry about to exist
+		}
+		if code >= limit {
+			return nil, fmt.Errorf("lzw: code %d beyond dictionary size %d", code, next)
+		}
+		// Add the deferred entry for the previous code.
+		if prev >= 0 && next < maxCodes {
+			var fb byte
+			if code == next {
+				fb, err = firstByte(prev)
+			} else {
+				fb, err = firstByte(code)
+			}
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, entry{prev, fb})
+			next++
+			if next < maxCodes && next == 1<<width && width < maxWidth {
+				width++
+			}
+		}
+		scratch, err = expand(code, scratch[:0])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, scratch...)
+		prev = code
+	}
+	if len(out) != origLen {
+		return nil, fmt.Errorf("lzw: decoded %d bytes, header says %d", len(out), origLen)
+	}
+	return out, nil
+}
+
+// Ratio compresses data and returns compressed/original size.
+func Ratio(data []byte) float64 {
+	if len(data) == 0 {
+		return 1
+	}
+	return float64(len(Compress(data))) / float64(len(data))
+}

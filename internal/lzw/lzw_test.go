@@ -1,0 +1,166 @@
+package lzw
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"codecomp/internal/synth"
+)
+
+func TestRoundTripSimple(t *testing.T) {
+	cases := [][]byte{
+		[]byte("TOBEORNOTTOBEORTOBEORNOT"),
+		[]byte("aaaaaaaaaaaaaaaaaaaaaaaaaaa"),
+		[]byte("abcdefghijklmnopqrstuvwxyz"),
+		[]byte{0},
+		[]byte{255, 255, 0, 0, 255},
+		bytes.Repeat([]byte("abc"), 10000),
+	}
+	for i, data := range cases {
+		got, err := Decompress(Compress(data))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("case %d: round trip failed", i)
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	comp := Compress(nil)
+	if len(comp) != 4 {
+		t.Fatalf("empty compressed to %d bytes", len(comp))
+	}
+	got, err := Decompress(comp)
+	if err != nil || len(got) != 0 {
+		t.Fatal("empty round trip failed")
+	}
+}
+
+func TestKwKwKCase(t *testing.T) {
+	// The classic pathological pattern for LZW decoders.
+	data := []byte("abababababababababababab")
+	got, err := Decompress(Compress(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("KwKwK round trip failed: %v", err)
+	}
+}
+
+func TestRepetitiveTextCompresses(t *testing.T) {
+	data := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 2000))
+	r := Ratio(data)
+	if r > 0.2 {
+		t.Fatalf("ratio %.3f on highly repetitive text", r)
+	}
+}
+
+func TestRandomDataExpandsLittle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 64*1024)
+	rng.Read(data)
+	r := Ratio(data)
+	// 9→16-bit codes on incompressible bytes: bounded expansion.
+	if r > 1.7 {
+		t.Fatalf("ratio %.3f on random data", r)
+	}
+	got, err := Decompress(Compress(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatal("random-data round trip failed")
+	}
+}
+
+func TestDictionaryResetPath(t *testing.T) {
+	// Force the dictionary full + degradation path: a long compressible
+	// prefix, then a statistically different section, repeated.
+	rng := rand.New(rand.NewSource(2))
+	var data []byte
+	data = append(data, bytes.Repeat([]byte("abcdefgh"), 64*1024)...)
+	chunk := make([]byte, 256*1024)
+	rng.Read(chunk)
+	data = append(data, chunk...)
+	data = append(data, bytes.Repeat([]byte("zyxwvuts"), 64*1024)...)
+	got, err := Decompress(Compress(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("reset-path round trip failed")
+	}
+}
+
+func TestCodeRatioOnCode(t *testing.T) {
+	prof := synth.Profile{Name: "t", KB: 32, FP: 0.2, Reuse: 0.4, SmallImm: 0.7, CallDensity: 0.05, Seed: 7}
+	text := synth.GenerateMIPS(prof).Text()
+	r := Ratio(text)
+	// UNIX compress lands around 0.5–0.65 on RISC code (paper Figure 7).
+	if r < 0.3 || r > 0.8 {
+		t.Fatalf("ratio %.3f on MIPS code, expected roughly 0.3–0.8", r)
+	}
+	got, err := Decompress(Compress(text))
+	if err != nil || !bytes.Equal(got, text) {
+		t.Fatal("code round trip failed")
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	data := Compress([]byte("hello hello hello hello"))
+	if _, err := Decompress(data[:2]); err == nil {
+		t.Fatal("truncated header must fail")
+	}
+	if _, err := Decompress(data[:5]); err == nil {
+		t.Fatal("truncated stream must fail")
+	}
+}
+
+// Property: Decompress ∘ Compress is the identity.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		got, err := Decompress(Compress(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: structured (low-entropy) data never expands.
+func TestQuickStructuredNeverExpands(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4096 + rng.Intn(8192)
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(rng.Intn(8)) // 3 bits of entropy per byte
+		}
+		return len(Compress(data)) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	prof := synth.Profile{Name: "t", KB: 64, FP: 0.2, Reuse: 0.4, SmallImm: 0.7, CallDensity: 0.05, Seed: 7}
+	text := synth.GenerateMIPS(prof).Text()
+	b.SetBytes(int64(len(text)))
+	for i := 0; i < b.N; i++ {
+		Compress(text)
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	prof := synth.Profile{Name: "t", KB: 64, FP: 0.2, Reuse: 0.4, SmallImm: 0.7, CallDensity: 0.05, Seed: 7}
+	text := synth.GenerateMIPS(prof).Text()
+	comp := Compress(text)
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

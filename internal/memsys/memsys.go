@@ -1,0 +1,214 @@
+// Package memsys models the Wolfe/Chanin compressed-code memory system the
+// paper builds on (§2, Figure 1): main memory holds compressed cache blocks
+// plus a LAT (line address table) mapping program block addresses to
+// compressed offsets; the instruction cache holds decompressed blocks and
+// doubles as the decompression buffer; the cache refill engine decompresses
+// a block on every miss, consulting a CLB (cache line address lookaside
+// buffer, "essentially identical to a TLB") to avoid a LAT memory access.
+//
+// The simulator is trace driven: it replays instruction fetch addresses,
+// models a set-associative LRU I-cache, and charges refill latencies that
+// depend on the compressed block size and the decompressor model. The
+// paper's statement that "the loss in performance should depend on the
+// instruction cache hit ratio" is directly measurable here.
+package memsys
+
+import "fmt"
+
+// LAT is the line address table: byte offsets of each compressed block in
+// main memory.
+type LAT struct {
+	Offsets []uint32 // Offsets[i] is block i's start; one extra final entry
+}
+
+// BuildLAT lays compressed blocks out contiguously and records offsets.
+func BuildLAT(blockSizes []int) LAT {
+	lat := LAT{Offsets: make([]uint32, len(blockSizes)+1)}
+	var off uint32
+	for i, n := range blockSizes {
+		lat.Offsets[i] = off
+		off += uint32(n)
+	}
+	lat.Offsets[len(blockSizes)] = off
+	return lat
+}
+
+// NumBlocks returns the block count.
+func (l LAT) NumBlocks() int { return len(l.Offsets) - 1 }
+
+// BlockRange returns the [start, end) byte range of compressed block i.
+func (l LAT) BlockRange(i int) (uint32, uint32, error) {
+	if i < 0 || i >= l.NumBlocks() {
+		return 0, 0, fmt.Errorf("memsys: block %d out of range [0,%d)", i, l.NumBlocks())
+	}
+	return l.Offsets[i], l.Offsets[i+1], nil
+}
+
+// Bytes is the naive LAT storage: a 4-byte offset per block.
+func (l LAT) Bytes() int { return 4 * l.NumBlocks() }
+
+// CompactBytes is the Wolfe/Chanin compacted layout: one 4-byte base per
+// group of 8 blocks plus a 1-byte compressed length per block (a block's
+// compressed size always fits a byte for ≤128-byte lines).
+func (l LAT) CompactBytes() int {
+	n := l.NumBlocks()
+	groups := (n + 7) / 8
+	return 4*groups + n
+}
+
+// Config describes one simulated memory system.
+type Config struct {
+	// CacheBytes is the I-cache capacity.
+	CacheBytes int
+	// Assoc is the set associativity (1 = direct mapped).
+	Assoc int
+	// LineBytes is the cache line = compression block size.
+	LineBytes int
+	// HitCycles is the cost of a cache hit (typically 1).
+	HitCycles int
+	// MemCycles is the base main-memory access latency for a refill.
+	MemCycles int
+	// MemBytesPerCycle is the memory bandwidth; fetching fewer (compressed)
+	// bytes is one of compression's performance upsides.
+	MemBytesPerCycle int
+	// DecompCycles, if non-nil, returns the refill engine's decompression
+	// latency for block i. Nil models uncompressed code (no LAT, no CLB).
+	DecompCycles func(block int) int
+	// CompressedBytes, if non-nil, returns block i's compressed size for
+	// the bandwidth term. Nil means uncompressed line size.
+	CompressedBytes func(block int) int
+	// CLBEntries is the CLB capacity (fully associative, LRU). 0 disables
+	// the CLB, forcing a LAT access on every miss. Each entry caches one
+	// LAT group — the Wolfe/Chanin compacted layout packs LATGroup block
+	// offsets per table line, so one fill serves nearby blocks too.
+	CLBEntries int
+	// LATCycles is the extra memory access cost on a CLB miss.
+	LATCycles int
+}
+
+// LATGroup is the number of consecutive blocks one LAT line (and therefore
+// one CLB entry) covers in the compacted Wolfe/Chanin layout.
+const LATGroup = 8
+
+func (c Config) validate() error {
+	if c.CacheBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("memsys: cache geometry must be positive")
+	}
+	if c.CacheBytes%(c.LineBytes*c.Assoc) != 0 {
+		return fmt.Errorf("memsys: cache %dB not divisible into %d-way sets of %dB lines",
+			c.CacheBytes, c.Assoc, c.LineBytes)
+	}
+	return nil
+}
+
+// Stats reports a simulation run.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	CLBLookups uint64
+	CLBMisses  uint64
+	Cycles     uint64
+}
+
+// HitRatio is the I-cache hit ratio.
+func (s Stats) HitRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return 1 - float64(s.Misses)/float64(s.Accesses)
+}
+
+// CPF is cycles per instruction fetch — the performance metric; compare
+// compressed vs uncompressed configurations for the slowdown.
+func (s Stats) CPF() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Accesses)
+}
+
+// lruSet is one cache set with LRU ordering (index 0 = most recent).
+type lruSet struct {
+	tags []int64
+}
+
+func (s *lruSet) access(tag int64) bool {
+	for i, t := range s.tags {
+		if t == tag {
+			copy(s.tags[1:i+1], s.tags[:i])
+			s.tags[0] = tag
+			return true
+		}
+	}
+	return false
+}
+
+func (s *lruSet) fill(tag int64) {
+	copy(s.tags[1:], s.tags[:len(s.tags)-1])
+	s.tags[0] = tag
+}
+
+// Simulate replays a fetch-address trace. base is the address of block 0.
+func Simulate(trace []uint32, base uint32, cfg Config) (Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return Stats{}, err
+	}
+	if cfg.HitCycles == 0 {
+		cfg.HitCycles = 1
+	}
+	if cfg.MemBytesPerCycle == 0 {
+		cfg.MemBytesPerCycle = 8
+	}
+	numSets := cfg.CacheBytes / (cfg.LineBytes * cfg.Assoc)
+	sets := make([]lruSet, numSets)
+	for i := range sets {
+		sets[i].tags = make([]int64, cfg.Assoc)
+		for j := range sets[i].tags {
+			sets[i].tags[j] = -1
+		}
+	}
+	clb := lruSet{}
+	if cfg.CLBEntries > 0 {
+		clb.tags = make([]int64, cfg.CLBEntries)
+		for i := range clb.tags {
+			clb.tags[i] = -1
+		}
+	}
+
+	var st Stats
+	for _, addr := range trace {
+		st.Accesses++
+		block := int64(addr-base) / int64(cfg.LineBytes)
+		set := &sets[block%int64(numSets)]
+		if set.access(block) {
+			st.Cycles += uint64(cfg.HitCycles)
+			continue
+		}
+		st.Misses++
+		set.fill(block)
+		cycles := cfg.HitCycles + cfg.MemCycles
+		// Bandwidth term: bytes moved from memory.
+		bytes := cfg.LineBytes
+		if cfg.CompressedBytes != nil {
+			bytes = cfg.CompressedBytes(int(block))
+		}
+		cycles += (bytes + cfg.MemBytesPerCycle - 1) / cfg.MemBytesPerCycle
+		if cfg.DecompCycles != nil {
+			cycles += cfg.DecompCycles(int(block))
+			// Compressed code needs the LAT lookup; the CLB hides it.
+			if cfg.CLBEntries > 0 {
+				st.CLBLookups++
+				group := block / LATGroup
+				if !clb.access(group) {
+					st.CLBMisses++
+					clb.fill(group)
+					cycles += cfg.LATCycles
+				}
+			} else {
+				cycles += cfg.LATCycles
+			}
+		}
+		st.Cycles += uint64(cycles)
+	}
+	return st, nil
+}

@@ -1,0 +1,320 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"codecomp/internal/samc"
+	"codecomp/internal/synth"
+)
+
+func TestBuildLAT(t *testing.T) {
+	lat := BuildLAT([]int{10, 20, 5})
+	if lat.NumBlocks() != 3 {
+		t.Fatalf("NumBlocks = %d", lat.NumBlocks())
+	}
+	lo, hi, err := lat.BlockRange(1)
+	if err != nil || lo != 10 || hi != 30 {
+		t.Fatalf("BlockRange(1) = %d,%d,%v", lo, hi, err)
+	}
+	if _, _, err := lat.BlockRange(3); err == nil {
+		t.Fatal("out-of-range block must fail")
+	}
+	if lat.Bytes() != 12 {
+		t.Fatalf("Bytes = %d", lat.Bytes())
+	}
+	if lat.CompactBytes() != 4+3 {
+		t.Fatalf("CompactBytes = %d", lat.CompactBytes())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	trace := []uint32{0}
+	if _, err := Simulate(trace, 0, Config{CacheBytes: 100, LineBytes: 32, Assoc: 1}); err == nil {
+		t.Fatal("non-divisible geometry must fail")
+	}
+	if _, err := Simulate(trace, 0, Config{}); err == nil {
+		t.Fatal("zero geometry must fail")
+	}
+}
+
+func TestPerfectLocality(t *testing.T) {
+	// Repeated access to one block: 1 miss, rest hits.
+	trace := make([]uint32, 1000)
+	st, err := Simulate(trace, 0, Config{CacheBytes: 1024, Assoc: 1, LineBytes: 32, MemCycles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Misses != 1 || st.Accesses != 1000 {
+		t.Fatalf("misses = %d, accesses = %d", st.Misses, st.Accesses)
+	}
+	if st.HitRatio() < 0.99 {
+		t.Fatalf("hit ratio = %v", st.HitRatio())
+	}
+}
+
+func TestThrashing(t *testing.T) {
+	// Two blocks mapping to the same direct-mapped set alternate: all miss.
+	cfg := Config{CacheBytes: 256, Assoc: 1, LineBytes: 32, MemCycles: 10}
+	// 256/32 = 8 sets; blocks 0 and 8 collide.
+	var trace []uint32
+	for i := 0; i < 100; i++ {
+		trace = append(trace, 0, 8*32)
+	}
+	st, err := Simulate(trace, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Misses != uint64(len(trace)) {
+		t.Fatalf("expected pure thrashing, misses = %d/%d", st.Misses, len(trace))
+	}
+	// 2-way associativity fixes it.
+	cfg.Assoc = 2
+	st, err = Simulate(trace, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Misses != 2 {
+		t.Fatalf("2-way should miss twice, got %d", st.Misses)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	// 2-way set; A, B, A, C, A: B is evicted before A.
+	cfg := Config{CacheBytes: 64, Assoc: 2, LineBytes: 32, MemCycles: 10}
+	// One set of 2 lines: addresses 0, 32, 64 all map to set 0.
+	trace := []uint32{0, 32, 0, 64, 0}
+	st, err := Simulate(trace, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Misses: 0, 32, 64 → 3; final access to 0 hits because 32 was evicted.
+	if st.Misses != 3 {
+		t.Fatalf("misses = %d, want 3", st.Misses)
+	}
+}
+
+func TestDecompressionLatencyCharged(t *testing.T) {
+	trace := []uint32{0, 32, 64, 96}
+	base := Config{CacheBytes: 1024, Assoc: 1, LineBytes: 32, MemCycles: 10}
+	plain, err := Simulate(trace, 0, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := base
+	comp.DecompCycles = func(int) int { return 70 }
+	comp.LATCycles = 10
+	withDecomp, err := Simulate(trace, 0, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 misses × (70 decomp + 10 LAT, no CLB) = 320 extra cycles.
+	if withDecomp.Cycles != plain.Cycles+320 {
+		t.Fatalf("cycles: plain %d, compressed %d", plain.Cycles, withDecomp.Cycles)
+	}
+}
+
+func TestCLBHidesLATAccess(t *testing.T) {
+	// Re-missing the same block with a CLB: only the first miss pays LAT.
+	cfg := Config{
+		CacheBytes: 64, Assoc: 1, LineBytes: 32, MemCycles: 10,
+		DecompCycles: func(int) int { return 50 },
+		LATCycles:    20, CLBEntries: 16,
+	}
+	// Thrash two colliding blocks (64B direct = 2 sets, blocks 0 and 2 collide).
+	var trace []uint32
+	for i := 0; i < 50; i++ {
+		trace = append(trace, 0, 2*32)
+	}
+	st, err := Simulate(trace, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks 0 and 2 share LAT group 0, so a single CLB fill covers both.
+	if st.CLBMisses != 1 {
+		t.Fatalf("CLB misses = %d, want 1 (one LAT group covers both blocks)", st.CLBMisses)
+	}
+	if st.CLBLookups != st.Misses {
+		t.Fatal("every compressed refill must consult the CLB")
+	}
+	// Blocks in different LAT groups need separate fills.
+	var far []uint32
+	for i := 0; i < 50; i++ {
+		far = append(far, 0, uint32(LATGroup*32)) // groups 0 and 1
+	}
+	st2, err := Simulate(far, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.CLBMisses != 2 {
+		t.Fatalf("cross-group CLB misses = %d, want 2", st2.CLBMisses)
+	}
+}
+
+func TestCompressedBandwidthBenefit(t *testing.T) {
+	// Fetching compressed (smaller) blocks must cost fewer bus cycles.
+	trace := []uint32{0, 32, 64, 96, 128, 160}
+	slow := Config{CacheBytes: 1024, Assoc: 1, LineBytes: 32, MemCycles: 10, MemBytesPerCycle: 4}
+	fast := slow
+	fast.CompressedBytes = func(int) int { return 16 } // 2:1 compression
+	a, err := Simulate(trace, 0, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(trace, 0, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cycles >= a.Cycles {
+		t.Fatalf("compressed fetch %d cycles >= uncompressed %d", b.Cycles, a.Cycles)
+	}
+}
+
+func TestEndToEndWithSAMC(t *testing.T) {
+	// Full pipeline: synthetic program → SAMC image → trace-driven sim with
+	// real per-block decompression latencies, verifying refilled content.
+	prof := synth.Profile{Name: "t", KB: 16, FP: 0.1, Reuse: 0.4, SmallImm: 0.7, CallDensity: 0.05, Seed: 11}
+	prog := synth.GenerateMIPS(prof)
+	text := prog.Text()
+	img, err := samc.Compress(text, samc.Options{Connected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := prog.Trace(1, 50000)
+
+	verified := 0
+	cfg := Config{
+		CacheBytes: 2048, Assoc: 2, LineBytes: 32,
+		MemCycles: 10, CLBEntries: 32, LATCycles: 10,
+		DecompCycles: func(b int) int {
+			if verified < 32 { // spot-check a few refills
+				blk, err := img.Block(b)
+				if err != nil {
+					t.Errorf("refill of block %d failed: %v", b, err)
+				} else {
+					lo := b * 32
+					if lo+len(blk) > len(text) || string(blk) != string(text[lo:lo+len(blk)]) {
+						t.Errorf("refill of block %d returned wrong bytes", b)
+					}
+				}
+				verified++
+			}
+			return 70
+		},
+		CompressedBytes: func(b int) int { return len(img.Blocks[b]) },
+	}
+	st, err := Simulate(trace, synth.TextBase, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HitRatio() < 0.5 {
+		t.Fatalf("hit ratio = %.3f: trace has no locality", st.HitRatio())
+	}
+	if st.CPF() < 1 {
+		t.Fatalf("CPF = %v < 1", st.CPF())
+	}
+	// The paper's core performance claim: slowdown scales with miss ratio.
+	plain := cfg
+	plain.DecompCycles = nil
+	plain.CompressedBytes = nil
+	pst, err := Simulate(trace, synth.TextBase, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CPF() <= pst.CPF() {
+		t.Fatal("compressed system should be slower than uncompressed at equal cache size")
+	}
+	slowdown := st.CPF() / pst.CPF()
+	if slowdown > 3 {
+		t.Fatalf("slowdown %.2f implausibly high at %.1f%% hit ratio", slowdown, 100*st.HitRatio())
+	}
+}
+
+// Property: with the set count held fixed, increasing associativity (LRU)
+// never increases misses — the LRU inclusion property per set.
+func TestQuickAssocMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		trace := make([]uint32, 2000)
+		for i := range trace {
+			trace[i] = uint32(rng.Intn(64)) * 32
+		}
+		const sets = 4
+		prev := uint64(1 << 62)
+		for _, assoc := range []int{1, 2, 4, 8} {
+			st, err := Simulate(trace, 0, Config{
+				CacheBytes: 32 * sets * assoc, Assoc: assoc, LineBytes: 32, MemCycles: 10,
+			})
+			if err != nil || st.Accesses != uint64(len(trace)) {
+				return false
+			}
+			if st.Misses > prev {
+				return false
+			}
+			prev = st.Misses
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hit ratio rises (weakly) with cache size.
+func TestQuickCacheSizeMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		trace := make([]uint32, 3000)
+		pc := uint32(0)
+		for i := range trace {
+			trace[i] = pc
+			if rng.Intn(10) == 0 {
+				pc = uint32(rng.Intn(256)) * 4
+			} else {
+				pc += 4
+			}
+		}
+		prev := -1.0
+		for _, kb := range []int{1, 2, 4, 8} {
+			st, err := Simulate(trace, 0, Config{
+				CacheBytes: kb * 1024, Assoc: 1, LineBytes: 32, MemCycles: 10,
+			})
+			if err != nil {
+				return false
+			}
+			hr := st.HitRatio()
+			if hr+1e-9 < prev {
+				return false
+			}
+			prev = hr
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	trace := make([]uint32, 100000)
+	pc := uint32(0)
+	for i := range trace {
+		trace[i] = pc
+		if rng.Intn(12) == 0 {
+			pc = uint32(rng.Intn(4096)) * 4
+		} else {
+			pc += 4
+		}
+	}
+	cfg := Config{CacheBytes: 8192, Assoc: 2, LineBytes: 32, MemCycles: 10,
+		DecompCycles: func(int) int { return 70 }, CLBEntries: 32, LATCycles: 10}
+	b.SetBytes(int64(len(trace)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(trace, 0, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package sadc
+
+import (
+	"fmt"
+
+	"codecomp/internal/isa/mips"
+	"codecomp/internal/isa/x86"
+)
+
+// MIPSAdapter maps MIPS programs onto SADC units using the paper's 4-way
+// split: opcode stream (the simplified opcode = operation-table index),
+// register stream (one byte per register operand), 16-bit immediate stream,
+// and 26-bit long-immediate stream. The operation table's operand shapes
+// play the role of the hardware "operand length unit".
+type MIPSAdapter struct{}
+
+// ToUnits decodes a big-endian MIPS text image.
+func (MIPSAdapter) ToUnits(text []byte) ([]Unit, error) {
+	prog, err := mips.DecodeProgram(text)
+	if err != nil {
+		return nil, err
+	}
+	units := make([]Unit, len(prog))
+	for i, ins := range prog {
+		u := Unit{Op: uint16(ins.Op), Size: 4}
+		if n := ins.Op.NumRegs(); n > 0 {
+			u.Regs = make([]byte, n)
+			for r := 0; r < n; r++ {
+				u.Regs[r] = ins.Regs[r]
+			}
+		}
+		switch ins.Op.ImmKind() {
+		case mips.Imm16:
+			u.Imm = []byte{byte(ins.Imm >> 8), byte(ins.Imm)}
+		case mips.Imm26:
+			u.Limm = []byte{byte(ins.Imm >> 24), byte(ins.Imm >> 16), byte(ins.Imm >> 8), byte(ins.Imm)}
+		}
+		units[i] = u
+	}
+	return units, nil
+}
+
+// FromUnits re-encodes units to the big-endian text image.
+func (MIPSAdapter) FromUnits(units []Unit) ([]byte, error) {
+	prog := make([]mips.Instr, len(units))
+	for i := range units {
+		ins, err := mipsInstrFromUnit(&units[i])
+		if err != nil {
+			return nil, err
+		}
+		prog[i] = ins
+	}
+	return mips.EncodeProgram(prog), nil
+}
+
+func mipsInstrFromUnit(u *Unit) (mips.Instr, error) {
+	if int(u.Op) >= mips.NumOps() {
+		return mips.Instr{}, fmt.Errorf("sadc: mips opcode symbol %d out of range", u.Op)
+	}
+	code := mips.Code(u.Op)
+	ins := mips.Instr{Op: code}
+	if len(u.Regs) != code.NumRegs() {
+		return mips.Instr{}, fmt.Errorf("sadc: %s expects %d registers, unit has %d",
+			code.Name(), code.NumRegs(), len(u.Regs))
+	}
+	for i, r := range u.Regs {
+		ins.Regs[i] = r
+	}
+	switch code.ImmKind() {
+	case mips.Imm16:
+		if len(u.Imm) != 2 {
+			return mips.Instr{}, fmt.Errorf("sadc: %s expects a 2-byte immediate", code.Name())
+		}
+		ins.Imm = uint32(u.Imm[0])<<8 | uint32(u.Imm[1])
+	case mips.Imm26:
+		if len(u.Limm) != 4 {
+			return mips.Instr{}, fmt.Errorf("sadc: %s expects a 4-byte long immediate", code.Name())
+		}
+		ins.Imm = uint32(u.Limm[0])<<24 | uint32(u.Limm[1])<<16 | uint32(u.Limm[2])<<8 | uint32(u.Limm[3])
+	}
+	return ins, nil
+}
+
+// ReadOperands pulls the operand bytes the operation's shape dictates.
+func (MIPSAdapter) ReadOperands(op uint16, take func(s Stream, n int) ([]byte, error)) (Unit, error) {
+	if int(op) >= mips.NumOps() {
+		return Unit{}, fmt.Errorf("sadc: mips opcode symbol %d out of range", op)
+	}
+	code := mips.Code(op)
+	u := Unit{Op: op, Size: 4}
+	if n := code.NumRegs(); n > 0 {
+		b, err := take(StreamRegs, n)
+		if err != nil {
+			return Unit{}, err
+		}
+		u.Regs = b
+	}
+	switch code.ImmKind() {
+	case mips.Imm16:
+		b, err := take(StreamImm, 2)
+		if err != nil {
+			return Unit{}, err
+		}
+		u.Imm = b
+	case mips.Imm26:
+		b, err := take(StreamLimm, 4)
+		if err != nil {
+			return Unit{}, err
+		}
+		u.Limm = b
+	}
+	return u, nil
+}
+
+// NumOps is the MIPS operation-table size.
+func (MIPSAdapter) NumOps() int { return mips.NumOps() }
+
+// AuxBytes: the operation table is architectural (shared by all programs),
+// so it costs nothing per compressed image.
+func (MIPSAdapter) AuxBytes() int { return 0 }
+
+// Tag identifies MIPS images.
+func (MIPSAdapter) Tag() byte { return 0 }
+
+// MarshalAux: the MIPS adapter is stateless.
+func (MIPSAdapter) MarshalAux() []byte { return nil }
+
+// X86Adapter maps IA-32 programs onto units using the paper's 3-way split:
+// opcode bytes, ModR/M+SIB bytes (as the Regs stream), and imm+disp bytes
+// (as the Imm stream; displacement first, as encoded). Opcode byte patterns
+// (1–2 bytes) are numbered per program; that per-program opcode table is
+// decoder state and is charged to the dictionary via AuxBytes.
+type X86Adapter struct {
+	opBytes [][]byte       // symbol -> opcode byte pattern
+	opIDs   map[string]int // opcode byte pattern -> symbol
+}
+
+// NewX86Adapter returns an adapter with an empty opcode table; ToUnits
+// populates it.
+func NewX86Adapter() *X86Adapter {
+	return &X86Adapter{opIDs: make(map[string]int)}
+}
+
+func (a *X86Adapter) opSymbol(op []byte) (uint16, error) {
+	if id, ok := a.opIDs[string(op)]; ok {
+		return uint16(id), nil
+	}
+	if len(a.opBytes) >= 256 {
+		return 0, fmt.Errorf("sadc: more than 256 distinct x86 opcodes")
+	}
+	id := len(a.opBytes)
+	a.opBytes = append(a.opBytes, append([]byte(nil), op...))
+	a.opIDs[string(op)] = id
+	return uint16(id), nil
+}
+
+// ToUnits decodes an x86 text image, building the opcode symbol table.
+func (a *X86Adapter) ToUnits(text []byte) ([]Unit, error) {
+	prog, err := x86.DecodeProgram(text)
+	if err != nil {
+		return nil, err
+	}
+	units := make([]Unit, len(prog))
+	for i := range prog {
+		ins := &prog[i]
+		sym, err := a.opSymbol(ins.Opcode)
+		if err != nil {
+			return nil, err
+		}
+		u := Unit{Op: sym, Size: ins.Len()}
+		if ins.HasMRM {
+			u.Regs = append(u.Regs, ins.ModRM)
+			if ins.HasSIB {
+				u.Regs = append(u.Regs, ins.SIB)
+			}
+			for b := 0; b < ins.DispLen; b++ {
+				u.Imm = append(u.Imm, byte(ins.Disp>>(8*b)))
+			}
+		}
+		for b := 0; b < ins.ImmLen; b++ {
+			u.Imm = append(u.Imm, byte(ins.Imm>>(8*b)))
+		}
+		units[i] = u
+	}
+	return units, nil
+}
+
+// FromUnits re-encodes units into the x86 byte image.
+func (a *X86Adapter) FromUnits(units []Unit) ([]byte, error) {
+	var out []byte
+	for i := range units {
+		u := &units[i]
+		if int(u.Op) >= len(a.opBytes) {
+			return nil, fmt.Errorf("sadc: x86 opcode symbol %d out of range", u.Op)
+		}
+		out = append(out, a.opBytes[u.Op]...)
+		out = append(out, u.Regs...)
+		out = append(out, u.Imm...)
+	}
+	return out, nil
+}
+
+// ReadOperands replays the x86 layout rules: the ModR/M byte read first
+// decides whether a SIB byte and a displacement follow — the control logic
+// of the paper's Figure 6 decompressor.
+func (a *X86Adapter) ReadOperands(op uint16, take func(s Stream, n int) ([]byte, error)) (Unit, error) {
+	if int(op) >= len(a.opBytes) {
+		return Unit{}, fmt.Errorf("sadc: x86 opcode symbol %d out of range", op)
+	}
+	opcode := a.opBytes[op]
+	probe := x86.Instr{Opcode: opcode}
+	if err := probe.Normalize(); err != nil {
+		return Unit{}, err
+	}
+	u := Unit{Op: op, Size: len(opcode)}
+	if probe.HasMRM {
+		m, err := take(StreamRegs, 1)
+		if err != nil {
+			return Unit{}, err
+		}
+		probe.ModRM = m[0]
+		if err := probe.Normalize(); err != nil {
+			return Unit{}, err
+		}
+		u.Regs = append(u.Regs, m[0])
+		if probe.HasSIB {
+			sb, err := take(StreamRegs, 1)
+			if err != nil {
+				return Unit{}, err
+			}
+			probe.SIB = sb[0]
+			u.Regs = append(u.Regs, sb[0])
+			if err := probe.Normalize(); err != nil {
+				return Unit{}, err
+			}
+		}
+		if probe.DispLen > 0 {
+			d, err := take(StreamImm, probe.DispLen)
+			if err != nil {
+				return Unit{}, err
+			}
+			u.Imm = append(u.Imm, d...)
+		}
+	}
+	if probe.ImmLen > 0 {
+		im, err := take(StreamImm, probe.ImmLen)
+		if err != nil {
+			return Unit{}, err
+		}
+		u.Imm = append(u.Imm, im...)
+	}
+	u.Size += len(u.Regs) + len(u.Imm)
+	return u, nil
+}
+
+// NumOps returns the opcode symbol count discovered so far.
+func (a *X86Adapter) NumOps() int { return len(a.opBytes) }
+
+// AuxBytes charges the per-program opcode byte table: 2 bytes per symbol
+// (a length nibble would do, but charge the full pattern conservatively).
+func (a *X86Adapter) AuxBytes() int {
+	n := 0
+	for _, op := range a.opBytes {
+		n += 1 + len(op)
+	}
+	return n
+}
+
+// Tag identifies x86 images.
+func (a *X86Adapter) Tag() byte { return 1 }
+
+// MarshalAux serializes the per-program opcode-byte table.
+func (a *X86Adapter) MarshalAux() []byte {
+	var out []byte
+	out = append(out, byte(len(a.opBytes)))
+	for _, op := range a.opBytes {
+		out = append(out, byte(len(op)))
+		out = append(out, op...)
+	}
+	return out
+}
+
+// unmarshalX86Adapter rebuilds an adapter from MarshalAux output.
+func unmarshalX86Adapter(aux []byte) (*X86Adapter, error) {
+	a := NewX86Adapter()
+	if len(aux) < 1 {
+		return nil, fmt.Errorf("sadc: truncated x86 opcode table")
+	}
+	n := int(aux[0])
+	p := 1
+	for i := 0; i < n; i++ {
+		if p >= len(aux) {
+			return nil, fmt.Errorf("sadc: truncated x86 opcode table entry %d", i)
+		}
+		l := int(aux[p])
+		p++
+		if l < 1 || l > 2 || p+l > len(aux) {
+			return nil, fmt.Errorf("sadc: invalid x86 opcode entry %d", i)
+		}
+		if _, err := a.opSymbol(aux[p : p+l]); err != nil {
+			return nil, err
+		}
+		p += l
+	}
+	return a, nil
+}

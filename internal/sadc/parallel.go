@@ -1,0 +1,60 @@
+package sadc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DecompressParallel reconstructs the whole program using the given number
+// of worker goroutines; every block decodes independently against the
+// shared read-only dictionary and Huffman tables.
+func (c *Compressed) DecompressParallel(workers int) ([]byte, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(c.Blocks) {
+		workers = len(c.Blocks)
+	}
+	out := make([]byte, c.OrigSize)
+	if len(c.Blocks) == 0 {
+		return out, nil
+	}
+	offsets := make([]int, len(c.Blocks))
+	off := 0
+	for i := range c.Blocks {
+		offsets[i] = off
+		off += c.Blocks[i].Bytes
+	}
+	if off != c.OrigSize {
+		return nil, fmt.Errorf("sadc: block sizes sum to %d, image says %d", off, c.OrigSize)
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	next := make(chan int, len(c.Blocks))
+	for i := range c.Blocks {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				blk, err := c.Block(i)
+				if err != nil {
+					errOnce.Do(func() { firstErr = fmt.Errorf("sadc: block %d: %w", i, err) })
+					return
+				}
+				copy(out[offsets[i]:], blk)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,312 @@
+package sadc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"codecomp/internal/isa/mips"
+	"codecomp/internal/synth"
+)
+
+func mipsText() []byte {
+	prof := synth.Profile{Name: "t", KB: 16, FP: 0.2, Reuse: 0.4, SmallImm: 0.7, CallDensity: 0.05, Seed: 5}
+	return synth.GenerateMIPS(prof).Text()
+}
+
+func x86Text() []byte {
+	prof := synth.Profile{Name: "t", KB: 16, FP: 0.1, Reuse: 0.4, SmallImm: 0.7, CallDensity: 0.05, Seed: 6}
+	return synth.GenerateX86(prof).Text()
+}
+
+func TestMIPSRoundTrip(t *testing.T) {
+	text := mipsText()
+	c, err := Compress(text, MIPSAdapter{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, text) {
+		t.Fatal("MIPS round trip failed")
+	}
+}
+
+func TestX86RoundTrip(t *testing.T) {
+	text := x86Text()
+	c, err := Compress(text, NewX86Adapter(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, text) {
+		t.Fatal("x86 round trip failed")
+	}
+}
+
+func TestRandomAccessBlocks(t *testing.T) {
+	text := mipsText()
+	c, err := Compress(text, MIPSAdapter{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	off := 0
+	offsets := make([]int, c.NumBlocks())
+	for i := range offsets {
+		offsets[i] = off
+		off += c.Blocks[i].Bytes
+	}
+	for _, i := range rng.Perm(c.NumBlocks()) {
+		blk, err := c.Block(i)
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		want := text[offsets[i] : offsets[i]+c.Blocks[i].Bytes]
+		if !bytes.Equal(blk, want) {
+			t.Fatalf("block %d content mismatch", i)
+		}
+	}
+	if _, err := c.Block(-1); err == nil {
+		t.Fatal("negative index must fail")
+	}
+	if _, err := c.Block(c.NumBlocks()); err == nil {
+		t.Fatal("out-of-range index must fail")
+	}
+}
+
+func TestDictionaryProperties(t *testing.T) {
+	text := mipsText()
+	c, err := Compress(text, MIPSAdapter{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Dict) > 256 {
+		t.Fatalf("dictionary has %d entries, cap is 256", len(c.Dict))
+	}
+	// The generator must have added multi-instruction or fused entries
+	// beyond the singles (otherwise it did no dictionary work).
+	grown := 0
+	fused := 0
+	for i := range c.Dict {
+		if len(c.Dict[i].Items) > 1 {
+			grown++
+		}
+		for ii := range c.Dict[i].Items {
+			it := &c.Dict[i].Items[ii]
+			if it.Regs != nil || it.Imm != nil || it.Limm != nil {
+				fused++
+			}
+		}
+	}
+	if grown == 0 && fused == 0 {
+		t.Fatal("dictionary contains only single opcodes")
+	}
+	t.Logf("dictionary: %d entries (%d groups, %d fused items), %d bytes",
+		len(c.Dict), grown, fused, c.DictBytes())
+}
+
+func TestCompressionRatio(t *testing.T) {
+	text := mipsText()
+	c, err := Compress(text, MIPSAdapter{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := c.Ratio()
+	if r >= 0.85 || r < 0.15 {
+		t.Fatalf("ratio = %.3f, outside plausible band", r)
+	}
+	if c.CompressedSize() != c.PayloadBytes()+c.DictBytes()+c.TableBytes() {
+		t.Fatal("size accounting inconsistent")
+	}
+	total := 0
+	for s := 0; s < 4; s++ {
+		total += c.StreamBytes(s)
+	}
+	if total != c.PayloadBytes() {
+		t.Fatal("per-stream sizes do not add up")
+	}
+}
+
+func TestJrR31Fusion(t *testing.T) {
+	// The paper's flagship fusion example: jr r31 appears at every return;
+	// the generator must learn a fused entry for it (or for a group
+	// containing it) so the register stream shrinks.
+	text := mipsText()
+	c, err := Compress(text, MIPSAdapter{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := uint16(mips.MustLookup("jr"))
+	found := false
+	for i := range c.Dict {
+		for ii := range c.Dict[i].Items {
+			it := &c.Dict[i].Items[ii]
+			if it.Op == jr && len(it.Regs) == 1 && it.Regs[0] == 31 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no dictionary item fusing jr r31")
+	}
+}
+
+func TestBlockSizes(t *testing.T) {
+	text := mipsText()
+	for _, bs := range []int{16, 32, 64, 128} {
+		c, err := Compress(text, MIPSAdapter{}, Options{BlockSize: bs})
+		if err != nil {
+			t.Fatalf("block size %d: %v", bs, err)
+		}
+		got, err := c.Decompress()
+		if err != nil || !bytes.Equal(got, text) {
+			t.Fatalf("block size %d round trip failed", bs)
+		}
+	}
+}
+
+func TestSmallDictionary(t *testing.T) {
+	text := mipsText()
+	c, err := Compress(text, MIPSAdapter{}, Options{MaxEntries: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Dict) > 80 {
+		t.Fatalf("dictionary has %d entries, cap was 80", len(c.Dict))
+	}
+	got, err := c.Decompress()
+	if err != nil || !bytes.Equal(got, text) {
+		t.Fatal("small-dictionary round trip failed")
+	}
+}
+
+func TestDictSizeMonotone(t *testing.T) {
+	// A larger dictionary budget must not hurt (the generator stops when
+	// it stops helping).
+	text := mipsText()
+	small, err := Compress(text, MIPSAdapter{}, Options{MaxEntries: 72})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Compress(text, MIPSAdapter{}, Options{MaxEntries: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generator's objective is the pre-Huffman size; the final Huffman
+	// pass can shift things by a hair, so allow 2% slack.
+	if float64(big.CompressedSize()) > 1.02*float64(small.CompressedSize()) {
+		t.Fatalf("256-entry dict (%d bytes) worse than 72-entry (%d bytes)",
+			big.CompressedSize(), small.CompressedSize())
+	}
+}
+
+func TestPackBlocks(t *testing.T) {
+	units := []Unit{{Size: 4}, {Size: 4}, {Size: 4}, {Size: 4}, {Size: 4}}
+	blocks := packBlocks(units, 8)
+	if len(blocks) != 3 || len(blocks[0]) != 2 || len(blocks[2]) != 1 {
+		t.Fatalf("packBlocks fixed-width: %v", lens(blocks))
+	}
+	// Variable-length units: a unit straddling the boundary extends the
+	// block.
+	units = []Unit{{Size: 5}, {Size: 7}, {Size: 2}, {Size: 1}}
+	blocks = packBlocks(units, 8)
+	if len(blocks) != 2 || len(blocks[0]) != 2 || len(blocks[1]) != 2 {
+		t.Fatalf("packBlocks variable-width: %v", lens(blocks))
+	}
+	if len(packBlocks(nil, 32)) != 0 {
+		t.Fatal("empty input must give no blocks")
+	}
+}
+
+func lens(blocks [][]Unit) []int {
+	out := make([]int, len(blocks))
+	for i := range blocks {
+		out[i] = len(blocks[i])
+	}
+	return out
+}
+
+func TestEmptyText(t *testing.T) {
+	c, err := Compress(nil, MIPSAdapter{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress()
+	if err != nil || len(got) != 0 {
+		t.Fatal("empty round trip failed")
+	}
+}
+
+func TestCorruptInput(t *testing.T) {
+	if _, err := Compress([]byte{1, 2, 3}, MIPSAdapter{}, Options{}); err == nil {
+		t.Fatal("non-word-aligned MIPS text must fail")
+	}
+	if _, err := Compress([]byte{0xF4, 0x00}, NewX86Adapter(), Options{}); err == nil {
+		t.Fatal("undecodable x86 text must fail")
+	}
+}
+
+// Property: SADC round-trips arbitrary valid MIPS programs.
+func TestQuickMIPSRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(500)
+		prog := make([]mips.Instr, n)
+		for i := range prog {
+			code := mips.Code(rng.Intn(mips.NumOps()))
+			ins := mips.Instr{Op: code}
+			for r := 0; r < code.NumRegs(); r++ {
+				ins.Regs[r] = uint8(rng.Intn(32))
+			}
+			switch code.ImmKind() {
+			case mips.Imm16:
+				ins.Imm = uint32(rng.Intn(1 << 16))
+			case mips.Imm26:
+				ins.Imm = uint32(rng.Intn(1 << 26))
+			}
+			prog[i] = ins
+		}
+		text := mips.EncodeProgram(prog)
+		c, err := Compress(text, MIPSAdapter{}, Options{})
+		if err != nil {
+			return false
+		}
+		got, err := c.Decompress()
+		return err == nil && bytes.Equal(got, text)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompressMIPS(b *testing.B) {
+	text := mipsText()
+	b.SetBytes(int64(len(text)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(text, MIPSAdapter{}, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompressBlock(b *testing.B) {
+	text := mipsText()
+	c, err := Compress(text, MIPSAdapter{}, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Block(i % c.NumBlocks()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

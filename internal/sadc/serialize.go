@@ -1,0 +1,265 @@
+package sadc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"codecomp/internal/bitio"
+	"codecomp/internal/huffman"
+)
+
+// Image serialization: the ROM layout of a SADC-compressed program.
+// Layout (big-endian):
+//
+//	magic "SADC" | version u8 | crc32 u32 (IEEE, over everything after)
+//	isa tag u8 | blockSize u16
+//	origSize u32 | numBlocks u32
+//	auxLen u16 | adapter aux (x86 opcode table)
+//	dict: count u16, then per entry: itemCount u8, per item:
+//	    op u16 | flags u8 | fused streams (len u8 + bytes each, per flag bit)
+//	4 Huffman tables: 128 bytes of 4-bit code lengths each
+//	blocks: per block: tokens u16 | origBytes u16 | 4 × (segLen u16 + bytes)
+
+const (
+	sadcMagic   = "SADC"
+	sadcVersion = 1
+)
+
+// Marshal serializes the compressed image.
+func (c *Compressed) Marshal() []byte {
+	var out []byte
+	out = append(out, sadcMagic...)
+	out = append(out, sadcVersion)
+	out = append(out, 0, 0, 0, 0) // CRC placeholder
+	out = append(out, c.adapter.Tag())
+	out = binary.BigEndian.AppendUint16(out, uint16(c.BlockSize))
+	out = binary.BigEndian.AppendUint32(out, uint32(c.OrigSize))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(c.Blocks)))
+
+	aux := c.adapter.MarshalAux()
+	out = binary.BigEndian.AppendUint16(out, uint16(len(aux)))
+	out = append(out, aux...)
+
+	out = binary.BigEndian.AppendUint16(out, uint16(len(c.Dict)))
+	for i := range c.Dict {
+		e := &c.Dict[i]
+		out = append(out, byte(len(e.Items)))
+		for ii := range e.Items {
+			it := &e.Items[ii]
+			out = binary.BigEndian.AppendUint16(out, it.Op)
+			var flags byte
+			if it.Regs != nil {
+				flags |= 1
+			}
+			if it.Imm != nil {
+				flags |= 2
+			}
+			if it.Limm != nil {
+				flags |= 4
+			}
+			out = append(out, flags)
+			for _, f := range [][]byte{it.Regs, it.Imm, it.Limm} {
+				if f != nil {
+					out = append(out, byte(len(f)))
+					out = append(out, f...)
+				}
+			}
+		}
+	}
+
+	for _, tbl := range c.Tables {
+		w := bitio.NewWriter(128)
+		tbl.WriteLengths(w)
+		out = append(out, w.Bytes()...)
+	}
+
+	for i := range c.Blocks {
+		blk := &c.Blocks[i]
+		out = binary.BigEndian.AppendUint16(out, uint16(blk.Tokens))
+		out = binary.BigEndian.AppendUint16(out, uint16(blk.Bytes))
+		for _, seg := range blk.Seg {
+			out = binary.BigEndian.AppendUint16(out, uint16(len(seg)))
+			out = append(out, seg...)
+		}
+	}
+	binary.BigEndian.PutUint32(out[5:], crc32.ChecksumIEEE(out[9:]))
+	return out
+}
+
+type sreader struct {
+	data []byte
+	pos  int
+}
+
+func (r *sreader) take(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.data) {
+		return nil, fmt.Errorf("sadc: truncated image at byte %d (+%d)", r.pos, n)
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *sreader) u8() (int, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return int(b[0]), nil
+}
+
+func (r *sreader) u16() (int, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return int(binary.BigEndian.Uint16(b)), nil
+}
+
+func (r *sreader) u32() (int, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return int(binary.BigEndian.Uint32(b)), nil
+}
+
+// Unmarshal reconstructs an image serialized by Marshal.
+func Unmarshal(data []byte) (*Compressed, error) {
+	r := &sreader{data: data}
+	m, err := r.take(4)
+	if err != nil || string(m) != sadcMagic {
+		return nil, fmt.Errorf("sadc: bad magic")
+	}
+	v, err := r.u8()
+	if err != nil || v != sadcVersion {
+		return nil, fmt.Errorf("sadc: unsupported version %d", v)
+	}
+	want, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(data[r.pos:]); got != uint32(want) {
+		return nil, fmt.Errorf("sadc: image checksum mismatch (%08x != %08x)", got, want)
+	}
+	tag, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	c := &Compressed{}
+	if c.BlockSize, err = r.u16(); err != nil {
+		return nil, err
+	}
+	if c.OrigSize, err = r.u32(); err != nil {
+		return nil, err
+	}
+	numBlocks, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+
+	auxLen, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	aux, err := r.take(auxLen)
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case 0:
+		c.adapter = MIPSAdapter{}
+	case 1:
+		a, err := unmarshalX86Adapter(aux)
+		if err != nil {
+			return nil, err
+		}
+		c.adapter = a
+	default:
+		return nil, fmt.Errorf("sadc: unknown ISA tag %d", tag)
+	}
+
+	dictLen, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if dictLen > 1<<12 {
+		return nil, fmt.Errorf("sadc: implausible dictionary size %d", dictLen)
+	}
+	for e := 0; e < dictLen; e++ {
+		itemCount, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if itemCount == 0 {
+			return nil, fmt.Errorf("sadc: empty dictionary entry %d", e)
+		}
+		entry := Entry{Items: make([]Item, itemCount)}
+		for i := 0; i < itemCount; i++ {
+			op, err := r.u16()
+			if err != nil {
+				return nil, err
+			}
+			flags, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			it := Item{Op: uint16(op)}
+			for bit, dst := range []*[]byte{&it.Regs, &it.Imm, &it.Limm} {
+				if flags&(1<<bit) == 0 {
+					continue
+				}
+				l, err := r.u8()
+				if err != nil {
+					return nil, err
+				}
+				b, err := r.take(l)
+				if err != nil {
+					return nil, err
+				}
+				*dst = append([]byte(nil), b...)
+			}
+			entry.Items[i] = it
+		}
+		c.Dict = append(c.Dict, entry)
+	}
+
+	for s := range c.Tables {
+		raw, err := r.take(128)
+		if err != nil {
+			return nil, err
+		}
+		tbl, err := huffman.ReadLengths(bitio.NewReader(raw), 256)
+		if err != nil {
+			return nil, fmt.Errorf("sadc: stream %d table: %w", s, err)
+		}
+		c.Tables[s] = tbl
+	}
+
+	for b := 0; b < numBlocks; b++ {
+		var blk Block
+		if blk.Tokens, err = r.u16(); err != nil {
+			return nil, err
+		}
+		if blk.Bytes, err = r.u16(); err != nil {
+			return nil, err
+		}
+		for s := range blk.Seg {
+			l, err := r.u16()
+			if err != nil {
+				return nil, err
+			}
+			seg, err := r.take(l)
+			if err != nil {
+				return nil, err
+			}
+			blk.Seg[s] = seg
+		}
+		c.Blocks = append(c.Blocks, blk)
+	}
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("sadc: %d trailing bytes", len(data)-r.pos)
+	}
+	return c, nil
+}

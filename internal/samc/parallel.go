@@ -1,0 +1,54 @@
+package samc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DecompressParallel reconstructs the whole program using the given number
+// of worker goroutines. Blocks decompress independently — the same property
+// that lets the cache refill engine start anywhere — so the work is
+// embarrassingly parallel; a flash-programming or verification tool wants
+// this, even though the embedded decompressor itself works a block at a
+// time.
+func (c *Compressed) DecompressParallel(workers int) ([]byte, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(c.Blocks) {
+		workers = len(c.Blocks)
+	}
+	out := make([]byte, c.OrigSize)
+	if len(c.Blocks) == 0 {
+		return out, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	next := make(chan int, len(c.Blocks))
+	for i := range c.Blocks {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				blk, err := c.Block(i)
+				if err != nil {
+					errOnce.Do(func() { firstErr = fmt.Errorf("samc: block %d: %w", i, err) })
+					return
+				}
+				copy(out[i*c.BlockSize:], blk)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

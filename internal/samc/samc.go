@@ -1,0 +1,284 @@
+// Package samc implements SAMC — Semiadaptive Markov Compression — the
+// paper's ISA-independent code compressor (§3).
+//
+// SAMC divides each fixed-width instruction into bit streams, trains one
+// binary Markov tree per stream over the whole program (semiadaptive, two
+// passes), and drives the 24-bit binary arithmetic coder with the trees'
+// predictions. Both the coding interval and the Markov walk are reset at
+// every cache-block boundary, so any block can be decompressed on its own —
+// the property the Wolfe/Chanin compressed-memory organization requires.
+//
+// For a RISC target the canonical configuration is 32-bit instructions in
+// four 8-bit streams (optionally chosen by the streams.Optimize search).
+// For a CISC target like x86 there is no fixed instruction width, so the
+// program is treated as a sequence of 8-bit "instructions" — a single
+// byte-wide stream — exactly as §5 describes.
+package samc
+
+import (
+	"fmt"
+
+	"codecomp/internal/arith"
+	"codecomp/internal/markov"
+	"codecomp/internal/streams"
+)
+
+// Options configures compression.
+type Options struct {
+	// BlockSize is the cache-block granularity in bytes (paper default 32).
+	BlockSize int
+	// WordBytes is the instruction width in bytes: 4 for MIPS, 1 for raw
+	// byte-stream (x86) mode.
+	WordBytes int
+	// Division is the stream subdivision. Zero value → contiguous equal
+	// split into 4 streams for 32-bit words, or the single 8-bit stream for
+	// byte mode.
+	Division streams.Division
+	// Connected links adjacent streams' Markov trees (paper Figure 4).
+	Connected bool
+	// Quantize rounds model probabilities so the less probable symbol has a
+	// power-of-two probability (shift-only hardware decoder).
+	Quantize bool
+	// ProbPrecision is the width in bits of the decompressor's probability
+	// memory words; predictions are rounded to this resolution and charged
+	// at it (default 8). Ignored when Quantize is set (5 bits suffice for a
+	// power-of-½ exponent).
+	ProbPrecision int
+}
+
+// withDefaults validates and fills an Options value.
+func (o Options) withDefaults() (Options, error) {
+	if o.BlockSize == 0 {
+		o.BlockSize = 32
+	}
+	if o.WordBytes == 0 {
+		o.WordBytes = 4
+	}
+	if o.WordBytes != 1 && o.WordBytes != 2 && o.WordBytes != 4 {
+		return o, fmt.Errorf("samc: unsupported word size %d", o.WordBytes)
+	}
+	if o.BlockSize%o.WordBytes != 0 {
+		return o, fmt.Errorf("samc: block size %d not a multiple of word size %d", o.BlockSize, o.WordBytes)
+	}
+	if o.Division.Width == 0 {
+		switch o.WordBytes {
+		case 1:
+			o.Division = streams.Contiguous(8, 1)
+		case 2:
+			o.Division = streams.Contiguous(16, 2)
+		case 4:
+			o.Division = streams.Contiguous(32, 4)
+		}
+	}
+	if o.Division.Width != 8*o.WordBytes {
+		return o, fmt.Errorf("samc: division covers %d bits, word has %d", o.Division.Width, 8*o.WordBytes)
+	}
+	if err := o.Division.Validate(); err != nil {
+		return o, err
+	}
+	if o.ProbPrecision == 0 {
+		o.ProbPrecision = 8
+	}
+	if o.ProbPrecision < 2 || o.ProbPrecision > arith.ProbBits {
+		return o, fmt.Errorf("samc: probability precision %d outside [2,%d]", o.ProbPrecision, arith.ProbBits)
+	}
+	return o, nil
+}
+
+// Compressed is a SAMC-compressed program image.
+type Compressed struct {
+	Model     *markov.Model
+	Division  streams.Division
+	BlockSize int
+	WordBytes int
+	OrigSize  int
+	Blocks    [][]byte
+}
+
+// Compress compresses a program text. len(text) must be a multiple of the
+// word size.
+func Compress(text []byte, opts Options) (*Compressed, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(text)%opts.WordBytes != 0 {
+		return nil, fmt.Errorf("samc: text size %d not a multiple of word size %d", len(text), opts.WordBytes)
+	}
+
+	spec := markov.Spec{Widths: opts.Division.Widths(), Connected: opts.Connected}
+	trainer, err := markov.NewTrainer(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: gather statistics, resetting the model at block boundaries.
+	bits := make([]int, 0, opts.Division.Width)
+	forEachBlock(text, opts.BlockSize, func(block []byte) {
+		trainer.ResetBlock()
+		for w := 0; w < len(block); w += opts.WordBytes {
+			bits = extractWord(opts.Division, block[w:w+opts.WordBytes], bits[:0])
+			for _, b := range bits {
+				trainer.Add(b)
+			}
+		}
+	})
+	model := trainer.Finalize(opts.Quantize)
+	if !opts.Quantize {
+		model.ReducePrecision(opts.ProbPrecision)
+	}
+
+	// Pass 2: arithmetic-code each block against the frozen model.
+	c := &Compressed{
+		Model:     model,
+		Division:  opts.Division,
+		BlockSize: opts.BlockSize,
+		WordBytes: opts.WordBytes,
+		OrigSize:  len(text),
+	}
+	enc := arith.NewEncoder(opts.BlockSize)
+	walker := model.NewWalker()
+	forEachBlock(text, opts.BlockSize, func(block []byte) {
+		enc.Reset()
+		walker.Reset()
+		for w := 0; w < len(block); w += opts.WordBytes {
+			bits = extractWord(opts.Division, block[w:w+opts.WordBytes], bits[:0])
+			for _, b := range bits {
+				enc.EncodeBit(b, walker.P0())
+				walker.Advance(b)
+			}
+		}
+		c.Blocks = append(c.Blocks, append([]byte(nil), enc.Flush()...))
+	})
+	return c, nil
+}
+
+// forEachBlock visits text in blockSize chunks (last may be short).
+func forEachBlock(text []byte, blockSize int, f func([]byte)) {
+	for off := 0; off < len(text); off += blockSize {
+		end := off + blockSize
+		if end > len(text) {
+			end = len(text)
+		}
+		f(text[off:end])
+	}
+}
+
+// extractWord reads a big-endian word and appends its bits in stream order.
+func extractWord(d streams.Division, word []byte, buf []int) []int {
+	var w uint64
+	for _, b := range word {
+		w = w<<8 | uint64(b)
+	}
+	return d.Extract(w, buf)
+}
+
+// NumBlocks returns the block count.
+func (c *Compressed) NumBlocks() int { return len(c.Blocks) }
+
+// blockOrigLen returns the uncompressed byte length of block i.
+func (c *Compressed) blockOrigLen(i int) int {
+	n := c.BlockSize
+	if (i+1)*c.BlockSize > c.OrigSize {
+		n = c.OrigSize - i*c.BlockSize
+	}
+	return n
+}
+
+// Block decompresses a single cache block — the random-access operation the
+// cache refill engine performs on a miss.
+func (c *Compressed) Block(i int) ([]byte, error) {
+	if i < 0 || i >= len(c.Blocks) {
+		return nil, fmt.Errorf("samc: block %d out of range [0,%d)", i, len(c.Blocks))
+	}
+	n := c.blockOrigLen(i)
+	out := make([]byte, 0, n)
+	dec := arith.NewDecoder(c.Blocks[i])
+	walker := c.Model.NewWalker()
+	bits := make([]int, c.Division.Width)
+	for w := 0; w < n; w += c.WordBytes {
+		for j := range bits {
+			bit := dec.DecodeBit(walker.P0())
+			walker.Advance(bit)
+			bits[j] = bit
+		}
+		word := c.Division.Assemble(bits)
+		for b := c.WordBytes - 1; b >= 0; b-- {
+			out = append(out, byte(word>>(8*b)))
+		}
+	}
+	return out, nil
+}
+
+// BlockParallel decompresses a block with the nibble-parallel engine of §3
+// Figure 5 (width-4 speculative midpoints). The output is bit-identical to
+// Block; the returned stats feed the hardware cycle model: one cycle per
+// nibble evaluation plus one per mid-nibble renormalization interrupt.
+func (c *Compressed) BlockParallel(i int) ([]byte, arith.NibbleStats, error) {
+	if i < 0 || i >= len(c.Blocks) {
+		return nil, arith.NibbleStats{}, fmt.Errorf("samc: block %d out of range [0,%d)", i, len(c.Blocks))
+	}
+	const width = 4
+	n := c.blockOrigLen(i)
+	out := make([]byte, 0, n)
+	dec := arith.NewNibbleDecoder(c.Blocks[i], width)
+	walker := c.Model.NewWalker()
+	bits := make([]int, c.Division.Width)
+	for w := 0; w < n; w += c.WordBytes {
+		for j := 0; j < c.Division.Width; j += width {
+			k := width
+			if j+k > c.Division.Width {
+				k = c.Division.Width - j
+			}
+			v := dec.DecodeNibble(k, walker.PeekP0)
+			for b := 0; b < k; b++ {
+				bit := int(v >> uint(k-1-b) & 1)
+				bits[j+b] = bit
+				walker.Advance(bit)
+			}
+		}
+		word := c.Division.Assemble(bits)
+		for b := c.WordBytes - 1; b >= 0; b-- {
+			out = append(out, byte(word>>(8*b)))
+		}
+	}
+	return out, dec.Stats(), nil
+}
+
+// Decompress reconstructs the whole program.
+func (c *Compressed) Decompress() ([]byte, error) {
+	out := make([]byte, 0, c.OrigSize)
+	for i := range c.Blocks {
+		blk, err := c.Block(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, blk...)
+	}
+	return out, nil
+}
+
+// PayloadBytes is the total compressed block payload.
+func (c *Compressed) PayloadBytes() int {
+	n := 0
+	for _, b := range c.Blocks {
+		n += len(b)
+	}
+	return n
+}
+
+// ModelBytes is the Markov model's storage footprint (the decompressor's
+// probability memory) — part of the stored image, per §3: "the final
+// storage requirements are the encoded message and the Markov trees".
+func (c *Compressed) ModelBytes() int { return (c.Model.StorageBits() + 7) / 8 }
+
+// CompressedSize is payload plus model storage.
+func (c *Compressed) CompressedSize() int { return c.PayloadBytes() + c.ModelBytes() }
+
+// Ratio is compressed/original size — the paper's metric (short bar good).
+func (c *Compressed) Ratio() float64 {
+	if c.OrigSize == 0 {
+		return 1
+	}
+	return float64(c.CompressedSize()) / float64(c.OrigSize)
+}

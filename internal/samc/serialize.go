@@ -1,0 +1,217 @@
+package samc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"codecomp/internal/markov"
+)
+
+// Image serialization: the byte format a real system would burn into ROM.
+// Layout (all integers big-endian):
+//
+//	magic "SAMC" | version u8 | crc32 u32 (IEEE, over everything after)
+//	blockSize u16 | wordBytes u8
+//	origSize u32 | numBlocks u32
+//	divisionLen u16 | division (width u8, numGroups u8, then per group:
+//	   len u8 + positions u8...)
+//	modelLen u32 | model (markov.Model.Serialize)
+//	LAT: numBlocks+1 offsets u32 (relative to payload start)
+//	payload bytes
+//
+// The offset table doubles as the LAT the refill engine would consult.
+
+const (
+	magic   = "SAMC"
+	version = 1
+)
+
+// Marshal serializes the compressed image.
+func (c *Compressed) Marshal() []byte {
+	var out []byte
+	out = append(out, magic...)
+	out = append(out, version)
+	out = append(out, 0, 0, 0, 0) // CRC placeholder
+	out = binary.BigEndian.AppendUint16(out, uint16(c.BlockSize))
+	out = append(out, byte(c.WordBytes))
+	out = binary.BigEndian.AppendUint32(out, uint32(c.OrigSize))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(c.Blocks)))
+
+	// Division.
+	var div []byte
+	div = append(div, byte(c.Division.Width), byte(len(c.Division.Groups)))
+	for _, g := range c.Division.Groups {
+		div = append(div, byte(len(g)))
+		for _, pos := range g {
+			div = append(div, byte(pos))
+		}
+	}
+	out = binary.BigEndian.AppendUint16(out, uint16(len(div)))
+	out = append(out, div...)
+
+	// Model.
+	model := c.Model.Serialize()
+	out = binary.BigEndian.AppendUint32(out, uint32(len(model)))
+	out = append(out, model...)
+
+	// LAT + payload.
+	var off uint32
+	for _, b := range c.Blocks {
+		out = binary.BigEndian.AppendUint32(out, off)
+		off += uint32(len(b))
+	}
+	out = binary.BigEndian.AppendUint32(out, off)
+	for _, b := range c.Blocks {
+		out = append(out, b...)
+	}
+	binary.BigEndian.PutUint32(out[5:], crc32.ChecksumIEEE(out[9:]))
+	return out
+}
+
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if r.pos+n > len(r.data) {
+		return nil, fmt.Errorf("samc: truncated image at byte %d (+%d)", r.pos, n)
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *reader) u8() (int, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return int(b[0]), nil
+}
+
+func (r *reader) u16() (int, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return int(binary.BigEndian.Uint16(b)), nil
+}
+
+func (r *reader) u32() (int, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return int(binary.BigEndian.Uint32(b)), nil
+}
+
+// Unmarshal reconstructs an image serialized by Marshal.
+func Unmarshal(data []byte) (*Compressed, error) {
+	r := &reader{data: data}
+	m, err := r.take(4)
+	if err != nil || string(m) != magic {
+		return nil, fmt.Errorf("samc: bad magic")
+	}
+	v, err := r.u8()
+	if err != nil || v != version {
+		return nil, fmt.Errorf("samc: unsupported version %d", v)
+	}
+	want, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(data[r.pos:]); got != uint32(want) {
+		return nil, fmt.Errorf("samc: image checksum mismatch (%08x != %08x)", got, want)
+	}
+	c := &Compressed{}
+	if c.BlockSize, err = r.u16(); err != nil {
+		return nil, err
+	}
+	if c.WordBytes, err = r.u8(); err != nil {
+		return nil, err
+	}
+	if c.OrigSize, err = r.u32(); err != nil {
+		return nil, err
+	}
+	numBlocks, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if c.BlockSize <= 0 || c.WordBytes <= 0 || c.BlockSize%c.WordBytes != 0 {
+		return nil, fmt.Errorf("samc: invalid geometry %d/%d", c.BlockSize, c.WordBytes)
+	}
+	wantBlocks := (c.OrigSize + c.BlockSize - 1) / c.BlockSize
+	if numBlocks != wantBlocks {
+		return nil, fmt.Errorf("samc: %d blocks for %d bytes at block size %d", numBlocks, c.OrigSize, c.BlockSize)
+	}
+
+	divLen, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	div, err := r.take(divLen)
+	if err != nil {
+		return nil, err
+	}
+	if len(div) < 2 {
+		return nil, fmt.Errorf("samc: truncated division")
+	}
+	c.Division.Width = int(div[0])
+	groups := int(div[1])
+	p := 2
+	for g := 0; g < groups; g++ {
+		if p >= len(div) {
+			return nil, fmt.Errorf("samc: truncated division group %d", g)
+		}
+		n := int(div[p])
+		p++
+		if p+n > len(div) {
+			return nil, fmt.Errorf("samc: truncated division group %d", g)
+		}
+		grp := make([]int, n)
+		for i := 0; i < n; i++ {
+			grp[i] = int(div[p+i])
+		}
+		p += n
+		c.Division.Groups = append(c.Division.Groups, grp)
+	}
+	if err := c.Division.Validate(); err != nil {
+		return nil, fmt.Errorf("samc: %w", err)
+	}
+	if c.Division.Width != 8*c.WordBytes {
+		return nil, fmt.Errorf("samc: division width %d vs word %d bytes", c.Division.Width, c.WordBytes)
+	}
+
+	modelLen, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	modelBytes, err := r.take(modelLen)
+	if err != nil {
+		return nil, err
+	}
+	if c.Model, err = markov.Deserialize(modelBytes); err != nil {
+		return nil, err
+	}
+
+	offsets := make([]int, numBlocks+1)
+	for i := range offsets {
+		if offsets[i], err = r.u32(); err != nil {
+			return nil, err
+		}
+	}
+	payload, err := r.take(len(data) - r.pos)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < numBlocks; i++ {
+		lo, hi := offsets[i], offsets[i+1]
+		if lo > hi || hi > len(payload) {
+			return nil, fmt.Errorf("samc: corrupt LAT entry %d [%d,%d)", i, lo, hi)
+		}
+		c.Blocks = append(c.Blocks, payload[lo:hi])
+	}
+	return c, nil
+}

@@ -1,0 +1,317 @@
+package synth
+
+import (
+	"math/rand"
+
+	"codecomp/internal/isa/mips"
+)
+
+// TextBase is the virtual address of the first generated instruction,
+// matching the conventional MIPS text segment base.
+const TextBase = 0x00400000
+
+// MIPSProgram is a generated MIPS text segment plus the structural metadata
+// (functions, loops, call graph) the execution-trace generator replays.
+type MIPSProgram struct {
+	Profile Profile
+	Instrs  []mips.Instr
+	Funcs   []FuncMeta
+	Loops   []LoopMeta
+	Calls   []CallMeta
+}
+
+// Text renders the program as a big-endian byte image.
+func (p *MIPSProgram) Text() []byte { return mips.EncodeProgram(p.Instrs) }
+
+// Words returns the instruction words as uint64s for the stream optimizer.
+func (p *MIPSProgram) Words() []uint64 {
+	out := make([]uint64, len(p.Instrs))
+	for i, ins := range p.Instrs {
+		out[i] = uint64(ins.Encode())
+	}
+	return out
+}
+
+// mipsGen carries generation state.
+type mipsGen struct {
+	prof   Profile
+	rng    *rand.Rand
+	prog   *MIPSProgram
+	cache  [][]mips.Instr // straight-line idiom instances eligible for reuse
+	fixups []CallMeta     // jal sites to patch once all functions exist
+	// luiPool is a small set of "section addresses" so address-formation
+	// idioms repeat the way linked code does.
+	luiPool []uint32
+}
+
+// regOrder lists general registers from most to least frequently used in
+// compiled code: return values, arguments, saved/temps, then the rest.
+var regOrder = []uint8{2, 4, 3, 5, 16, 8, 17, 9, 6, 18, 10, 7, 19, 11, 12, 20, 13, 14, 15, 21, 22, 23}
+
+// fpRegOrder is the same idea for even-numbered FP registers.
+var fpRegOrder = []uint8{0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+
+func (g *mipsGen) reg() uint8 {
+	i := int(g.rng.ExpFloat64() * 2.5)
+	if i >= len(regOrder) {
+		i = g.rng.Intn(len(regOrder))
+	}
+	return regOrder[i]
+}
+
+func (g *mipsGen) fpReg() uint8 {
+	i := int(g.rng.ExpFloat64() * 2.0)
+	if i >= len(fpRegOrder) {
+		i = g.rng.Intn(len(fpRegOrder))
+	}
+	return fpRegOrder[i]
+}
+
+// imm16 draws a 16-bit immediate with the profile's small-value bias.
+func (g *mipsGen) imm16() uint32 {
+	r := g.rng.Float64()
+	switch {
+	case r < g.prof.SmallImm:
+		return uint32(g.rng.Intn(17)) * 4 // 0..64, word aligned
+	case r < g.prof.SmallImm+0.18:
+		return uint32(g.rng.Intn(64)) * 4 // up to 256
+	case r < g.prof.SmallImm+0.24:
+		return uint32(0x10000 - 4*(1+g.rng.Intn(16))) // small negative offsets
+	default:
+		return uint32(g.rng.Intn(1 << 16))
+	}
+}
+
+func (g *mipsGen) op(name string) mips.Code { return mips.MustLookup(name) }
+
+// emit appends instructions and optionally records them for reuse.
+func (g *mipsGen) emit(cacheable bool, ins ...mips.Instr) {
+	g.prog.Instrs = append(g.prog.Instrs, ins...)
+	if cacheable && len(ins) > 0 {
+		if len(g.cache) < 512 {
+			g.cache = append(g.cache, append([]mips.Instr(nil), ins...))
+		} else {
+			g.cache[g.rng.Intn(len(g.cache))] = append([]mips.Instr(nil), ins...)
+		}
+	}
+}
+
+// straightIdiom emits one non-branching idiom, possibly replayed from the
+// reuse cache — the mechanism that gives synthetic code the repeated
+// instruction sequences compilers produce.
+func (g *mipsGen) straightIdiom() {
+	if len(g.cache) > 8 && g.rng.Float64() < g.prof.Reuse {
+		seq := g.cache[g.rng.Intn(len(g.cache))]
+		g.emit(false, seq...)
+		return
+	}
+	if g.rng.Float64() < g.prof.FP {
+		g.fpIdiom()
+		return
+	}
+	switch g.rng.Intn(6) {
+	case 0: // load-op-store on a stack or pointer base
+		base := uint8(29)
+		if g.rng.Intn(3) == 0 {
+			base = g.reg()
+		}
+		t, u := g.reg(), g.reg()
+		off := g.imm16()
+		g.emit(true,
+			mips.Instr{Op: g.op("lw"), Regs: [3]uint8{t, base}, Imm: off},
+			mips.Instr{Op: g.op("addu"), Regs: [3]uint8{t, t, u}},
+			mips.Instr{Op: g.op("sw"), Regs: [3]uint8{t, base}, Imm: off},
+		)
+	case 1: // arithmetic chain
+		a, b, c := g.reg(), g.reg(), g.reg()
+		ops := []string{"addu", "subu", "and", "or", "xor", "slt", "sltu"}
+		n := 2 + g.rng.Intn(3)
+		seq := make([]mips.Instr, 0, n)
+		for i := 0; i < n; i++ {
+			seq = append(seq, mips.Instr{
+				Op:   g.op(ops[g.rng.Intn(len(ops))]),
+				Regs: [3]uint8{a, b, c},
+			})
+			b, c = a, g.reg()
+			a = g.reg()
+		}
+		g.emit(true, seq...)
+	case 2: // address formation: lui + addiu/ori, then a load
+		t := g.reg()
+		hi := g.luiPool[g.rng.Intn(len(g.luiPool))]
+		g.emit(true,
+			mips.Instr{Op: g.op("lui"), Regs: [3]uint8{t}, Imm: hi},
+			mips.Instr{Op: g.op("addiu"), Regs: [3]uint8{t, t}, Imm: g.imm16()},
+			mips.Instr{Op: g.op("lw"), Regs: [3]uint8{g.reg(), t}, Imm: g.imm16()},
+		)
+	case 3: // immediate ALU
+		t := g.reg()
+		ops := []string{"addiu", "andi", "ori", "slti", "sltiu", "xori"}
+		g.emit(true, mips.Instr{
+			Op:   g.op(ops[g.rng.Intn(len(ops))]),
+			Regs: [3]uint8{t, g.reg()},
+			Imm:  g.imm16(),
+		})
+	case 4: // shift + mask (field extraction)
+		t, s := g.reg(), g.reg()
+		g.emit(true,
+			mips.Instr{Op: g.op("sll"), Regs: [3]uint8{t, s, uint8(g.rng.Intn(31) + 1)}},
+			mips.Instr{Op: g.op("srl"), Regs: [3]uint8{t, t, uint8(g.rng.Intn(31) + 1)}},
+		)
+	case 5: // array element: index scale + load
+		idx, base, t := g.reg(), g.reg(), g.reg()
+		g.emit(true,
+			mips.Instr{Op: g.op("sll"), Regs: [3]uint8{t, idx, 2}},
+			mips.Instr{Op: g.op("addu"), Regs: [3]uint8{t, t, base}},
+			mips.Instr{Op: g.op("lw"), Regs: [3]uint8{g.reg(), t}, Imm: 0},
+		)
+	}
+}
+
+// fpIdiom emits a floating-point sequence (load, arithmetic, store).
+func (g *mipsGen) fpIdiom() {
+	base := g.reg()
+	f1, f2, f3 := g.fpReg(), g.fpReg(), g.fpReg()
+	off := g.imm16() &^ 7
+	ops := []string{"add.d", "sub.d", "mul.d", "div.d"}
+	g.emit(true,
+		mips.Instr{Op: g.op("lwc1"), Regs: [3]uint8{f1, base}, Imm: off},
+		mips.Instr{Op: g.op("lwc1"), Regs: [3]uint8{f1 + 1, base}, Imm: off + 4},
+		mips.Instr{Op: g.op(ops[g.rng.Intn(len(ops))]), Regs: [3]uint8{f3, f1, f2}},
+		mips.Instr{Op: g.op("swc1"), Regs: [3]uint8{f3, base}, Imm: off},
+	)
+}
+
+// branchIdiom emits a compare + short forward conditional branch.
+func (g *mipsGen) branchIdiom() {
+	t, a, b := g.reg(), g.reg(), g.reg()
+	off := uint32(2 + g.rng.Intn(8))
+	br := []string{"beq", "bne", "blez", "bgtz"}[g.rng.Intn(4)]
+	seq := []mips.Instr{
+		{Op: g.op("slt"), Regs: [3]uint8{t, a, b}},
+	}
+	ins := mips.Instr{Op: g.op(br), Imm: off}
+	switch mips.Code(ins.Op).NumRegs() {
+	case 2:
+		ins.Regs = [3]uint8{t, 0}
+	case 1:
+		ins.Regs = [3]uint8{t}
+	}
+	seq = append(seq, ins, mips.Instr{Op: g.op("sll")}) // delay-slot nop
+	g.emit(false, seq...)
+}
+
+// callIdiom emits argument setup plus a jal to a random existing function.
+func (g *mipsGen) callIdiom() {
+	if len(g.prog.Funcs) == 0 {
+		return
+	}
+	callee := g.rng.Intn(len(g.prog.Funcs))
+	g.emit(false, mips.Instr{Op: g.op("addiu"), Regs: [3]uint8{4, 0}, Imm: g.imm16()})
+	site := len(g.prog.Instrs)
+	g.emit(false,
+		mips.Instr{Op: g.op("jal")}, // target patched in fixup pass
+		mips.Instr{Op: g.op("sll")}, // delay slot
+	)
+	g.fixups = append(g.fixups, CallMeta{Site: site, Callee: callee})
+}
+
+// branchImm encodes a PC-relative instruction offset as the 16-bit field.
+func branchImm(from, to int) uint32 {
+	return uint32(to-(from+1)) & 0xFFFF
+}
+
+// genFunction emits one complete function.
+func (g *mipsGen) genFunction() {
+	start := len(g.prog.Instrs)
+	frame := uint32(16 + 8*g.rng.Intn(11))
+	// Prologue.
+	g.emit(false,
+		mips.Instr{Op: g.op("addiu"), Regs: [3]uint8{29, 29}, Imm: uint32(0x10000-frame) & 0xFFFF},
+		mips.Instr{Op: g.op("sw"), Regs: [3]uint8{31, 29}, Imm: frame - 4},
+	)
+	saved := g.rng.Intn(3)
+	for s := 0; s < saved; s++ {
+		g.emit(false, mips.Instr{Op: g.op("sw"), Regs: [3]uint8{uint8(16 + s), 29}, Imm: frame - 8 - uint32(4*s)})
+	}
+
+	bodyIdioms := 10 + g.rng.Intn(60)
+	type openLoop struct{ head int }
+	var loops []openLoop
+	for i := 0; i < bodyIdioms; i++ {
+		r := g.rng.Float64()
+		switch {
+		case r < 0.06 && len(loops) < 2: // open a loop
+			loops = append(loops, openLoop{head: len(g.prog.Instrs)})
+			g.straightIdiom()
+		case r < 0.10 && len(loops) > 0: // close the innermost loop
+			l := loops[len(loops)-1]
+			loops = loops[:len(loops)-1]
+			branch := len(g.prog.Instrs)
+			// addiu counter, counter, -1 ; bne counter, zero, head ; nop
+			cnt := g.reg()
+			g.emit(false,
+				mips.Instr{Op: g.op("addiu"), Regs: [3]uint8{cnt, cnt}, Imm: 0xFFFF},
+				mips.Instr{Op: g.op("bne"), Regs: [3]uint8{cnt, 0}, Imm: branchImm(branch+1, l.head)},
+				mips.Instr{Op: g.op("sll")},
+			)
+			g.prog.Loops = append(g.prog.Loops, LoopMeta{Head: l.head, Branch: branch + 1})
+		case r < 0.10+g.prof.CallDensity:
+			g.callIdiom()
+		case r < 0.22+g.prof.CallDensity:
+			g.branchIdiom()
+		default:
+			g.straightIdiom()
+		}
+	}
+	// Close any loops left open.
+	for len(loops) > 0 {
+		l := loops[len(loops)-1]
+		loops = loops[:len(loops)-1]
+		branch := len(g.prog.Instrs)
+		cnt := g.reg()
+		g.emit(false,
+			mips.Instr{Op: g.op("addiu"), Regs: [3]uint8{cnt, cnt}, Imm: 0xFFFF},
+			mips.Instr{Op: g.op("bne"), Regs: [3]uint8{cnt, 0}, Imm: branchImm(branch+1, l.head)},
+			mips.Instr{Op: g.op("sll")},
+		)
+		g.prog.Loops = append(g.prog.Loops, LoopMeta{Head: l.head, Branch: branch + 1})
+	}
+
+	// Epilogue.
+	for s := saved - 1; s >= 0; s-- {
+		g.emit(false, mips.Instr{Op: g.op("lw"), Regs: [3]uint8{uint8(16 + s), 29}, Imm: frame - 8 - uint32(4*s)})
+	}
+	g.emit(false,
+		mips.Instr{Op: g.op("lw"), Regs: [3]uint8{31, 29}, Imm: frame - 4},
+		mips.Instr{Op: g.op("addiu"), Regs: [3]uint8{29, 29}, Imm: frame},
+		mips.Instr{Op: g.op("jr"), Regs: [3]uint8{31}},
+		mips.Instr{Op: g.op("sll")},
+	)
+	g.prog.Funcs = append(g.prog.Funcs, FuncMeta{Start: start, End: len(g.prog.Instrs)})
+}
+
+// GenerateMIPS builds the synthetic MIPS program for a profile.
+func GenerateMIPS(p Profile) *MIPSProgram {
+	g := &mipsGen{
+		prof: p,
+		rng:  rand.New(rand.NewSource(p.Seed)),
+		prog: &MIPSProgram{Profile: p},
+	}
+	nPool := 4 + g.rng.Intn(5)
+	for i := 0; i < nPool; i++ {
+		g.luiPool = append(g.luiPool, uint32(0x1000+g.rng.Intn(8)))
+	}
+	targetWords := p.KB * 1024 / 4
+	for len(g.prog.Instrs) < targetWords {
+		g.genFunction()
+	}
+	// Patch jal targets now that every callee exists.
+	for _, f := range g.fixups {
+		callee := g.prog.Funcs[f.Callee]
+		addr := uint32(TextBase)/4 + uint32(callee.Start)
+		g.prog.Instrs[f.Site].Imm = addr & 0x3FFFFFF
+		g.prog.Calls = append(g.prog.Calls, f)
+	}
+	return g.prog
+}

@@ -1,0 +1,87 @@
+// Package synth generates deterministic synthetic programs that stand in
+// for the SPEC95 benchmarks the paper compresses (§5). Real embedded or
+// SPEC binaries are not redistributable, but the compression algorithms
+// only see instruction statistics; the generator reproduces the statistical
+// structure of compiled code — a small working repertoire of operations, a
+// heavily skewed register working set, small-biased immediates, and
+// compiler-style repetition of instruction idioms — so the *relative*
+// behaviour of the compressors matches the paper's.
+//
+// Each SPEC95 benchmark has a Profile whose parameters (size, FP mix,
+// idiom-reuse rate, immediate skew) are scaled from the published
+// characteristics of the suite. Generation is fully deterministic per
+// (profile, ISA).
+package synth
+
+// Profile parametrizes one synthetic benchmark.
+type Profile struct {
+	Name string
+	// KB is the approximate text-segment size to generate, scaled down
+	// from the real benchmark's compiled size (relative sizes preserved).
+	KB int
+	// FP is the fraction of floating-point idioms in function bodies.
+	FP float64
+	// Reuse is the probability of re-emitting a previously generated idiom
+	// instance verbatim — the compiler-repetition knob that LZ-family
+	// compressors feed on.
+	Reuse float64
+	// SmallImm is the probability mass of small (0..64) immediates.
+	SmallImm float64
+	// CallDensity is the per-idiom probability of a call site.
+	CallDensity float64
+	// Seed makes every benchmark's code distinct and reproducible.
+	Seed int64
+}
+
+// SPEC95 is the benchmark suite of the paper's Figures 7 and 8, in the
+// paper's order. Sizes are scaled (≈1/4 of typical compiled text) so the
+// full-suite experiments run in seconds while preserving the suite's
+// small-to-large spread; `compress` and `tomcatv` stay genuinely small,
+// `gcc` and `vortex` genuinely large.
+var SPEC95 = []Profile{
+	{Name: "applu", KB: 36, FP: 0.55, Reuse: 0.40, SmallImm: 0.70, CallDensity: 0.03, Seed: 101},
+	{Name: "apsi", KB: 44, FP: 0.50, Reuse: 0.38, SmallImm: 0.68, CallDensity: 0.04, Seed: 102},
+	{Name: "compress", KB: 18, FP: 0.00, Reuse: 0.30, SmallImm: 0.72, CallDensity: 0.05, Seed: 103},
+	{Name: "fpppp", KB: 40, FP: 0.60, Reuse: 0.45, SmallImm: 0.66, CallDensity: 0.02, Seed: 104},
+	{Name: "gcc", KB: 320, FP: 0.02, Reuse: 0.42, SmallImm: 0.70, CallDensity: 0.08, Seed: 105},
+	{Name: "go", KB: 120, FP: 0.00, Reuse: 0.36, SmallImm: 0.74, CallDensity: 0.06, Seed: 106},
+	{Name: "hydro2d", KB: 34, FP: 0.52, Reuse: 0.40, SmallImm: 0.69, CallDensity: 0.03, Seed: 107},
+	{Name: "ijpeg", KB: 66, FP: 0.05, Reuse: 0.38, SmallImm: 0.71, CallDensity: 0.05, Seed: 108},
+	{Name: "m88ksim", KB: 60, FP: 0.01, Reuse: 0.40, SmallImm: 0.73, CallDensity: 0.07, Seed: 109},
+	{Name: "mgrid", KB: 24, FP: 0.58, Reuse: 0.44, SmallImm: 0.67, CallDensity: 0.02, Seed: 110},
+	{Name: "perl", KB: 104, FP: 0.01, Reuse: 0.41, SmallImm: 0.70, CallDensity: 0.08, Seed: 111},
+	{Name: "su2cor", KB: 38, FP: 0.54, Reuse: 0.39, SmallImm: 0.68, CallDensity: 0.03, Seed: 112},
+	{Name: "swim", KB: 20, FP: 0.60, Reuse: 0.46, SmallImm: 0.66, CallDensity: 0.02, Seed: 113},
+	{Name: "tomcatv", KB: 14, FP: 0.62, Reuse: 0.45, SmallImm: 0.65, CallDensity: 0.02, Seed: 114},
+	{Name: "turb3d", KB: 40, FP: 0.50, Reuse: 0.40, SmallImm: 0.68, CallDensity: 0.04, Seed: 115},
+	{Name: "vortex", KB: 170, FP: 0.01, Reuse: 0.43, SmallImm: 0.72, CallDensity: 0.09, Seed: 116},
+	{Name: "wave5", KB: 62, FP: 0.53, Reuse: 0.39, SmallImm: 0.68, CallDensity: 0.03, Seed: 117},
+	{Name: "xlisp", KB: 34, FP: 0.00, Reuse: 0.37, SmallImm: 0.75, CallDensity: 0.10, Seed: 118},
+}
+
+// ProfileByName returns the named profile, or false.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range SPEC95 {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// FuncMeta records one generated function's instruction index range.
+type FuncMeta struct {
+	Start, End int // [Start, End) instruction indices
+}
+
+// LoopMeta records a backward branch: the branch at index Branch targets
+// index Head (Head < Branch).
+type LoopMeta struct {
+	Head, Branch int
+}
+
+// CallMeta records a call site and its callee function index.
+type CallMeta struct {
+	Site   int // instruction index of the call
+	Callee int // index into Funcs
+}

@@ -1,0 +1,267 @@
+package synth
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"codecomp/internal/isa/mips"
+	"codecomp/internal/isa/x86"
+)
+
+func TestProfileByName(t *testing.T) {
+	p, ok := ProfileByName("gcc")
+	if !ok || p.Name != "gcc" {
+		t.Fatal("gcc profile missing")
+	}
+	if _, ok := ProfileByName("nonesuch"); ok {
+		t.Fatal("unknown profile found")
+	}
+	if len(SPEC95) != 18 {
+		t.Fatalf("suite has %d benchmarks, want 18 (paper Figures 7/8)", len(SPEC95))
+	}
+	seen := map[string]bool{}
+	for _, p := range SPEC95 {
+		if seen[p.Name] {
+			t.Fatalf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.KB <= 0 || p.Seed == 0 {
+			t.Fatalf("profile %s has invalid KB/Seed", p.Name)
+		}
+	}
+}
+
+func testProfile() Profile {
+	return Profile{Name: "test", KB: 24, FP: 0.2, Reuse: 0.4, SmallImm: 0.7, CallDensity: 0.06, Seed: 99}
+}
+
+func TestGenerateMIPSDecodable(t *testing.T) {
+	p := GenerateMIPS(testProfile())
+	text := p.Text()
+	if len(text) < 24*1024 {
+		t.Fatalf("text = %d bytes, want >= %d", len(text), 24*1024)
+	}
+	// Every generated word must decode back through the ISA model.
+	back, err := mips.DecodeProgram(text)
+	if err != nil {
+		t.Fatalf("generated program not decodable: %v", err)
+	}
+	if len(back) != len(p.Instrs) {
+		t.Fatalf("decoded %d instrs, generated %d", len(back), len(p.Instrs))
+	}
+}
+
+func TestGenerateMIPSDeterministic(t *testing.T) {
+	a := GenerateMIPS(testProfile()).Text()
+	b := GenerateMIPS(testProfile()).Text()
+	if !bytes.Equal(a, b) {
+		t.Fatal("MIPS generation is not deterministic")
+	}
+}
+
+func TestGenerateMIPSStatistics(t *testing.T) {
+	p := GenerateMIPS(testProfile())
+	// Opcode entropy must be well below 6 bits (compiled code uses a small,
+	// skewed repertoire) but above 2 (not degenerate).
+	counts := map[mips.Code]int{}
+	for _, ins := range p.Instrs {
+		counts[ins.Op]++
+	}
+	h := 0.0
+	for _, c := range counts {
+		pr := float64(c) / float64(len(p.Instrs))
+		h -= pr * math.Log2(pr)
+	}
+	if h < 2 || h > 5.5 {
+		t.Fatalf("opcode entropy = %.2f bits, want 2..5.5", h)
+	}
+	// There must be genuine repetition: distinct words well below total.
+	words := map[uint32]int{}
+	for _, ins := range p.Instrs {
+		words[ins.Encode()]++
+	}
+	if ratio := float64(len(words)) / float64(len(p.Instrs)); ratio > 0.7 {
+		t.Fatalf("distinct-word ratio %.2f: not enough repetition", ratio)
+	}
+}
+
+func TestGenerateMIPSStructure(t *testing.T) {
+	p := GenerateMIPS(testProfile())
+	if len(p.Funcs) < 3 {
+		t.Fatalf("only %d functions", len(p.Funcs))
+	}
+	for i, f := range p.Funcs {
+		if f.Start >= f.End || f.End > len(p.Instrs) {
+			t.Fatalf("func %d has bad range [%d,%d)", i, f.Start, f.End)
+		}
+		if i > 0 && f.Start != p.Funcs[i-1].End {
+			t.Fatalf("func %d not contiguous with predecessor", i)
+		}
+	}
+	if len(p.Loops) == 0 {
+		t.Fatal("no loops generated")
+	}
+	for _, l := range p.Loops {
+		if l.Head >= l.Branch {
+			t.Fatalf("loop head %d not before branch %d", l.Head, l.Branch)
+		}
+		ins := p.Instrs[l.Branch]
+		if ins.Op.Name() != "bne" {
+			t.Fatalf("loop branch is %s", ins.Op.Name())
+		}
+		// The branch offset must point back at the head.
+		off := int(int16(uint16(ins.Imm)))
+		if l.Branch+1+off != l.Head {
+			t.Fatalf("loop branch target %d, head %d", l.Branch+1+off, l.Head)
+		}
+	}
+	if len(p.Calls) == 0 {
+		t.Fatal("no calls generated")
+	}
+	for _, c := range p.Calls {
+		ins := p.Instrs[c.Site]
+		if ins.Op.Name() != "jal" {
+			t.Fatalf("call site is %s", ins.Op.Name())
+		}
+		target := int(ins.Imm) - TextBase/4
+		if target != p.Funcs[c.Callee].Start {
+			t.Fatalf("jal target %d, callee start %d", target, p.Funcs[c.Callee].Start)
+		}
+	}
+}
+
+func TestGenerateX86Decodable(t *testing.T) {
+	p := GenerateX86(testProfile())
+	text := p.Text()
+	if len(text) < 24*1024 {
+		t.Fatalf("text = %d bytes", len(text))
+	}
+	back, err := x86.DecodeProgram(text)
+	if err != nil {
+		t.Fatalf("generated program not decodable: %v", err)
+	}
+	if len(back) != len(p.Instrs) {
+		t.Fatalf("decoded %d instrs, generated %d", len(back), len(p.Instrs))
+	}
+}
+
+func TestGenerateX86Deterministic(t *testing.T) {
+	a := GenerateX86(testProfile()).Text()
+	b := GenerateX86(testProfile()).Text()
+	if !bytes.Equal(a, b) {
+		t.Fatal("x86 generation is not deterministic")
+	}
+}
+
+func TestGenerateX86VariableLength(t *testing.T) {
+	p := GenerateX86(testProfile())
+	lens := map[int]int{}
+	for _, ins := range p.Instrs {
+		lens[ins.Len()]++
+	}
+	if len(lens) < 3 {
+		t.Fatalf("only %d distinct instruction lengths: not CISC-like", len(lens))
+	}
+}
+
+func TestGenerateX86CallFixups(t *testing.T) {
+	p := GenerateX86(testProfile())
+	if len(p.Calls) == 0 {
+		t.Fatal("no calls generated")
+	}
+	// Recompute offsets and verify each call's rel32.
+	offsets := make([]int, len(p.Instrs)+1)
+	for i, ins := range p.Instrs {
+		offsets[i+1] = offsets[i] + ins.Len()
+	}
+	for _, c := range p.Calls {
+		ins := p.Instrs[c.Site]
+		if ins.Opcode[0] != 0xE8 {
+			t.Fatalf("call site opcode %#x", ins.Opcode[0])
+		}
+		want := offsets[p.Funcs[c.Callee].Start] - offsets[c.Site+1]
+		if int32(ins.Imm) != int32(want) {
+			t.Fatalf("call rel32 = %d, want %d", int32(ins.Imm), want)
+		}
+	}
+}
+
+func TestTraceLocality(t *testing.T) {
+	p := GenerateMIPS(testProfile())
+	const n = 200000
+	tr := p.Trace(1, n)
+	if len(tr) != n {
+		t.Fatalf("trace length %d, want %d", len(tr), n)
+	}
+	limit := uint32(TextBase + 4*len(p.Instrs))
+	seen := map[uint32]int{}
+	for _, a := range tr {
+		if a < TextBase || a >= limit || a%4 != 0 {
+			t.Fatalf("address %#x outside text [%#x,%#x)", a, TextBase, limit)
+		}
+		seen[a]++
+	}
+	// Temporal locality: the trace must revisit addresses heavily (loops),
+	// i.e. distinct addresses well below trace length.
+	if len(seen) >= n/4 {
+		t.Fatalf("%d distinct addresses in %d fetches: no locality", len(seen), n)
+	}
+	// Sequentiality: most steps advance by 4 bytes.
+	seq := 0
+	for i := 1; i < len(tr); i++ {
+		if tr[i] == tr[i-1]+4 {
+			seq++
+		}
+	}
+	if float64(seq)/float64(n) < 0.5 {
+		t.Fatalf("only %.0f%% sequential fetches", 100*float64(seq)/float64(n))
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	p := GenerateMIPS(testProfile())
+	a := p.Trace(7, 5000)
+	b := p.Trace(7, 5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace is not deterministic")
+		}
+	}
+}
+
+func TestWords(t *testing.T) {
+	p := GenerateMIPS(testProfile())
+	w := p.Words()
+	if len(w) != len(p.Instrs) {
+		t.Fatal("Words length mismatch")
+	}
+	for i := range w {
+		if w[i] != uint64(p.Instrs[i].Encode()) {
+			t.Fatal("Words value mismatch")
+		}
+	}
+}
+
+func TestFullSuiteGenerates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	for _, prof := range SPEC95 {
+		m := GenerateMIPS(prof)
+		if got := len(m.Text()); got < prof.KB*1024 {
+			t.Errorf("%s MIPS: %d bytes < %d", prof.Name, got, prof.KB*1024)
+		}
+		x := GenerateX86(prof)
+		if got := len(x.Text()); got < prof.KB*1024 {
+			t.Errorf("%s x86: %d bytes < %d", prof.Name, got, prof.KB*1024)
+		}
+	}
+}
+
+func BenchmarkGenerateMIPS(b *testing.B) {
+	p := testProfile()
+	for i := 0; i < b.N; i++ {
+		GenerateMIPS(p)
+	}
+}

@@ -1,0 +1,142 @@
+package synth
+
+import (
+	"math/rand"
+
+	"codecomp/internal/isa/mips"
+)
+
+// Trace replays a plausible execution of a MIPS program and returns a
+// sequence of instruction fetch addresses (byte addresses starting at
+// TextBase). The walk honours the program's real control flow: backward
+// branches iterate their loops, jal/jr follow the generated call graph, and
+// forward conditional branches are taken with modest probability — giving
+// the trace the temporal locality an I-cache simulation needs.
+//
+// The trace generator is the stand-in for the paper's (unreported) SPEC
+// execution runs behind the Wolfe/Chanin memory-system design it builds on.
+func (p *MIPSProgram) Trace(seed int64, n int) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint32, 0, n)
+	if len(p.Instrs) == 0 || len(p.Funcs) == 0 {
+		return out
+	}
+
+	// Map function start index → function meta for jal decoding.
+	funcByStart := make(map[int]FuncMeta, len(p.Funcs))
+	for _, f := range p.Funcs {
+		funcByStart[f.Start] = f
+	}
+
+	jalOp := mips.MustLookup("jal")
+	jrOp := mips.MustLookup("jr")
+	jOp := mips.MustLookup("j")
+
+	isCondBranch := func(c mips.Code) bool {
+		switch c.Name() {
+		case "beq", "bne", "blez", "bgtz", "bltz", "bgez", "bltzal", "bgezal", "bc1f", "bc1t":
+			return true
+		}
+		return false
+	}
+
+	type frame struct{ ret int }
+	var stack []frame
+	// loopBudget prevents a hot loop from starving the rest of the trace.
+	loopBudget := make(map[int]int)
+
+	// The top-level "driver" cycles through a rotation of functions, the
+	// way a main loop repeatedly calls the program's phases. Re-entering a
+	// phase after touching the others is what makes I-cache capacity
+	// matter: small caches re-miss on every lap, large ones retain the
+	// working set.
+	rotation := make([]int, 0, len(p.Funcs))
+	for i := range p.Funcs {
+		rotation = append(rotation, i)
+	}
+	rng.Shuffle(len(rotation), func(i, j int) { rotation[i], rotation[j] = rotation[j], rotation[i] })
+	if max := 48; len(rotation) > max {
+		rotation = rotation[:max]
+	}
+	rotIdx := 0
+	// phaseBudget bounds how long one phase runs before the driver moves
+	// on, like a real main loop finishing one unit of work; it also bounds
+	// any pathological control-flow cycle in the synthetic program.
+	phaseBudget := 0
+	nextPhase := func() int {
+		f := rotation[rotIdx%len(rotation)]
+		rotIdx++
+		phaseBudget = 2000 + rng.Intn(6000)
+		return p.Funcs[f].Start
+	}
+
+	pc := nextPhase()
+	for len(out) < n {
+		if pc < 0 || pc >= len(p.Instrs) || phaseBudget <= 0 {
+			// Fell off the program or finished the phase: next phase.
+			pc = nextPhase()
+			stack = stack[:0]
+			continue
+		}
+		phaseBudget--
+		out = append(out, uint32(TextBase+4*pc))
+		ins := p.Instrs[pc]
+		switch {
+		case ins.Op == jalOp:
+			// Execute the delay slot fetch, then jump.
+			if pc+1 < len(p.Instrs) && len(out) < n {
+				out = append(out, uint32(TextBase+4*(pc+1)))
+			}
+			target := int(ins.Imm) - TextBase/4
+			if _, ok := funcByStart[target]; ok && len(stack) < 64 {
+				stack = append(stack, frame{ret: pc + 2})
+				pc = target
+			} else {
+				pc += 2
+			}
+		case ins.Op == jrOp:
+			if pc+1 < len(p.Instrs) && len(out) < n {
+				out = append(out, uint32(TextBase+4*(pc+1)))
+			}
+			if len(stack) > 0 {
+				pc = stack[len(stack)-1].ret
+				stack = stack[:len(stack)-1]
+			} else {
+				pc = nextPhase()
+			}
+		case ins.Op == jOp:
+			pc = int(ins.Imm) - TextBase/4
+		case isCondBranch(ins.Op):
+			off := int(int16(uint16(ins.Imm)))
+			target := pc + 1 + off
+			taken := false
+			if off < 0 {
+				// Loop back-edge: iterate, but with a per-site budget.
+				b, seen := loopBudget[pc]
+				if !seen {
+					b = 2 + rng.Intn(12)
+				}
+				if b > 0 {
+					loopBudget[pc] = b - 1
+					taken = true
+				} else {
+					delete(loopBudget, pc) // refresh budget on next visit
+				}
+			} else {
+				taken = rng.Float64() < 0.3
+			}
+			// Delay slot always fetched.
+			if pc+1 < len(p.Instrs) && len(out) < n {
+				out = append(out, uint32(TextBase+4*(pc+1)))
+			}
+			if taken && target >= 0 && target < len(p.Instrs) {
+				pc = target
+			} else {
+				pc += 2
+			}
+		default:
+			pc++
+		}
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package synth
+
+import (
+	"math/rand"
+
+	"codecomp/internal/isa/x86"
+)
+
+// X86Program is a generated IA-32 text segment with structural metadata.
+type X86Program struct {
+	Profile Profile
+	Instrs  []x86.Instr
+	Funcs   []FuncMeta // instruction index ranges
+	Calls   []CallMeta
+}
+
+// Text renders the program to its byte image.
+func (p *X86Program) Text() []byte { return x86.EncodeProgram(p.Instrs) }
+
+type x86Gen struct {
+	prof   Profile
+	rng    *rand.Rand
+	prog   *X86Program
+	cache  [][]x86.Instr
+	fixups []CallMeta
+}
+
+// x86 register encodings by descending usage: eax, ecx, edx, ebx, esi, edi.
+var x86RegOrder = []byte{0, 1, 2, 3, 6, 7}
+
+func (g *x86Gen) reg() byte {
+	i := int(g.rng.ExpFloat64() * 1.8)
+	if i >= len(x86RegOrder) {
+		i = g.rng.Intn(len(x86RegOrder))
+	}
+	return x86RegOrder[i]
+}
+
+// disp8 draws a stack-local displacement (negative offsets off ebp).
+func (g *x86Gen) disp8() uint32 {
+	return uint32(0x100-4*(1+g.rng.Intn(24))) & 0xFF
+}
+
+// imm32 draws a 32-bit immediate with the profile's small-value bias.
+func (g *x86Gen) imm32() uint32 {
+	r := g.rng.Float64()
+	switch {
+	case r < g.prof.SmallImm:
+		return uint32(g.rng.Intn(65))
+	case r < g.prof.SmallImm+0.15:
+		return uint32(g.rng.Intn(4096))
+	case r < g.prof.SmallImm+0.22:
+		return 0x08048000 + uint32(g.rng.Intn(16))*0x1000 + uint32(g.rng.Intn(256))*4
+	default:
+		return g.rng.Uint32()
+	}
+}
+
+func (g *x86Gen) emit(cacheable bool, ins ...x86.Instr) {
+	for i := range ins {
+		if err := ins[i].Normalize(); err != nil {
+			panic(err) // generator bug: only table opcodes are emitted
+		}
+	}
+	g.prog.Instrs = append(g.prog.Instrs, ins...)
+	if cacheable && len(ins) > 0 {
+		if len(g.cache) < 512 {
+			g.cache = append(g.cache, append([]x86.Instr(nil), ins...))
+		} else {
+			g.cache[g.rng.Intn(len(g.cache))] = append([]x86.Instr(nil), ins...)
+		}
+	}
+}
+
+// modRegReg builds a mod=11 ModR/M byte.
+func modRegReg(reg, rm byte) byte { return 0xC0 | reg<<3 | rm }
+
+// modEBPDisp8 builds a [ebp+disp8] ModR/M byte for the given reg field.
+func modEBPDisp8(reg byte) byte { return 0x40 | reg<<3 | 5 }
+
+func (g *x86Gen) straightIdiom() {
+	if len(g.cache) > 8 && g.rng.Float64() < g.prof.Reuse {
+		seq := g.cache[g.rng.Intn(len(g.cache))]
+		g.emit(false, seq...)
+		return
+	}
+	if g.rng.Float64() < g.prof.FP {
+		g.fpIdiom()
+		return
+	}
+	switch g.rng.Intn(7) {
+	case 0: // mov reg, [ebp+d8] ; alu reg, reg ; mov [ebp+d8], reg
+		r, s := g.reg(), g.reg()
+		d := g.disp8()
+		alu := []byte{0x01, 0x29, 0x21, 0x09, 0x31}[g.rng.Intn(5)]
+		g.emit(true,
+			x86.Instr{Opcode: []byte{0x8B}, ModRM: modEBPDisp8(r), Disp: d},
+			x86.Instr{Opcode: []byte{alu}, ModRM: modRegReg(s, r)},
+			x86.Instr{Opcode: []byte{0x89}, ModRM: modEBPDisp8(r), Disp: d},
+		)
+	case 1: // register ALU chain
+		n := 2 + g.rng.Intn(3)
+		seq := make([]x86.Instr, 0, n)
+		alu := []byte{0x01, 0x29, 0x21, 0x09, 0x31, 0x39, 0x85}
+		for i := 0; i < n; i++ {
+			seq = append(seq, x86.Instr{
+				Opcode: []byte{alu[g.rng.Intn(len(alu))]},
+				ModRM:  modRegReg(g.reg(), g.reg()),
+			})
+		}
+		g.emit(true, seq...)
+	case 2: // mov reg, imm32
+		g.emit(true, x86.Instr{Opcode: []byte{0xB8 + g.reg()}, Imm: g.imm32()})
+	case 3: // ALU r/m, imm8 (the very common 83 group)
+		g.emit(true, x86.Instr{
+			Opcode: []byte{0x83},
+			ModRM:  modRegReg(byte(g.rng.Intn(8)), g.reg()),
+			Imm:    uint32(g.rng.Intn(65)),
+		})
+	case 4: // memory load with SIB: mov reg, [base+index*4+disp8]
+		g.emit(true, x86.Instr{
+			Opcode: []byte{0x8B},
+			ModRM:  0x44 | g.reg()<<3,
+			SIB:    0x80 | g.reg()<<3 | g.reg(),
+			Disp:   g.disp8(),
+		})
+	case 5: // movzx / imul
+		two := [][]byte{{0x0F, 0xB6}, {0x0F, 0xB7}, {0x0F, 0xAF}}[g.rng.Intn(3)]
+		g.emit(true, x86.Instr{Opcode: two, ModRM: modRegReg(g.reg(), g.reg())})
+	case 6: // push/pop pair around a global access
+		r := g.reg()
+		g.emit(true,
+			x86.Instr{Opcode: []byte{0x50 + r}},
+			x86.Instr{Opcode: []byte{0xA1}, Imm: g.imm32() | 0x08048000},
+			x86.Instr{Opcode: []byte{0x58 + r}},
+		)
+	}
+}
+
+func (g *x86Gen) fpIdiom() {
+	d := g.disp8()
+	g.emit(true,
+		x86.Instr{Opcode: []byte{0xD9}, ModRM: modEBPDisp8(0), Disp: d}, // fld
+		x86.Instr{Opcode: []byte{0xD8}, ModRM: modEBPDisp8(byte(g.rng.Intn(4))), Disp: g.disp8()},
+		x86.Instr{Opcode: []byte{0xD9}, ModRM: modEBPDisp8(3), Disp: d}, // fstp
+	)
+}
+
+func (g *x86Gen) branchIdiom() {
+	// cmp reg, reg ; jcc rel8 forward
+	g.emit(false,
+		x86.Instr{Opcode: []byte{0x39}, ModRM: modRegReg(g.reg(), g.reg())},
+		x86.Instr{Opcode: []byte{byte(0x70 + g.rng.Intn(16))}, Imm: uint32(2 + g.rng.Intn(24))},
+	)
+}
+
+func (g *x86Gen) callIdiom() {
+	if len(g.prog.Funcs) == 0 {
+		return
+	}
+	callee := g.rng.Intn(len(g.prog.Funcs))
+	g.emit(false, x86.Instr{Opcode: []byte{0x68}, Imm: g.imm32()}) // push arg
+	site := len(g.prog.Instrs)
+	g.emit(false, x86.Instr{Opcode: []byte{0xE8}}) // rel32 patched later
+	g.fixups = append(g.fixups, CallMeta{Site: site, Callee: callee})
+}
+
+func (g *x86Gen) genFunction() {
+	start := len(g.prog.Instrs)
+	// Prologue: push ebp ; mov ebp, esp ; sub esp, imm8.
+	g.emit(false,
+		x86.Instr{Opcode: []byte{0x55}},
+		x86.Instr{Opcode: []byte{0x89}, ModRM: 0xE5},
+		x86.Instr{Opcode: []byte{0x83}, ModRM: 0xEC, Imm: uint32(8 + 4*g.rng.Intn(20))},
+	)
+	bodyIdioms := 10 + g.rng.Intn(60)
+	for i := 0; i < bodyIdioms; i++ {
+		r := g.rng.Float64()
+		switch {
+		case r < g.prof.CallDensity:
+			g.callIdiom()
+		case r < g.prof.CallDensity+0.14:
+			g.branchIdiom()
+		default:
+			g.straightIdiom()
+		}
+	}
+	// Epilogue: leave ; ret.
+	g.emit(false,
+		x86.Instr{Opcode: []byte{0xC9}},
+		x86.Instr{Opcode: []byte{0xC3}},
+	)
+	g.prog.Funcs = append(g.prog.Funcs, FuncMeta{Start: start, End: len(g.prog.Instrs)})
+}
+
+// GenerateX86 builds the synthetic IA-32 program for a profile.
+func GenerateX86(p Profile) *X86Program {
+	g := &x86Gen{
+		prof: p,
+		rng:  rand.New(rand.NewSource(p.Seed ^ 0x5a5a)),
+		prog: &X86Program{Profile: p},
+	}
+	targetBytes := p.KB * 1024
+	sizeSoFar := 0
+	for sizeSoFar < targetBytes {
+		before := len(g.prog.Instrs)
+		g.genFunction()
+		for _, ins := range g.prog.Instrs[before:] {
+			sizeSoFar += ins.Len()
+		}
+	}
+	// Patch call displacements: rel32 relative to the end of the call.
+	offsets := make([]int, len(g.prog.Instrs)+1)
+	for i, ins := range g.prog.Instrs {
+		offsets[i+1] = offsets[i] + ins.Len()
+	}
+	for _, f := range g.fixups {
+		target := offsets[g.prog.Funcs[f.Callee].Start]
+		after := offsets[f.Site+1]
+		g.prog.Instrs[f.Site].Imm = uint32(target - after)
+		g.prog.Calls = append(g.prog.Calls, f)
+	}
+	return g.prog
+}
