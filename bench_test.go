@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"codecomp"
+	"codecomp/internal/blockcache"
 	"codecomp/internal/experiments"
 	"codecomp/internal/synth"
 )
@@ -289,4 +291,93 @@ func BenchmarkDecompressHuffman(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Serving-layer benchmarks: the blockcache sits in front of every
+// decompression in codecompd, so its overhead belongs in the same perf
+// trajectory as the codec paths above.
+
+func blockCacheImage(b *testing.B) *codecomp.SAMCImage {
+	b.Helper()
+	img, err := codecomp.CompressSAMC(benchText(b), codecomp.SAMCOptions{Connected: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return img
+}
+
+// BenchmarkBlockCacheHit measures the steady-state fast path: every Get is
+// served from the LRU, across shards, under full parallelism.
+func BenchmarkBlockCacheHit(b *testing.B) {
+	img := blockCacheImage(b)
+	n := img.NumBlocks()
+	c := blockcache.New(n, 16)
+	for i := 0; i < n; i++ {
+		if _, _, err := c.Get(blockcache.Key{Image: "img", Block: i}, func() ([]byte, error) { return img.Block(i) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(32)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			_, hit, err := c.Get(blockcache.Key{Image: "img", Block: i % n}, func() ([]byte, error) {
+				return nil, fmt.Errorf("miss on warmed cache")
+			})
+			if err != nil || !hit {
+				b.Fatal("expected a hit")
+			}
+		}
+	})
+}
+
+// BenchmarkBlockCacheMiss measures the cold path: a capacity-starved cache
+// so every Get evicts and runs a real SAMC block decompression — the cache
+// overhead on top of BenchmarkDecompressSAMC.
+func BenchmarkBlockCacheMiss(b *testing.B) {
+	img := blockCacheImage(b)
+	n := img.NumBlocks()
+	c := blockcache.New(16, 4) // far smaller than the image: misses forever
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := i % n
+		_, _, err := c.Get(blockcache.Key{Image: "img", Block: blk}, func() ([]byte, error) {
+			return img.Block(blk)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlockCacheSingleflight measures the contended path: many
+// goroutines chase the same small rotating key window through a cache too
+// small to hold it, so Gets constantly collide on in-flight loads and the
+// dedup machinery (not just the LRU) carries the traffic.
+func BenchmarkBlockCacheSingleflight(b *testing.B) {
+	img := blockCacheImage(b)
+	n := img.NumBlocks()
+	c := blockcache.New(8, 2)
+	var next atomic.Int64
+	b.SetBytes(32)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			// All goroutines advance one shared, slowly-moving window of 4
+			// keys: most Gets hit a key someone else is already loading.
+			blk := int(next.Add(1)/64) % n
+			_, _, err := c.Get(blockcache.Key{Image: "img", Block: blk}, func() ([]byte, error) {
+				return img.Block(blk)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	st := c.Stats()
+	b.ReportMetric(float64(st.Deduped)/float64(b.N), "deduped/op")
+	b.ReportMetric(float64(st.Misses)/float64(b.N), "miss/op")
 }

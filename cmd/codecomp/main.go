@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"codecomp"
 	"codecomp/internal/deflate"
 	"codecomp/internal/kozuch"
 	"codecomp/internal/lzw"
@@ -148,30 +149,16 @@ func main() {
 	}
 }
 
-// decompressImage auto-detects a serialized image's format by magic (with
-// LZW/gzip fallbacks) and decompresses it.
+// decompressImage auto-detects a serialized image's format (with LZW/gzip
+// fallbacks) and decompresses it. Block-addressable formats go through
+// codecomp.UnmarshalAny — the same path the romserver registry uses.
 func decompressImage(img []byte) ([]byte, error) {
-	if len(img) >= 4 {
-		switch string(img[:4]) {
-		case "SAMC":
-			c, err := samc.Unmarshal(img)
-			if err != nil {
-				return nil, err
-			}
-			return c.Decompress()
-		case "SADC":
-			c, err := sadc.Unmarshal(img)
-			if err != nil {
-				return nil, err
-			}
-			return c.Decompress()
-		case "KZHF":
-			c, err := kozuch.Unmarshal(img)
-			if err != nil {
-				return nil, err
-			}
-			return c.Decompress()
-		}
+	if c, err := codecomp.UnmarshalAny(img); err == nil {
+		return c.Decompress()
+	} else if codecomp.DetectFormat(img) != "" {
+		// A known magic that fails to unmarshal is a corrupt image, not a
+		// raw LZW/deflate container: report the real error.
+		return nil, err
 	}
 	// Raw LZW/deflate containers carry no magic; try both.
 	if out, err := deflate.Decompress(img); err == nil {

@@ -1,0 +1,214 @@
+// Command codecompd serves compressed-ROM images over HTTP: upload a
+// marshaled SAMC/SADC/byte-Huffman image once, then fetch decompressed
+// cache blocks at random access, exactly as an embedded refill engine would
+// — but concurrently, behind a sharded decompression cache with sequential
+// prefetch (internal/romserver).
+//
+// Endpoints:
+//
+//	POST /images?name=N          upload a marshaled image (format auto-detected)
+//	GET  /images                 list registered images
+//	GET  /images/{name}          one image's metadata
+//	GET  /images/{name}/blocks/{i}  one decompressed block (X-Cache: hit|miss)
+//	GET  /images/{name}/text     the whole decompressed program
+//	DELETE /images/{name}        deregister an image
+//	GET  /healthz                liveness
+//	GET  /metrics                JSON cache/prefetch/per-image counters
+//
+// Example:
+//
+//	codecompd -addr :8077 &
+//	codecomp -alg samc -in prog.bin -save prog.samc
+//	curl --data-binary @prog.samc 'localhost:8077/images?name=prog'
+//	curl localhost:8077/images/prog/blocks/7
+//	curl localhost:8077/metrics
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"codecomp/internal/romserver"
+)
+
+type daemon struct {
+	rs      *romserver.Server
+	started time.Time
+}
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	cacheBlocks := flag.Int("cache-blocks", 8192, "decompressed-block cache capacity")
+	cacheShards := flag.Int("cache-shards", 16, "cache shard count")
+	workers := flag.Int("workers", 8, "decompression worker pool size")
+	queueDepth := flag.Int("queue", 0, "pool queue depth (0 = 4x workers)")
+	prefetch := flag.Int("prefetch", 4, "blocks warmed after a demand miss (-1 disables)")
+	maxImage := flag.Int64("max-image-bytes", 64<<20, "largest accepted upload")
+	flag.Parse()
+
+	d := &daemon{
+		rs: romserver.New(romserver.Options{
+			CacheBlocks:   *cacheBlocks,
+			CacheShards:   *cacheShards,
+			Workers:       *workers,
+			QueueDepth:    *queueDepth,
+			PrefetchDepth: *prefetch,
+		}),
+		started: time.Now(),
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /images", d.maxBody(*maxImage, d.handleUpload))
+	mux.HandleFunc("GET /images", d.handleList)
+	mux.HandleFunc("GET /images/{name}", d.handleImage)
+	mux.HandleFunc("DELETE /images/{name}", d.handleDelete)
+	mux.HandleFunc("GET /images/{name}/blocks/{i}", d.handleBlock)
+	mux.HandleFunc("GET /images/{name}/text", d.handleText)
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("codecompd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx) //nolint:errcheck — best-effort drain
+	}()
+
+	log.Printf("codecompd: serving on %s (cache %d blocks / %d shards, %d workers, prefetch %d)",
+		*addr, *cacheBlocks, *cacheShards, *workers, *prefetch)
+	err := srv.ListenAndServe()
+	if !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("codecompd: %v", err)
+	}
+	// HTTP listener is down; drain the decompression pool.
+	d.rs.Close()
+}
+
+func (d *daemon) maxBody(n int64, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, n)
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck — client went away
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, romserver.ErrNotFound), errors.Is(err, romserver.ErrOutOfRange):
+		status = http.StatusNotFound
+	case errors.Is(err, romserver.ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (d *daemon) handleUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing ?name="})
+		return
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	info, err := d.rs.AddImage(name, data)
+	if err != nil {
+		if errors.Is(err, romserver.ErrClosed) {
+			writeErr(w, err)
+		} else {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		}
+		return
+	}
+	log.Printf("codecompd: registered %q (%s, %d blocks, ratio %.4f)", name, info.Format, info.Blocks, info.Ratio)
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (d *daemon) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.rs.Images())
+}
+
+func (d *daemon) handleImage(w http.ResponseWriter, r *http.Request) {
+	info, err := d.rs.Image(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (d *daemon) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := d.rs.RemoveImage(r.PathValue("name")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (d *daemon) handleBlock(w http.ResponseWriter, r *http.Request) {
+	i, err := strconv.Atoi(r.PathValue("i"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "block index must be an integer"})
+		return
+	}
+	data, hit, err := d.rs.Block(r.PathValue("name"), i)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Write(data) //nolint:errcheck
+}
+
+func (d *daemon) handleText(w http.ResponseWriter, r *http.Request) {
+	data, err := d.rs.FullText(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data) //nolint:errcheck
+}
+
+func (d *daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"images":         len(d.rs.Images()),
+		"uptime_seconds": time.Since(d.started).Seconds(),
+	})
+}
+
+func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.rs.Stats())
+}

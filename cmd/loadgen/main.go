@@ -1,0 +1,265 @@
+// Command loadgen replays memsys-style synthetic instruction-fetch traces
+// against a running codecompd, the way internal/memsys replays them against
+// the simulated refill engine: it generates a synthetic SPEC95 program,
+// compresses and uploads it, walks the program's control-flow trace
+// collapsed to block-change granularity (a refill engine behind a one-line
+// buffer only fetches when the block changes), and issues the resulting
+// block reads over HTTP from a pool of concurrent clients.
+//
+// At the end it reports client-side throughput and the server's cache hit
+// ratio, prefetch activity and decompression counts from /metrics.
+//
+// Example (after `codecompd -addr :8077`):
+//
+//	loadgen -addr http://localhost:8077 -profile gcc -alg samc -loops 4
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"codecomp"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8077", "codecompd base URL")
+	profile := flag.String("profile", "gcc", "synthetic SPEC95 profile to generate")
+	alg := flag.String("alg", "samc", "compression algorithm: samc, sadc, huff")
+	name := flag.String("name", "", "image name on the server (default <profile>-<alg>)")
+	traceLen := flag.Int("trace", 200000, "instruction fetches per trace loop")
+	loops := flag.Int("loops", 2, "times the trace is replayed (loop >1 exercises the warm cache)")
+	seed := flag.Int64("seed", 1, "trace RNG seed")
+	concurrency := flag.Int("c", 8, "concurrent client connections")
+	blockSize := flag.Int("block", 32, "cache block size used at compression time")
+	keep := flag.Bool("keep", false, "leave the image registered after the run")
+	flag.Parse()
+
+	if *name == "" {
+		*name = fmt.Sprintf("%s-%s", *profile, *alg)
+	}
+
+	prog := codecomp.GenerateMIPS(codecomp.MustProfile(*profile))
+	text := prog.Text()
+	image, blocks, err := compress(text, *alg, *blockSize)
+	fatal(err)
+	fmt.Printf("loadgen: %s/%s: %d B text -> %d B image, %d blocks\n",
+		*profile, *alg, len(text), len(image), blocks)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	fatal(upload(client, *addr, *name, image))
+	if !*keep {
+		defer func() {
+			req, _ := http.NewRequest(http.MethodDelete, *addr+"/images/"+*name, nil)
+			if resp, err := client.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	// Block-change request stream: dedupe consecutive fetches to the same
+	// block, like the refill engine behind its one-line buffer.
+	trace := prog.Trace(*seed, *traceLen)
+	reqs := make([]int, 0, len(trace)/4)
+	last := -1
+	for _, a := range trace {
+		b := int(a-codecomp.TextBase) / *blockSize
+		if b != last && b < blocks {
+			reqs = append(reqs, b)
+			last = b
+		}
+	}
+	fmt.Printf("loadgen: trace of %d fetches -> %d block requests/loop x %d loops, %d clients\n",
+		len(trace), len(reqs), *loops, *concurrency)
+
+	before, err := metrics(client, *addr)
+	fatal(err)
+
+	var done, failed, bytesRead, clientHits atomic.Int64
+	work := make(chan int, 4**concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range work {
+				n, hit, err := fetchBlock(client, *addr, *name, b)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				done.Add(1)
+				bytesRead.Add(int64(n))
+				if hit {
+					clientHits.Add(1)
+				}
+			}
+		}()
+	}
+	for l := 0; l < *loops; l++ {
+		for _, b := range reqs {
+			work <- b
+		}
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := metrics(client, *addr)
+	fatal(err)
+
+	ok, fail := done.Load(), failed.Load()
+	fmt.Printf("\nloadgen: %d requests (%d failed) in %v\n", ok+fail, fail, elapsed.Round(time.Millisecond))
+	fmt.Printf("  throughput       %.0f req/s, %.2f MiB/s decompressed\n",
+		float64(ok)/elapsed.Seconds(), float64(bytesRead.Load())/(1<<20)/elapsed.Seconds())
+	fmt.Printf("  client X-Cache   %.2f%% hit\n", pct(clientHits.Load(), ok))
+
+	dc := after.Cache.sub(before.Cache)
+	fmt.Printf("  server cache     %d hits, %d misses, %d deduped, %d evictions -> %.2f%% hit ratio\n",
+		dc.Hits, dc.Misses, dc.Deduped, dc.Evictions, 100*dc.hitRatio())
+	fmt.Printf("  server prefetch  %d issued, %d completed, %d dropped\n",
+		after.Prefetch.Issued-before.Prefetch.Issued,
+		after.Prefetch.Completed-before.Prefetch.Completed,
+		after.Prefetch.Dropped-before.Prefetch.Dropped)
+	for _, img := range after.Images {
+		if img.Name == *name {
+			fmt.Printf("  image %-10s %d block reads, %d decompressions (%.2f reads/decompression)\n",
+				img.Name, img.BlockReads, img.Decompressions,
+				float64(img.BlockReads)/float64(max64(img.Decompressions, 1)))
+		}
+	}
+	if fail > 0 {
+		os.Exit(1)
+	}
+}
+
+func compress(text []byte, alg string, blockSize int) ([]byte, int, error) {
+	switch alg {
+	case "samc":
+		c, err := codecomp.CompressSAMC(text, codecomp.SAMCOptions{BlockSize: blockSize, Connected: true})
+		if err != nil {
+			return nil, 0, err
+		}
+		return c.Marshal(), c.NumBlocks(), nil
+	case "sadc":
+		c, err := codecomp.CompressSADCMIPS(text, codecomp.SADCOptions{BlockSize: blockSize})
+		if err != nil {
+			return nil, 0, err
+		}
+		return c.Marshal(), c.NumBlocks(), nil
+	case "huff":
+		c, err := codecomp.CompressHuffman(text, blockSize)
+		if err != nil {
+			return nil, 0, err
+		}
+		return c.Marshal(), c.NumBlocks(), nil
+	}
+	return nil, 0, fmt.Errorf("unknown algorithm %q (want samc, sadc or huff)", alg)
+}
+
+func upload(client *http.Client, addr, name string, image []byte) error {
+	resp, err := client.Post(addr+"/images?name="+name, "application/octet-stream", bytes.NewReader(image))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("upload: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	fmt.Printf("loadgen: uploaded as %q: %s\n", name, bytes.TrimSpace(body))
+	return nil
+}
+
+func fetchBlock(client *http.Client, addr, name string, b int) (int, bool, error) {
+	resp, err := client.Get(fmt.Sprintf("%s/images/%s/blocks/%d", addr, name, b))
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return 0, false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, false, fmt.Errorf("block %d: %s", b, resp.Status)
+	}
+	return int(n), resp.Header.Get("X-Cache") == "hit", nil
+}
+
+// cacheStats mirrors the /metrics JSON (a subset of romserver.Stats; kept
+// separate so loadgen stays a pure HTTP client of the daemon).
+type cacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Deduped   int64 `json:"deduped"`
+	Evictions int64 `json:"evictions"`
+}
+
+func (c cacheStats) sub(o cacheStats) cacheStats {
+	return cacheStats{c.Hits - o.Hits, c.Misses - o.Misses, c.Deduped - o.Deduped, c.Evictions - o.Evictions}
+}
+
+func (c cacheStats) hitRatio() float64 {
+	t := c.Hits + c.Misses + c.Deduped
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(t)
+}
+
+type serverStats struct {
+	Cache    cacheStats `json:"cache"`
+	Prefetch struct {
+		Issued    int64 `json:"issued"`
+		Dropped   int64 `json:"dropped"`
+		Completed int64 `json:"completed"`
+	} `json:"prefetch"`
+	Images []struct {
+		Name           string `json:"name"`
+		BlockReads     int64  `json:"block_reads"`
+		Decompressions int64  `json:"decompressions"`
+	} `json:"images"`
+}
+
+func metrics(client *http.Client, addr string) (serverStats, error) {
+	var st serverStats
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -46,6 +46,13 @@ import (
 // BlockCodec is the interface every block-addressable compressed image
 // satisfies: SAMC, SADC and byte-Huffman images all allow random-access
 // decompression at cache-block granularity.
+//
+// All implementations are safe for concurrent reads: once an image has been
+// built (by Compress* or Unmarshal*), Block, Decompress and the size
+// accessors allocate their decoder state per call and never mutate the
+// image, so any number of goroutines may decompress blocks simultaneously.
+// This property is load-bearing for the serving layer (internal/romserver)
+// and is enforced by TestConcurrentBlockReads under the race detector.
 type BlockCodec interface {
 	NumBlocks() int
 	Block(i int) ([]byte, error)
@@ -240,6 +247,49 @@ func UnmarshalSADC(data []byte) (*SADCImage, error) { return sadc.Unmarshal(data
 // UnmarshalHuffman reconstructs a byte-Huffman image from its Marshal
 // output.
 func UnmarshalHuffman(data []byte) (*HuffmanImage, error) { return kozuch.Unmarshal(data) }
+
+// Serialized-image format names, as reported by DetectFormat.
+const (
+	FormatSAMC    = "samc"
+	FormatSADC    = "sadc"
+	FormatHuffman = "huffman"
+)
+
+// DetectFormat inspects a serialized image's magic and returns its format
+// name (FormatSAMC, FormatSADC or FormatHuffman), or "" if the data does not
+// begin with a known magic. It never inspects more than the first 4 bytes.
+func DetectFormat(data []byte) string {
+	if len(data) < 4 {
+		return ""
+	}
+	switch string(data[:4]) {
+	case "SAMC":
+		return FormatSAMC
+	case "SADC":
+		return FormatSADC
+	case "KZHF":
+		return FormatHuffman
+	}
+	return ""
+}
+
+// UnmarshalAny reconstructs a block-addressable image of any format,
+// auto-detecting SAMC, SADC and byte-Huffman ROM images by their magic.
+// It is the programmatic form of `codecomp -decompress` and the entry point
+// the romserver registry uses for uploaded images. Raw LZW/deflate
+// containers carry no magic and are not block-addressable, so they are
+// rejected here.
+func UnmarshalAny(data []byte) (BlockCodec, error) {
+	switch DetectFormat(data) {
+	case FormatSAMC:
+		return samc.Unmarshal(data)
+	case FormatSADC:
+		return sadc.Unmarshal(data)
+	case FormatHuffman:
+		return kozuch.Unmarshal(data)
+	}
+	return nil, fmt.Errorf("codecomp: unrecognized image format (no SAMC/SADC/KZHF magic)")
+}
 
 // Interface conformance checks.
 var (

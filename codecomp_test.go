@@ -256,3 +256,60 @@ func TestDecompressParallelAPI(t *testing.T) {
 		t.Fatal("SADC parallel decompress failed")
 	}
 }
+
+// TestUnmarshalAny covers the magic-based auto-detection shared by the
+// codecomp CLI and the romserver registry: all three block-addressable
+// formats plus garbage input.
+func TestUnmarshalAny(t *testing.T) {
+	text := codecomp.GenerateMIPS(codecomp.MustProfile("tomcatv")).Text()
+	samcImg, err := codecomp.CompressSAMC(text, codecomp.SAMCOptions{Connected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sadcImg, err := codecomp.CompressSADCMIPS(text, codecomp.SADCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	huffImg, err := codecomp.CompressHuffman(text, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		data    []byte
+		format  string
+		wantErr bool
+	}{
+		{"samc", samcImg.Marshal(), codecomp.FormatSAMC, false},
+		{"sadc", sadcImg.Marshal(), codecomp.FormatSADC, false},
+		{"huffman", huffImg.Marshal(), codecomp.FormatHuffman, false},
+		{"empty", nil, "", true},
+		{"short", []byte("SA"), "", true},
+		{"garbage", []byte("this is not a compressed image"), "", true},
+		{"lzw-container", codecomp.LZWCompress(text), "", true},
+		{"magic-only", []byte("SAMC"), codecomp.FormatSAMC, true},
+		{"truncated", samcImg.Marshal()[:40], codecomp.FormatSAMC, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := codecomp.DetectFormat(tc.data); got != tc.format {
+				t.Fatalf("DetectFormat = %q, want %q", got, tc.format)
+			}
+			c, err := codecomp.UnmarshalAny(tc.data)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("UnmarshalAny accepted %s", tc.name)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("UnmarshalAny: %v", err)
+			}
+			got, err := c.Decompress()
+			if err != nil || !bytes.Equal(got, text) {
+				t.Fatalf("round trip through UnmarshalAny failed: %v", err)
+			}
+		})
+	}
+}

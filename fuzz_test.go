@@ -111,3 +111,51 @@ func FuzzSAMCRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzUnmarshalAny drives the registry's upload path: whatever magic a
+// hostile upload claims, UnmarshalAny must either reject it or return an
+// image whose blocks all decompress without panicking — a corrupted POST
+// /images can never take down codecompd. Seeds include intact, truncated
+// and bit-flipped marshals of every format.
+func FuzzUnmarshalAny(f *testing.F) {
+	text := seedImages(f)
+	samcImg, err := codecomp.CompressSAMC(text, codecomp.SAMCOptions{Connected: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	sadcImg, err := codecomp.CompressSADCMIPS(text, codecomp.SADCOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	huffImg, err := codecomp.CompressHuffman(text, 32)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, img := range [][]byte{samcImg.Marshal(), sadcImg.Marshal(), huffImg.Marshal()} {
+		f.Add(img)
+		f.Add(img[:len(img)/2]) // truncated
+		f.Add(img[:16])         // header only
+		flipped := append([]byte(nil), img...)
+		flipped[len(flipped)/3] ^= 0x40 // bit-flipped payload
+		f.Add(flipped)
+		flipped2 := append([]byte(nil), img...)
+		flipped2[6] ^= 0x01 // bit-flipped header
+		f.Add(flipped2)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SAMC"))
+	f.Add([]byte("SADC\x01"))
+	f.Add([]byte("KZHF\xff\xff\xff\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := codecomp.UnmarshalAny(data)
+		if err != nil {
+			return
+		}
+		// Accepted images must serve every block without panicking, the
+		// way the romserver does on demand.
+		for i := 0; i < c.NumBlocks(); i++ {
+			_, _ = c.Block(i)
+		}
+		_, _ = c.Decompress()
+	})
+}

@@ -1,0 +1,252 @@
+// Package blockcache is a sharded LRU cache of decompressed cache blocks,
+// the software analogue of the paper's decompression buffer scaled out for
+// serving: where the Wolfe/Chanin refill engine decompresses a block into
+// one cache line on every miss, a serving process holding many images wants
+// recently decompressed blocks kept around and concurrent misses on the
+// same block collapsed into a single decompression.
+//
+// The cache is keyed by (image, block). Keys hash to one of N independent
+// shards, each holding its own LRU list and mutex, so concurrent readers of
+// different blocks rarely contend. Each shard also runs singleflight
+// deduplication: the first miss on a key decompresses while later arrivals
+// for the same key wait for that one result instead of decompressing again
+// (those are the "deduped" calls in Stats).
+//
+// Loader errors are returned to every waiter of that flight but are never
+// cached: the next Get retries.
+package blockcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one decompressed block: which image, which block index.
+type Key struct {
+	Image string
+	Block int
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts Gets served from the cache.
+	Hits int64 `json:"hits"`
+	// Misses counts Gets that ran the loader.
+	Misses int64 `json:"misses"`
+	// Deduped counts Gets that joined another caller's in-flight load
+	// instead of running the loader themselves (singleflight suppression).
+	Deduped int64 `json:"deduped"`
+	// Evictions counts LRU entries dropped to make room.
+	Evictions int64 `json:"evictions"`
+	// Entries is the number of blocks currently cached.
+	Entries int64 `json:"entries"`
+	// Bytes is the decompressed payload currently cached.
+	Bytes int64 `json:"bytes"`
+}
+
+// HitRatio is hits over all Gets (hits + misses + deduped); 0 when idle.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses + s.Deduped
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a sharded LRU block cache with singleflight loading. The zero
+// value is not usable; construct with New.
+type Cache struct {
+	shards      []shard
+	perShardCap int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	deduped   atomic.Int64
+	evictions atomic.Int64
+	bytes     atomic.Int64
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[Key]*list.Element
+	lru     *list.List // front = most recently used
+	flight  map[Key]*call
+}
+
+type entry struct {
+	key Key
+	val []byte
+}
+
+// call is one in-flight load; waiters block on done.
+type call struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// New returns a cache holding at most capacity blocks spread over the given
+// number of shards. capacity <= 0 defaults to 4096 blocks; shards <= 0
+// defaults to 16. Each shard holds ceil(capacity/shards) entries, so the
+// effective capacity is rounded up to a multiple of the shard count.
+func New(capacity, shards int) *Cache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if shards <= 0 {
+		shards = 16
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	c := &Cache{
+		shards:      make([]shard, shards),
+		perShardCap: (capacity + shards - 1) / shards,
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*list.Element)
+		c.shards[i].lru = list.New()
+		c.shards[i].flight = make(map[Key]*call)
+	}
+	return c
+}
+
+// shardFor hashes a key (FNV-1a over the image name and block index) to its
+// shard.
+func (c *Cache) shardFor(k Key) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(k.Image); i++ {
+		h = (h ^ uint32(k.Image[i])) * 16777619
+	}
+	b := uint32(k.Block)
+	for i := 0; i < 4; i++ {
+		h = (h ^ (b >> (8 * i) & 0xFF)) * 16777619
+	}
+	return &c.shards[h%uint32(len(c.shards))]
+}
+
+// Get returns the block for key, loading it with load on a miss. The second
+// result reports whether the value came straight from the cache. Concurrent
+// Gets for the same missing key run load exactly once; every caller gets
+// that flight's value (or error). Errors are not cached.
+func (c *Cache) Get(key Key, load func() ([]byte, error)) ([]byte, bool, error) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		val := el.Value.(*entry).val
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return val, true, nil
+	}
+	if fl, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		c.deduped.Add(1)
+		<-fl.done
+		return fl.val, false, fl.err
+	}
+	fl := &call{done: make(chan struct{})}
+	s.flight[key] = fl
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	fl.val, fl.err = load()
+
+	s.mu.Lock()
+	delete(s.flight, key)
+	if fl.err == nil {
+		s.insert(c, key, fl.val)
+	}
+	s.mu.Unlock()
+	close(fl.done)
+	return fl.val, false, fl.err
+}
+
+// insert adds a loaded value, evicting from the LRU tail while over
+// capacity. Caller holds s.mu.
+func (s *shard) insert(c *Cache, key Key, val []byte) {
+	if el, ok := s.entries[key]; ok {
+		// A concurrent Invalidate+reload can race another flight's insert;
+		// keep the newest value.
+		old := el.Value.(*entry)
+		c.bytes.Add(int64(len(val)) - int64(len(old.val)))
+		old.val = val
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[key] = s.lru.PushFront(&entry{key: key, val: val})
+	c.bytes.Add(int64(len(val)))
+	for s.lru.Len() > c.perShardCap {
+		back := s.lru.Back()
+		e := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.entries, e.key)
+		c.bytes.Add(-int64(len(e.val)))
+		c.evictions.Add(1)
+	}
+}
+
+// Contains reports whether key is cached right now, without touching LRU
+// order or counters. The prefetcher uses it to skip already-warm blocks.
+func (c *Cache) Contains(key Key) bool {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	_, ok := s.entries[key]
+	s.mu.Unlock()
+	return ok
+}
+
+// InvalidateImage drops every cached block of the named image (after an
+// image is replaced or removed). In-flight loads are not interrupted; their
+// results land in the cache and are at worst one stale insert, which the
+// caller avoids by invalidating after deregistering the image.
+func (c *Cache) InvalidateImage(image string) int {
+	dropped := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; {
+			next := el.Next()
+			e := el.Value.(*entry)
+			if e.key.Image == image {
+				s.lru.Remove(el)
+				delete(s.entries, e.key)
+				c.bytes.Add(-int64(len(e.val)))
+				dropped++
+			}
+			el = next
+		}
+		s.mu.Unlock()
+	}
+	return dropped
+}
+
+// Len returns the number of cached blocks.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity returns the effective maximum number of cached blocks.
+func (c *Cache) Capacity() int { return c.perShardCap * len(c.shards) }
+
+// Stats returns a snapshot of the counters. Entries and Bytes are exact;
+// the flow counters are each individually exact but mutually unsynchronized
+// (a Get concurrent with Stats may appear in neither or one of them).
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Deduped:   c.deduped.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   int64(c.Len()),
+		Bytes:     c.bytes.Load(),
+	}
+}

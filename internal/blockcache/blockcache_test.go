@@ -1,0 +1,192 @@
+package blockcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func loadValue(b []byte) func() ([]byte, error) {
+	return func() ([]byte, error) { return b, nil }
+}
+
+func TestGetHitMiss(t *testing.T) {
+	c := New(8, 2)
+	k := Key{Image: "img", Block: 3}
+
+	v, hit, err := c.Get(k, loadValue([]byte("abc")))
+	if err != nil || hit || string(v) != "abc" {
+		t.Fatalf("first Get = %q, hit=%v, err=%v; want miss abc", v, hit, err)
+	}
+	v, hit, err = c.Get(k, func() ([]byte, error) {
+		t.Fatal("loader ran on a hit")
+		return nil, nil
+	})
+	if err != nil || !hit || string(v) != "abc" {
+		t.Fatalf("second Get = %q, hit=%v, err=%v; want hit abc", v, hit, err)
+	}
+
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Deduped != 0 || st.Entries != 1 || st.Bytes != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.HitRatio(); got != 0.5 {
+		t.Fatalf("hit ratio = %v, want 0.5", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(4, 1) // single shard: strict global LRU
+	for i := 0; i < 4; i++ {
+		c.Get(Key{"img", i}, loadValue([]byte{byte(i)}))
+	}
+	c.Get(Key{"img", 0}, loadValue(nil)) // touch 0: now 1 is least recent
+	c.Get(Key{"img", 4}, loadValue([]byte{4}))
+
+	if c.Contains(Key{"img", 1}) {
+		t.Fatal("block 1 should have been evicted")
+	}
+	for _, i := range []int{0, 2, 3, 4} {
+		if !c.Contains(Key{"img", i}) {
+			t.Fatalf("block %d should still be cached", i)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 4 {
+		t.Fatalf("stats = %+v, want 1 eviction, 4 entries", st)
+	}
+}
+
+func TestSingleflightCollapse(t *testing.T) {
+	c := New(16, 4)
+	const waiters = 16
+	gate := make(chan struct{})
+	var loads atomic.Int64
+	var wg sync.WaitGroup
+	k := Key{Image: "img", Block: 7}
+
+	wg.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			defer wg.Done()
+			v, _, err := c.Get(k, func() ([]byte, error) {
+				loads.Add(1)
+				<-gate
+				return []byte("block7"), nil
+			})
+			if err != nil || string(v) != "block7" {
+				t.Errorf("Get = %q, %v", v, err)
+			}
+		}()
+	}
+	// Wait until the one loader is in flight and every other goroutine has
+	// joined it, then release the loader.
+	for {
+		st := c.Stats()
+		if st.Misses == 1 && st.Deduped == waiters-1 {
+			break
+		}
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("loader ran %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Deduped != waiters-1 || st.Hits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLoadErrorNotCached(t *testing.T) {
+	c := New(8, 1)
+	k := Key{Image: "img", Block: 0}
+	boom := errors.New("boom")
+
+	if _, _, err := c.Get(k, func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Contains(k) {
+		t.Fatal("error result was cached")
+	}
+	v, hit, err := c.Get(k, loadValue([]byte("ok")))
+	if err != nil || hit || string(v) != "ok" {
+		t.Fatalf("retry = %q, hit=%v, err=%v", v, hit, err)
+	}
+}
+
+func TestInvalidateImage(t *testing.T) {
+	c := New(64, 4)
+	for i := 0; i < 10; i++ {
+		c.Get(Key{"a", i}, loadValue([]byte{1, 2}))
+		c.Get(Key{"b", i}, loadValue([]byte{3}))
+	}
+	if n := c.InvalidateImage("a"); n != 10 {
+		t.Fatalf("invalidated %d, want 10", n)
+	}
+	if c.Len() != 10 {
+		t.Fatalf("len = %d, want 10", c.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if c.Contains(Key{"a", i}) {
+			t.Fatalf("a/%d survived invalidation", i)
+		}
+		if !c.Contains(Key{"b", i}) {
+			t.Fatalf("b/%d was dropped", i)
+		}
+	}
+	if st := c.Stats(); st.Bytes != 10 {
+		t.Fatalf("bytes = %d, want 10", st.Bytes)
+	}
+}
+
+func TestCapacityDefaultsAndRounding(t *testing.T) {
+	if got := New(0, 0).Capacity(); got != 4096 {
+		t.Fatalf("default capacity = %d", got)
+	}
+	if got := New(10, 4).Capacity(); got != 12 { // ceil(10/4)=3 per shard
+		t.Fatalf("rounded capacity = %d", got)
+	}
+	if got := New(2, 16).Capacity(); got != 2 { // shards clamped to capacity
+		t.Fatalf("clamped capacity = %d", got)
+	}
+}
+
+// TestConcurrentChurn hammers overlapping keys from many goroutines with a
+// small capacity so hits, misses, dedup and eviction all race; run under
+// -race this is the cache's thread-safety proof.
+func TestConcurrentChurn(t *testing.T) {
+	c := New(32, 4)
+	const (
+		goroutines = 8
+		iters      = 2000
+		keyspace   = 100
+	)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := Key{Image: "img", Block: (g*31 + i) % keyspace}
+				want := fmt.Sprintf("v%d", k.Block)
+				v, _, err := c.Get(k, loadValue([]byte(want)))
+				if err != nil || string(v) != want {
+					t.Errorf("Get(%d) = %q, %v", k.Block, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Hits+st.Misses+st.Deduped != goroutines*iters {
+		t.Fatalf("counter sum %d != %d Gets (stats %+v)", st.Hits+st.Misses+st.Deduped, goroutines*iters, st)
+	}
+	if st.Entries > 32 {
+		t.Fatalf("entries %d exceed capacity", st.Entries)
+	}
+}

@@ -1,0 +1,485 @@
+// Package romserver is the serving layer over the paper's compressed-ROM
+// images: an in-memory registry of block-addressable images (SAMC, SADC,
+// byte-Huffman — anything codecomp.UnmarshalAny accepts) that answers
+// random-access block reads the way the Wolfe/Chanin refill engine does,
+// but scaled for concurrent clients.
+//
+// Three mechanisms sit between a read and a decompression:
+//
+//   - every read goes through a sharded singleflight LRU cache
+//     (internal/blockcache), so hot blocks decompress once;
+//   - all decompression work runs on a bounded worker pool, so a burst of
+//     cold reads cannot spawn unbounded concurrent decompressions;
+//   - a demand miss at block i speculatively warms blocks i+1..i+k on the
+//     same pool (best-effort: prefetches are dropped, never queued, when
+//     the pool is saturated). This mirrors the paper's refill locality —
+//     after missing block i, straight-line fetch runs into i+1 next.
+//
+// Close drains: queued work is finished, workers exit, and every API call
+// afterwards reports ErrClosed.
+package romserver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"codecomp"
+	"codecomp/internal/blockcache"
+)
+
+var (
+	// ErrClosed is returned by every method after Close.
+	ErrClosed = errors.New("romserver: server closed")
+	// ErrNotFound is returned for reads of an unregistered image.
+	ErrNotFound = errors.New("romserver: image not found")
+	// ErrOutOfRange is returned for block indices outside an image.
+	ErrOutOfRange = errors.New("romserver: block out of range")
+)
+
+// Options configures a Server. Zero values pick serving-friendly defaults.
+type Options struct {
+	// CacheBlocks is the total decompressed-block cache capacity
+	// (default 4096 blocks).
+	CacheBlocks int
+	// CacheShards is the cache shard count (default 16).
+	CacheShards int
+	// Workers is the decompression pool size (default 8).
+	Workers int
+	// QueueDepth is the pending-task queue length (default 4×Workers).
+	QueueDepth int
+	// PrefetchDepth is how many sequential blocks a demand miss warms
+	// (default 4; negative disables prefetching).
+	PrefetchDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheBlocks <= 0 {
+		o.CacheBlocks = 4096
+	}
+	if o.CacheShards <= 0 {
+		o.CacheShards = 16
+	}
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Workers
+	}
+	if o.PrefetchDepth == 0 {
+		o.PrefetchDepth = 4
+	}
+	if o.PrefetchDepth < 0 {
+		o.PrefetchDepth = 0
+	}
+	return o
+}
+
+// image is one registered compressed ROM plus its serving counters.
+type image struct {
+	name     string
+	codec    codecomp.BlockCodec
+	format   string
+	blocks   int
+	origSize int
+
+	blockReads     atomic.Int64
+	rangeReads     atomic.Int64
+	fullReads      atomic.Int64
+	decompressions atomic.Int64
+}
+
+// task is one unit of pool work; reply is nil for prefetches.
+type task struct {
+	img   *image
+	block int
+	reply chan result
+}
+
+type result struct {
+	data []byte
+	hit  bool
+	err  error
+}
+
+// Server is the concurrent compressed-ROM block service.
+type Server struct {
+	opts  Options
+	cache *blockcache.Cache
+
+	mu     sync.RWMutex
+	images map[string]*image
+	closed bool
+
+	tasks   chan task
+	quit    chan struct{} // closed first: stop accepting work
+	drained chan struct{} // closed after the pool has fully drained
+	wg      sync.WaitGroup
+
+	prefetchIssued    atomic.Int64
+	prefetchDropped   atomic.Int64
+	prefetchCompleted atomic.Int64
+}
+
+// New starts a server and its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		cache:   blockcache.New(opts.CacheBlocks, opts.CacheShards),
+		images:  make(map[string]*image),
+		tasks:   make(chan task, opts.QueueDepth),
+		quit:    make(chan struct{}),
+		drained: make(chan struct{}),
+	}
+	s.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the server: no new work is accepted, queued and in-flight
+// decompressions finish, then the pool exits. Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.drained
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	s.wg.Wait()
+	close(s.drained)
+	return nil
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case t := <-s.tasks:
+			s.handle(t)
+		case <-s.quit:
+			// Drain whatever was queued before shutdown, then exit.
+			for {
+				select {
+				case t := <-s.tasks:
+					s.handle(t)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) handle(t task) {
+	data, hit, err := s.cache.Get(blockcache.Key{Image: t.img.name, Block: t.block}, func() ([]byte, error) {
+		t.img.decompressions.Add(1)
+		return t.img.codec.Block(t.block)
+	})
+	if t.reply == nil {
+		if err == nil {
+			s.prefetchCompleted.Add(1)
+		}
+		return
+	}
+	t.reply <- result{data: data, hit: hit, err: err}
+	if err == nil && !hit {
+		s.prefetch(t.img, t.block)
+	}
+}
+
+// prefetch best-effort enqueues warms for the k blocks after a demand miss.
+// It must never block: workers call it, and a blocking send from a worker
+// into its own pool deadlocks under load.
+func (s *Server) prefetch(img *image, miss int) {
+	for b := miss + 1; b <= miss+s.opts.PrefetchDepth && b < img.blocks; b++ {
+		if s.cache.Contains(blockcache.Key{Image: img.name, Block: b}) {
+			continue
+		}
+		select {
+		case s.tasks <- task{img: img, block: b}:
+			s.prefetchIssued.Add(1)
+		case <-s.quit:
+			return
+		default:
+			s.prefetchDropped.Add(1)
+		}
+	}
+}
+
+// fetch runs one demand read through the pool and waits for its result.
+func (s *Server) fetch(img *image, block int) ([]byte, bool, error) {
+	t := task{img: img, block: block, reply: make(chan result, 1)}
+	select {
+	case s.tasks <- t:
+	case <-s.quit:
+		return nil, false, ErrClosed
+	}
+	select {
+	case r := <-t.reply:
+		return r.data, r.hit, r.err
+	case <-s.drained:
+		// Shutdown raced our enqueue; the drain loop may still have served
+		// the task, so check once more before giving up.
+		select {
+		case r := <-t.reply:
+			return r.data, r.hit, r.err
+		default:
+			return nil, false, ErrClosed
+		}
+	}
+}
+
+// ImageInfo describes a registered image.
+type ImageInfo struct {
+	Name           string  `json:"name"`
+	Format         string  `json:"format"`
+	Blocks         int     `json:"blocks"`
+	OrigSize       int     `json:"orig_size"`
+	CompressedSize int     `json:"compressed_size"`
+	Ratio          float64 `json:"ratio"`
+}
+
+func (img *image) info() ImageInfo {
+	return ImageInfo{
+		Name:           img.name,
+		Format:         img.format,
+		Blocks:         img.blocks,
+		OrigSize:       img.origSize,
+		CompressedSize: img.codec.CompressedSize(),
+		Ratio:          img.codec.Ratio(),
+	}
+}
+
+// imageMeta pulls block-size/original-size metadata off the concrete image
+// types (the BlockCodec interface intentionally stays minimal).
+func imageMeta(c codecomp.BlockCodec) (origSize int) {
+	switch v := c.(type) {
+	case *codecomp.SAMCImage:
+		return v.OrigSize
+	case *codecomp.SADCImage:
+		return v.OrigSize
+	case *codecomp.HuffmanImage:
+		return v.OrigSize
+	}
+	return 0
+}
+
+// AddImage registers a marshaled image under name, auto-detecting its
+// format by magic. Re-registering a name replaces the image and drops its
+// cached blocks.
+func (s *Server) AddImage(name string, data []byte) (ImageInfo, error) {
+	if name == "" || strings.ContainsAny(name, "/ \t\n") {
+		return ImageInfo{}, fmt.Errorf("romserver: invalid image name %q", name)
+	}
+	codec, err := codecomp.UnmarshalAny(data)
+	if err != nil {
+		return ImageInfo{}, err
+	}
+	img := &image{
+		name:     name,
+		codec:    codec,
+		format:   codecomp.DetectFormat(data),
+		blocks:   codec.NumBlocks(),
+		origSize: imageMeta(codec),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ImageInfo{}, ErrClosed
+	}
+	_, replaced := s.images[name]
+	s.images[name] = img
+	s.mu.Unlock()
+	if replaced {
+		s.cache.InvalidateImage(name)
+	}
+	return img.info(), nil
+}
+
+// RemoveImage deregisters an image and drops its cached blocks.
+func (s *Server) RemoveImage(name string) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	_, ok := s.images[name]
+	delete(s.images, name)
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	s.cache.InvalidateImage(name)
+	return nil
+}
+
+func (s *Server) lookup(name string) (*image, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	img, ok := s.images[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return img, nil
+}
+
+// Image returns metadata for one registered image.
+func (s *Server) Image(name string) (ImageInfo, error) {
+	img, err := s.lookup(name)
+	if err != nil {
+		return ImageInfo{}, err
+	}
+	return img.info(), nil
+}
+
+// Images lists all registered images, sorted by name.
+func (s *Server) Images() []ImageInfo {
+	s.mu.RLock()
+	out := make([]ImageInfo, 0, len(s.images))
+	for _, img := range s.images {
+		out = append(out, img.info())
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Block returns the decompressed bytes of one cache block. The bool reports
+// whether the read was a cache hit.
+func (s *Server) Block(name string, i int) ([]byte, bool, error) {
+	img, err := s.lookup(name)
+	if err != nil {
+		return nil, false, err
+	}
+	if i < 0 || i >= img.blocks {
+		return nil, false, fmt.Errorf("%w: %d of %q [0,%d)", ErrOutOfRange, i, name, img.blocks)
+	}
+	img.blockReads.Add(1)
+	return s.fetch(img, i)
+}
+
+// Range returns the concatenated decompressed bytes of blocks [first,last].
+func (s *Server) Range(name string, first, last int) ([]byte, error) {
+	img, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if first < 0 || last >= img.blocks || first > last {
+		return nil, fmt.Errorf("%w: [%d,%d] of %q [0,%d)", ErrOutOfRange, first, last, name, img.blocks)
+	}
+	img.rangeReads.Add(1)
+	return s.assemble(img, first, last)
+}
+
+// FullText returns the whole decompressed program.
+func (s *Server) FullText(name string) ([]byte, error) {
+	img, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	img.fullReads.Add(1)
+	if img.blocks == 0 {
+		return nil, nil
+	}
+	return s.assemble(img, 0, img.blocks-1)
+}
+
+func (s *Server) assemble(img *image, first, last int) ([]byte, error) {
+	out := make([]byte, 0, (last-first+1)*32)
+	for b := first; b <= last; b++ {
+		blk, _, err := s.fetch(img, b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, blk...)
+	}
+	return out, nil
+}
+
+// PrefetchStats counts the speculative warms behind demand misses.
+type PrefetchStats struct {
+	// Issued counts prefetch tasks enqueued onto the pool.
+	Issued int64 `json:"issued"`
+	// Dropped counts prefetches skipped because the pool was saturated.
+	Dropped int64 `json:"dropped"`
+	// Completed counts prefetched blocks that landed in the cache.
+	Completed int64 `json:"completed"`
+}
+
+// ImageStats is per-image serving counters plus the image metadata.
+type ImageStats struct {
+	ImageInfo
+	// BlockReads, RangeReads and FullReads count API-level requests.
+	BlockReads int64 `json:"block_reads"`
+	RangeReads int64 `json:"range_reads"`
+	FullReads  int64 `json:"full_reads"`
+	// Decompressions counts actual codec.Block invocations — the work the
+	// cache and singleflight exist to avoid.
+	Decompressions int64 `json:"decompressions"`
+}
+
+// Stats is a snapshot of the whole serving layer.
+type Stats struct {
+	Cache         blockcache.Stats `json:"cache"`
+	CacheHitRatio float64          `json:"cache_hit_ratio"`
+	Prefetch      PrefetchStats    `json:"prefetch"`
+	Images        []ImageStats     `json:"images"`
+}
+
+// Stats snapshots cache, prefetch and per-image counters.
+func (s *Server) Stats() Stats {
+	cs := s.cache.Stats()
+	st := Stats{
+		Cache:         cs,
+		CacheHitRatio: cs.HitRatio(),
+		Prefetch: PrefetchStats{
+			Issued:    s.prefetchIssued.Load(),
+			Dropped:   s.prefetchDropped.Load(),
+			Completed: s.prefetchCompleted.Load(),
+		},
+	}
+	s.mu.RLock()
+	for _, img := range s.images {
+		st.Images = append(st.Images, ImageStats{
+			ImageInfo:      img.info(),
+			BlockReads:     img.blockReads.Load(),
+			RangeReads:     img.rangeReads.Load(),
+			FullReads:      img.fullReads.Load(),
+			Decompressions: img.decompressions.Load(),
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(st.Images, func(i, j int) bool { return st.Images[i].Name < st.Images[j].Name })
+	return st
+}
+
+// CacheStats returns just the block cache counters.
+func (s *Server) CacheStats() blockcache.Stats { return s.cache.Stats() }
+
+// addCodec registers an already-built codec directly; tests use it to
+// instrument decompression with stub codecs.
+func (s *Server) addCodec(name string, codec codecomp.BlockCodec, format string) *image {
+	img := &image{
+		name:     name,
+		codec:    codec,
+		format:   format,
+		blocks:   codec.NumBlocks(),
+		origSize: imageMeta(codec),
+	}
+	s.mu.Lock()
+	s.images[name] = img
+	s.mu.Unlock()
+	return img
+}
