@@ -15,16 +15,29 @@
 //	GET  /healthz                liveness
 //	GET  /metrics                JSON cache/prefetch/per-image counters
 //
+// Tracelab (access-pattern profiling and prefetch policies):
+//
+//	POST /images/{name}/train    train from the live trace ring, or from a
+//	                             codecomp-trace text body if one is posted
+//	GET  /images/{name}/profile  trained profile summary (heat, reuse, ...)
+//	GET  /images/{name}/trace    the recorded trace in codecomp-trace text
+//	PUT  /images/{name}/policy?policy=markov&k=2&depth=4&pin=64
+//	                             switch prefetch policy (sequential|markov|hotset)
+//	GET  /images/{name}/policy   the active policy
+//
 // Example:
 //
 //	codecompd -addr :8077 &
 //	codecomp -alg samc -in prog.bin -save prog.samc
 //	curl --data-binary @prog.samc 'localhost:8077/images?name=prog'
 //	curl localhost:8077/images/prog/blocks/7
+//	curl -X POST localhost:8077/images/prog/train
+//	curl -X PUT 'localhost:8077/images/prog/policy?policy=markov'
 //	curl localhost:8077/metrics
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -39,6 +52,7 @@ import (
 	"time"
 
 	"codecomp/internal/romserver"
+	"codecomp/internal/traceprof"
 )
 
 type daemon struct {
@@ -53,6 +67,7 @@ func main() {
 	workers := flag.Int("workers", 8, "decompression worker pool size")
 	queueDepth := flag.Int("queue", 0, "pool queue depth (0 = 4x workers)")
 	prefetch := flag.Int("prefetch", 4, "blocks warmed after a demand miss (-1 disables)")
+	traceBuffer := flag.Int("trace-buffer", 65536, "per-image access-trace ring size (-1 disables recording)")
 	maxImage := flag.Int64("max-image-bytes", 64<<20, "largest accepted upload")
 	flag.Parse()
 
@@ -63,6 +78,7 @@ func main() {
 			Workers:       *workers,
 			QueueDepth:    *queueDepth,
 			PrefetchDepth: *prefetch,
+			TraceBuffer:   *traceBuffer,
 		}),
 		started: time.Now(),
 	}
@@ -74,6 +90,11 @@ func main() {
 	mux.HandleFunc("DELETE /images/{name}", d.handleDelete)
 	mux.HandleFunc("GET /images/{name}/blocks/{i}", d.handleBlock)
 	mux.HandleFunc("GET /images/{name}/text", d.handleText)
+	mux.HandleFunc("POST /images/{name}/train", d.maxBody(*maxImage, d.handleTrain))
+	mux.HandleFunc("GET /images/{name}/profile", d.handleProfile)
+	mux.HandleFunc("GET /images/{name}/trace", d.handleTrace)
+	mux.HandleFunc("PUT /images/{name}/policy", d.handleSetPolicy)
+	mux.HandleFunc("GET /images/{name}/policy", d.handleGetPolicy)
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
 
@@ -121,6 +142,10 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, romserver.ErrClosed):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, romserver.ErrNoTrace), errors.Is(err, romserver.ErrNoProfile):
+		status = http.StatusConflict
+	case errors.Is(err, romserver.ErrBadPolicy):
+		status = http.StatusBadRequest
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
@@ -199,6 +224,90 @@ func (d *daemon) handleText(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 	w.Write(data) //nolint:errcheck
+}
+
+// handleTrain trains the image's access profile: from a posted
+// codecomp-trace text body when one is supplied, otherwise from the live
+// trace ring. Responds with the profile summary.
+func (d *daemon) handleTrain(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	var prof *traceprof.Profile
+	if len(body) > 0 {
+		tr, err := traceprof.Parse(bytes.NewReader(body))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		prof, err = d.rs.TrainFrom(name, tr.Accesses)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+	} else if prof, err = d.rs.Train(name); err != nil {
+		writeErr(w, err)
+		return
+	}
+	log.Printf("codecompd: trained %q on %d accesses (%d unique blocks)",
+		name, prof.Accesses, prof.UniqueBlocks())
+	writeJSON(w, http.StatusOK, prof.Summary(16))
+}
+
+func (d *daemon) handleProfile(w http.ResponseWriter, r *http.Request) {
+	prof, err := d.rs.Profile(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, prof.Summary(16))
+}
+
+func (d *daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr, err := d.rs.TraceSnapshot(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	tr.WriteTo(w) //nolint:errcheck — client went away
+}
+
+func (d *daemon) handleSetPolicy(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	spec := romserver.PolicySpec{Policy: q.Get("policy")}
+	for _, f := range []struct {
+		key string
+		dst *int
+	}{{"depth", &spec.Depth}, {"k", &spec.TopK}, {"pin", &spec.PinCount}} {
+		if v := q.Get(f.key); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": f.key + " must be an integer"})
+				return
+			}
+			*f.dst = n
+		}
+	}
+	info, err := d.rs.SetPolicy(r.PathValue("name"), spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	log.Printf("codecompd: %q now serving with policy %s (%d pinned)", info.Image, info.Policy, info.Pinned)
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (d *daemon) handleGetPolicy(w http.ResponseWriter, r *http.Request) {
+	info, err := d.rs.Policy(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (d *daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -9,9 +9,20 @@
 // At the end it reports client-side throughput and the server's cache hit
 // ratio, prefetch activity and decompression counts from /metrics.
 //
-// Example (after `codecompd -addr :8077`):
+// With -policy it becomes a one-command A/B harness: the same trace is
+// replayed twice against a cold cache — once under the sequential baseline,
+// once under the selected policy (trained on the trace via the server's
+// /train endpoint) — and the final line compares demand hit ratio,
+// prefetch accuracy and prefetch waste. With -offline no server is needed:
+// the trace is scored through the memsys policy evaluator instead. The
+// generated trace can be saved with -tracefile for later replay through
+// traceprof tooling or a /train upload.
+//
+// Example (after `codecompd -addr :8077 -cache-blocks 256`):
 //
 //	loadgen -addr http://localhost:8077 -profile gcc -alg samc -loops 4
+//	loadgen -addr http://localhost:8077 -profile gcc -loops 3 -policy markov
+//	loadgen -offline -profile gcc -loops 3
 package main
 
 import (
@@ -27,6 +38,9 @@ import (
 	"time"
 
 	"codecomp"
+	"codecomp/internal/memsys"
+	"codecomp/internal/policy"
+	"codecomp/internal/traceprof"
 )
 
 func main() {
@@ -40,6 +54,13 @@ func main() {
 	concurrency := flag.Int("c", 8, "concurrent client connections")
 	blockSize := flag.Int("block", 32, "cache block size used at compression time")
 	keep := flag.Bool("keep", false, "leave the image registered after the run")
+	polName := flag.String("policy", "", "A/B this policy against the sequential baseline: markov, hotset or sequential")
+	topK := flag.Int("k", 0, "markov successors warmed per miss (0 = default)")
+	pdepth := flag.Int("pdepth", 0, "policy prefetch depth (0 = default)")
+	pin := flag.Int("pin", 0, "hotset pin count (0 = default)")
+	tracefile := flag.String("tracefile", "", "also write the generated block trace here in codecomp-trace format")
+	offline := flag.Bool("offline", false, "skip the server: score sequential/markov/hotset through the memsys policy evaluator")
+	simCache := flag.Int("sim-cache", 0, "offline cache capacity in blocks (0 = working set / 3)")
 	flag.Parse()
 
 	if *name == "" {
@@ -52,17 +73,6 @@ func main() {
 	fatal(err)
 	fmt.Printf("loadgen: %s/%s: %d B text -> %d B image, %d blocks\n",
 		*profile, *alg, len(text), len(image), blocks)
-
-	client := &http.Client{Timeout: 30 * time.Second}
-	fatal(upload(client, *addr, *name, image))
-	if !*keep {
-		defer func() {
-			req, _ := http.NewRequest(http.MethodDelete, *addr+"/images/"+*name, nil)
-			if resp, err := client.Do(req); err == nil {
-				resp.Body.Close()
-			}
-		}()
-	}
 
 	// Block-change request stream: dedupe consecutive fetches to the same
 	// block, like the refill engine behind its one-line buffer.
@@ -79,19 +89,94 @@ func main() {
 	fmt.Printf("loadgen: trace of %d fetches -> %d block requests/loop x %d loops, %d clients\n",
 		len(trace), len(reqs), *loops, *concurrency)
 
-	before, err := metrics(client, *addr)
-	fatal(err)
+	tr := &traceprof.Trace{Image: *name, Blocks: blocks, Accesses: reqs}
+	if *tracefile != "" {
+		fatal(writeTraceFile(*tracefile, tr))
+		fmt.Printf("loadgen: wrote %d-access trace to %s\n", len(reqs), *tracefile)
+	}
+
+	if *offline {
+		fatal(runOffline(reqs, blocks, *loops, *simCache, *topK, *pdepth, *pin))
+		return
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	if !*keep {
+		defer deleteImage(client, *addr, *name)
+	}
+
+	if *polName == "" {
+		// Plain run against whatever policy the server already has.
+		fatal(upload(client, *addr, *name, image))
+		res, err := runOnce(client, *addr, *name, reqs, *loops, *concurrency)
+		fatal(err)
+		res.print(*name)
+		if res.fail > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	// A/B: replay the same trace twice against a cold cache — the baseline
+	// arm under sequential prefetch, the trained arm under -policy. The
+	// image is deleted and re-uploaded between arms so both start cold.
+	arm := func(p string) runResult {
+		deleteImage(client, *addr, *name)
+		fatal(upload(client, *addr, *name, image))
+		if p != "sequential" {
+			fatal(train(client, *addr, *name, tr))
+		}
+		fatal(putPolicy(client, *addr, *name, p, *topK, *pdepth, *pin))
+		res, err := runOnce(client, *addr, *name, reqs, *loops, *concurrency)
+		fatal(err)
+		return res
+	}
+
+	fmt.Printf("\nloadgen: arm A (sequential baseline)\n")
+	a := arm("sequential")
+	a.print(*name)
+	fmt.Printf("\nloadgen: arm B (%s, trained on this trace)\n", *polName)
+	b := arm(*polName)
+	b.print(*name)
+
+	fmt.Printf("\nloadgen: A/B sequential -> %s: hit %.2f%% -> %.2f%%, prefetch accuracy %.2f%% -> %.2f%%, wasted %d -> %d\n",
+		*polName, pct(a.clientHits, a.ok), pct(b.clientHits, b.ok),
+		pct(a.pfHits, a.pfCompleted), pct(b.pfHits, b.pfCompleted),
+		a.pfWasted, b.pfWasted)
+	if a.fail+b.fail > 0 {
+		os.Exit(1)
+	}
+}
+
+// runResult is one replay's client-side counters plus the server-side
+// /metrics deltas it produced.
+type runResult struct {
+	ok, fail, bytesRead, clientHits        int64
+	elapsed                                time.Duration
+	cache                                  cacheStats
+	pfIssued, pfCompleted, pfDropped       int64
+	pfHits, pfWasted                       int64
+	imgReads, imgDecompressions, imgPinned int64
+	imgPolicy                              string
+}
+
+func runOnce(client *http.Client, addr, name string, reqs []int, loops, concurrency int) (runResult, error) {
+	var res runResult
+	before, err := metrics(client, addr)
+	if err != nil {
+		return res, err
+	}
 
 	var done, failed, bytesRead, clientHits atomic.Int64
-	work := make(chan int, 4**concurrency)
+	work := make(chan int, 4*concurrency)
 	var wg sync.WaitGroup
 	start := time.Now()
-	for w := 0; w < *concurrency; w++ {
+	for w := 0; w < concurrency; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for b := range work {
-				n, hit, err := fetchBlock(client, *addr, *name, b)
+				n, hit, err := fetchBlock(client, addr, name, b)
 				if err != nil {
 					failed.Add(1)
 					continue
@@ -104,41 +189,116 @@ func main() {
 			}
 		}()
 	}
-	for l := 0; l < *loops; l++ {
+	for l := 0; l < loops; l++ {
 		for _, b := range reqs {
 			work <- b
 		}
 	}
 	close(work)
 	wg.Wait()
-	elapsed := time.Since(start)
+	res.elapsed = time.Since(start)
 
-	after, err := metrics(client, *addr)
-	fatal(err)
-
-	ok, fail := done.Load(), failed.Load()
-	fmt.Printf("\nloadgen: %d requests (%d failed) in %v\n", ok+fail, fail, elapsed.Round(time.Millisecond))
-	fmt.Printf("  throughput       %.0f req/s, %.2f MiB/s decompressed\n",
-		float64(ok)/elapsed.Seconds(), float64(bytesRead.Load())/(1<<20)/elapsed.Seconds())
-	fmt.Printf("  client X-Cache   %.2f%% hit\n", pct(clientHits.Load(), ok))
-
-	dc := after.Cache.sub(before.Cache)
-	fmt.Printf("  server cache     %d hits, %d misses, %d deduped, %d evictions -> %.2f%% hit ratio\n",
-		dc.Hits, dc.Misses, dc.Deduped, dc.Evictions, 100*dc.hitRatio())
-	fmt.Printf("  server prefetch  %d issued, %d completed, %d dropped\n",
-		after.Prefetch.Issued-before.Prefetch.Issued,
-		after.Prefetch.Completed-before.Prefetch.Completed,
-		after.Prefetch.Dropped-before.Prefetch.Dropped)
+	after, err := metrics(client, addr)
+	if err != nil {
+		return res, err
+	}
+	res.ok, res.fail = done.Load(), failed.Load()
+	res.bytesRead, res.clientHits = bytesRead.Load(), clientHits.Load()
+	res.cache = after.Cache.sub(before.Cache)
+	res.pfIssued = after.Prefetch.Issued - before.Prefetch.Issued
+	res.pfCompleted = after.Prefetch.Completed - before.Prefetch.Completed
+	res.pfDropped = after.Prefetch.Dropped - before.Prefetch.Dropped
+	res.pfHits = after.Prefetch.Hits - before.Prefetch.Hits
+	res.pfWasted = after.Prefetch.Wasted - before.Prefetch.Wasted
 	for _, img := range after.Images {
-		if img.Name == *name {
-			fmt.Printf("  image %-10s %d block reads, %d decompressions (%.2f reads/decompression)\n",
-				img.Name, img.BlockReads, img.Decompressions,
-				float64(img.BlockReads)/float64(max64(img.Decompressions, 1)))
+		if img.Name == name {
+			res.imgReads, res.imgDecompressions = img.BlockReads, img.Decompressions
+			res.imgPolicy, res.imgPinned = img.Policy, img.Pinned
 		}
 	}
-	if fail > 0 {
-		os.Exit(1)
+	return res, nil
+}
+
+func (r runResult) print(name string) {
+	fmt.Printf("loadgen: %d requests (%d failed) in %v\n", r.ok+r.fail, r.fail, r.elapsed.Round(time.Millisecond))
+	fmt.Printf("  throughput       %.0f req/s, %.2f MiB/s decompressed\n",
+		float64(r.ok)/r.elapsed.Seconds(), float64(r.bytesRead)/(1<<20)/r.elapsed.Seconds())
+	fmt.Printf("  client X-Cache   %.2f%% hit\n", pct(r.clientHits, r.ok))
+	fmt.Printf("  server cache     %d hits, %d misses, %d deduped, %d evictions -> %.2f%% hit ratio\n",
+		r.cache.Hits, r.cache.Misses, r.cache.Deduped, r.cache.Evictions, 100*r.cache.hitRatio())
+	fmt.Printf("  server prefetch  %d issued, %d completed, %d dropped; %d hit (%.2f%% accuracy), %d wasted\n",
+		r.pfIssued, r.pfCompleted, r.pfDropped, r.pfHits, pct(r.pfHits, r.pfCompleted), r.pfWasted)
+	if r.imgPolicy != "" {
+		fmt.Printf("  image %-10s policy %s (%d pinned), %d block reads, %d decompressions (%.2f reads/decompression)\n",
+			name, r.imgPolicy, r.imgPinned, r.imgReads, r.imgDecompressions,
+			float64(r.imgReads)/float64(max64(r.imgDecompressions, 1)))
 	}
+}
+
+// runOffline scores the trace against all three policies through the
+// memsys block-cache model — no server involved. The profile is trained on
+// one loop of the trace and evaluated on the looped replay, so it answers
+// the same question as the A/B mode, in microseconds.
+func runOffline(reqs []int, blocks, loops, cache, topK, depth, pin int) error {
+	prof := traceprof.BuildProfile(reqs, blocks)
+	ws := prof.UniqueBlocks()
+	if cache <= 0 {
+		cache = ws / 3
+		if cache < 1 {
+			cache = 1
+		}
+	}
+	if depth <= 0 {
+		depth = 4
+	}
+	if pin <= 0 {
+		pin = cache / 2
+	}
+	looped := make([]int, 0, loops*len(reqs))
+	for l := 0; l < loops; l++ {
+		looped = append(looped, reqs...)
+	}
+
+	seq := policy.NewSequential(depth, blocks)
+	markov, err := policy.New("markov", policy.Config{Blocks: blocks, Depth: depth, TopK: topK, Profile: prof})
+	if err != nil {
+		return err
+	}
+	hotset, err := policy.New("hotset", policy.Config{Blocks: blocks, Depth: depth, PinCount: pin, Profile: prof})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nloadgen: offline evaluation: working set %d blocks, cache %d blocks, %d requests x %d loops\n",
+		ws, cache, len(reqs), loops)
+	for _, p := range []struct {
+		pf  policy.Prefetcher
+		cfg memsys.PolicyConfig
+	}{
+		{seq, memsys.PolicyConfig{CacheBlocks: cache}},
+		{markov, memsys.PolicyConfig{CacheBlocks: cache}},
+		{hotset, memsys.PolicyConfig{CacheBlocks: cache, Pinned: hotset.(policy.Pinner).Pinned()}},
+	} {
+		st, err := memsys.EvaluatePolicy(looped, blocks, p.pf, p.cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-10s hit %.4f  prefetch accuracy %.4f  wasted %d  decompressions %d  evictions %d\n",
+			p.pf.Name(), st.HitRatio(), st.Accuracy(), st.PrefetchWasted, st.Decompressions, st.Evictions)
+	}
+	return nil
+}
+
+func writeTraceFile(path string, tr *traceprof.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := tr.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func compress(text []byte, alg string, blockSize int) ([]byte, int, error) {
@@ -176,6 +336,59 @@ func upload(client *http.Client, addr, name string, image []byte) error {
 		return fmt.Errorf("upload: %s: %s", resp.Status, bytes.TrimSpace(body))
 	}
 	fmt.Printf("loadgen: uploaded as %q: %s\n", name, bytes.TrimSpace(body))
+	return nil
+}
+
+func deleteImage(client *http.Client, addr, name string) {
+	req, _ := http.NewRequest(http.MethodDelete, addr+"/images/"+name, nil)
+	if resp, err := client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+	}
+}
+
+func train(client *http.Client, addr, name string, tr *traceprof.Trace) error {
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		return err
+	}
+	resp, err := client.Post(addr+"/images/"+name+"/train", "text/plain", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("train: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+func putPolicy(client *http.Client, addr, name, pol string, topK, depth, pin int) error {
+	url := fmt.Sprintf("%s/images/%s/policy?policy=%s", addr, name, pol)
+	if topK > 0 {
+		url += fmt.Sprintf("&k=%d", topK)
+	}
+	if depth > 0 {
+		url += fmt.Sprintf("&depth=%d", depth)
+	}
+	if pin > 0 {
+		url += fmt.Sprintf("&pin=%d", pin)
+	}
+	req, err := http.NewRequest(http.MethodPut, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("set policy: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	fmt.Printf("loadgen: policy -> %s\n", bytes.TrimSpace(body))
 	return nil
 }
 
@@ -222,11 +435,15 @@ type serverStats struct {
 		Issued    int64 `json:"issued"`
 		Dropped   int64 `json:"dropped"`
 		Completed int64 `json:"completed"`
+		Hits      int64 `json:"hits"`
+		Wasted    int64 `json:"wasted"`
 	} `json:"prefetch"`
 	Images []struct {
 		Name           string `json:"name"`
 		BlockReads     int64  `json:"block_reads"`
 		Decompressions int64  `json:"decompressions"`
+		Policy         string `json:"policy"`
+		Pinned         int64  `json:"pinned"`
 	} `json:"images"`
 }
 

@@ -12,6 +12,18 @@
 // for the same key wait for that one result instead of decompressing again
 // (those are the "deduped" calls in Stats).
 //
+// Two capabilities serve the prefetch policies in internal/policy:
+//
+//   - Pinning: Pin moves an entry into the shard's protected region, where
+//     eviction cannot touch it (a hotset policy pins the hottest blocks so
+//     cold scans cannot flush them). Pinned entries still count against
+//     capacity; Unpin returns them to normal LRU order.
+//   - Prefetch accounting: loads made through GetPrefetch tag their entry,
+//     and the first demand Get that hits a tagged entry counts as a
+//     PrefetchHit — the "this speculative decompression was actually
+//     useful" signal. Tagged entries evicted unused count as
+//     PrefetchEvicted (wasted work).
+//
 // Loader errors are returned to every waiter of that flight but are never
 // cached: the next Get retries.
 package blockcache
@@ -39,6 +51,14 @@ type Stats struct {
 	Deduped int64 `json:"deduped"`
 	// Evictions counts LRU entries dropped to make room.
 	Evictions int64 `json:"evictions"`
+	// PrefetchHits counts demand hits that were the first use of a block
+	// loaded via GetPrefetch — prefetches that paid off.
+	PrefetchHits int64 `json:"prefetch_hits"`
+	// PrefetchEvicted counts prefetched blocks evicted before any demand
+	// hit — prefetches that were wasted decompressions.
+	PrefetchEvicted int64 `json:"prefetch_evicted"`
+	// Pinned is the number of blocks currently in the protected region.
+	Pinned int64 `json:"pinned"`
 	// Entries is the number of blocks currently cached.
 	Entries int64 `json:"entries"`
 	// Bytes is the decompressed payload currently cached.
@@ -60,23 +80,31 @@ type Cache struct {
 	shards      []shard
 	perShardCap int
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	deduped   atomic.Int64
-	evictions atomic.Int64
-	bytes     atomic.Int64
+	hits            atomic.Int64
+	misses          atomic.Int64
+	deduped         atomic.Int64
+	evictions       atomic.Int64
+	prefetchHits    atomic.Int64
+	prefetchEvicted atomic.Int64
+	pinnedCount     atomic.Int64
+	bytes           atomic.Int64
 }
 
 type shard struct {
 	mu      sync.Mutex
-	entries map[Key]*list.Element
-	lru     *list.List // front = most recently used
+	entries map[Key]*entry
+	lru     *list.List // of *entry; front = most recently used
 	flight  map[Key]*call
+	pinned  int // entries in the protected region (not on lru)
 }
 
 type entry struct {
 	key Key
 	val []byte
+	// el is the entry's LRU node; nil while the entry is pinned.
+	el *list.Element
+	// prefetched marks a speculative load that no demand Get has hit yet.
+	prefetched bool
 }
 
 // call is one in-flight load; waiters block on done.
@@ -105,7 +133,7 @@ func New(capacity, shards int) *Cache {
 		perShardCap: (capacity + shards - 1) / shards,
 	}
 	for i := range c.shards {
-		c.shards[i].entries = make(map[Key]*list.Element)
+		c.shards[i].entries = make(map[Key]*entry)
 		c.shards[i].lru = list.New()
 		c.shards[i].flight = make(map[Key]*call)
 	}
@@ -131,11 +159,28 @@ func (c *Cache) shardFor(k Key) *shard {
 // Gets for the same missing key run load exactly once; every caller gets
 // that flight's value (or error). Errors are not cached.
 func (c *Cache) Get(key Key, load func() ([]byte, error)) ([]byte, bool, error) {
+	return c.get(key, load, false)
+}
+
+// GetPrefetch is Get for speculative loads: a load it performs is tagged so
+// that the first demand Get hitting it counts toward Stats.PrefetchHits,
+// and an unused eviction toward Stats.PrefetchEvicted.
+func (c *Cache) GetPrefetch(key Key, load func() ([]byte, error)) ([]byte, bool, error) {
+	return c.get(key, load, true)
+}
+
+func (c *Cache) get(key Key, load func() ([]byte, error), prefetch bool) ([]byte, bool, error) {
 	s := c.shardFor(key)
 	s.mu.Lock()
-	if el, ok := s.entries[key]; ok {
-		s.lru.MoveToFront(el)
-		val := el.Value.(*entry).val
+	if e, ok := s.entries[key]; ok {
+		if e.el != nil {
+			s.lru.MoveToFront(e.el)
+		}
+		if e.prefetched && !prefetch {
+			e.prefetched = false
+			c.prefetchHits.Add(1)
+		}
+		val := e.val
 		s.mu.Unlock()
 		c.hits.Add(1)
 		return val, true, nil
@@ -156,7 +201,7 @@ func (c *Cache) Get(key Key, load func() ([]byte, error)) ([]byte, bool, error) 
 	s.mu.Lock()
 	delete(s.flight, key)
 	if fl.err == nil {
-		s.insert(c, key, fl.val)
+		s.insert(c, key, fl.val, prefetch)
 	}
 	s.mu.Unlock()
 	close(fl.done)
@@ -165,26 +210,101 @@ func (c *Cache) Get(key Key, load func() ([]byte, error)) ([]byte, bool, error) 
 
 // insert adds a loaded value, evicting from the LRU tail while over
 // capacity. Caller holds s.mu.
-func (s *shard) insert(c *Cache, key Key, val []byte) {
-	if el, ok := s.entries[key]; ok {
+func (s *shard) insert(c *Cache, key Key, val []byte, prefetched bool) {
+	if e, ok := s.entries[key]; ok {
 		// A concurrent Invalidate+reload can race another flight's insert;
 		// keep the newest value.
-		old := el.Value.(*entry)
-		c.bytes.Add(int64(len(val)) - int64(len(old.val)))
-		old.val = val
-		s.lru.MoveToFront(el)
+		c.bytes.Add(int64(len(val)) - int64(len(e.val)))
+		e.val = val
+		if e.el != nil {
+			s.lru.MoveToFront(e.el)
+		}
 		return
 	}
-	s.entries[key] = s.lru.PushFront(&entry{key: key, val: val})
+	e := &entry{key: key, val: val, prefetched: prefetched}
+	e.el = s.lru.PushFront(e)
+	s.entries[key] = e
 	c.bytes.Add(int64(len(val)))
-	for s.lru.Len() > c.perShardCap {
+	s.evict(c)
+}
+
+// evict drops LRU-tail entries while the shard is over capacity. Pinned
+// entries are untouchable, so when everything left is pinned the shard
+// simply stops evicting. Caller holds s.mu.
+func (s *shard) evict(c *Cache) {
+	for s.lru.Len()+s.pinned > c.perShardCap && s.lru.Len() > 0 {
 		back := s.lru.Back()
 		e := back.Value.(*entry)
 		s.lru.Remove(back)
 		delete(s.entries, e.key)
 		c.bytes.Add(-int64(len(e.val)))
 		c.evictions.Add(1)
+		if e.prefetched {
+			c.prefetchEvicted.Add(1)
+		}
 	}
+}
+
+// Pin moves key into the shard's protected region: eviction cannot drop it
+// until Unpin. Pinning is idempotent and reports whether the key was
+// present. Pinned entries still occupy capacity, so pinning more blocks
+// than the cache holds leaves no room for LRU traffic — callers keep pin
+// sets well below capacity.
+func (c *Cache) Pin(key Key) bool {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return false
+	}
+	if e.el != nil {
+		s.lru.Remove(e.el)
+		e.el = nil
+		s.pinned++
+		c.pinnedCount.Add(1)
+	}
+	return true
+}
+
+// Unpin returns key to normal LRU order (as most recently used), restoring
+// its evictability. Reports whether the key was present.
+func (c *Cache) Unpin(key Key) bool {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return false
+	}
+	if e.el == nil {
+		e.el = s.lru.PushFront(e)
+		s.pinned--
+		c.pinnedCount.Add(-1)
+		s.evict(c)
+	}
+	return true
+}
+
+// UnpinImage unpins every pinned block of the named image (when its policy
+// changes) and returns how many were unpinned.
+func (c *Cache) UnpinImage(image string) int {
+	unpinned := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, e := range s.entries {
+			if k.Image == image && e.el == nil {
+				e.el = s.lru.PushFront(e)
+				s.pinned--
+				c.pinnedCount.Add(-1)
+				unpinned++
+			}
+		}
+		s.evict(c)
+		s.mu.Unlock()
+	}
+	return unpinned
 }
 
 // Contains reports whether key is cached right now, without touching LRU
@@ -197,38 +317,42 @@ func (c *Cache) Contains(key Key) bool {
 	return ok
 }
 
-// InvalidateImage drops every cached block of the named image (after an
-// image is replaced or removed). In-flight loads are not interrupted; their
-// results land in the cache and are at worst one stale insert, which the
-// caller avoids by invalidating after deregistering the image.
+// InvalidateImage drops every cached block of the named image, pinned or
+// not (after an image is replaced or removed). In-flight loads are not
+// interrupted; their results land in the cache and are at worst one stale
+// insert, which the caller avoids by invalidating after deregistering the
+// image.
 func (c *Cache) InvalidateImage(image string) int {
 	dropped := 0
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		for el := s.lru.Front(); el != nil; {
-			next := el.Next()
-			e := el.Value.(*entry)
-			if e.key.Image == image {
-				s.lru.Remove(el)
-				delete(s.entries, e.key)
-				c.bytes.Add(-int64(len(e.val)))
-				dropped++
+		for k, e := range s.entries {
+			if k.Image != image {
+				continue
 			}
-			el = next
+			if e.el != nil {
+				s.lru.Remove(e.el)
+			} else {
+				s.pinned--
+				c.pinnedCount.Add(-1)
+			}
+			delete(s.entries, k)
+			c.bytes.Add(-int64(len(e.val)))
+			dropped++
 		}
 		s.mu.Unlock()
 	}
 	return dropped
 }
 
-// Len returns the number of cached blocks.
+// Len returns the number of cached blocks, pinned included.
 func (c *Cache) Len() int {
 	n := 0
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		n += s.lru.Len()
+		n += len(s.entries)
 		s.mu.Unlock()
 	}
 	return n
@@ -242,11 +366,14 @@ func (c *Cache) Capacity() int { return c.perShardCap * len(c.shards) }
 // (a Get concurrent with Stats may appear in neither or one of them).
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Deduped:   c.deduped.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   int64(c.Len()),
-		Bytes:     c.bytes.Load(),
+		Hits:            c.hits.Load(),
+		Misses:          c.misses.Load(),
+		Deduped:         c.deduped.Load(),
+		Evictions:       c.evictions.Load(),
+		PrefetchHits:    c.prefetchHits.Load(),
+		PrefetchEvicted: c.prefetchEvicted.Load(),
+		Pinned:          c.pinnedCount.Load(),
+		Entries:         int64(c.Len()),
+		Bytes:           c.bytes.Load(),
 	}
 }

@@ -1,0 +1,161 @@
+package memsys
+
+import (
+	"container/list"
+	"fmt"
+
+	"codecomp/internal/policy"
+)
+
+// This file is the offline policy-evaluation mode: where Simulate replays
+// an instruction-fetch trace against the paper's I-cache + refill engine,
+// EvaluatePolicy replays a block-access trace against a model of the
+// serving stack's decompressed-block cache (internal/blockcache) under a
+// chosen prefetch policy. The same trace scored against sequential, markov
+// and hotset answers "which policy should this image serve with?" without
+// standing up a server.
+
+// PolicyConfig describes the modeled block cache.
+type PolicyConfig struct {
+	// CacheBlocks is the cache capacity in blocks (pinned blocks included).
+	CacheBlocks int
+	// Pinned blocks are preloaded and protected from eviction (a hotset
+	// policy's pin set). Pins beyond CacheBlocks-1 are ignored so demand
+	// traffic always has at least one evictable slot.
+	Pinned []int
+}
+
+// PolicyStats scores one policy over one trace.
+type PolicyStats struct {
+	// Requests counts demand block accesses replayed.
+	Requests uint64 `json:"requests"`
+	// DemandHits and DemandMisses split Requests by cache outcome.
+	DemandHits   uint64 `json:"demand_hits"`
+	DemandMisses uint64 `json:"demand_misses"`
+	// PrefetchIssued counts speculative block loads the policy triggered.
+	PrefetchIssued uint64 `json:"prefetch_issued"`
+	// PrefetchUsed counts prefetched blocks later served to a demand
+	// access before eviction — the prefetches that paid off.
+	PrefetchUsed uint64 `json:"prefetch_used"`
+	// PrefetchWasted counts prefetched blocks evicted unused (or never
+	// used by the end of the trace) — pure wasted decompression work.
+	PrefetchWasted uint64 `json:"prefetch_wasted"`
+	// Decompressions counts every block decompression, demand or
+	// speculative, including preloading the pin set.
+	Decompressions uint64 `json:"decompressions"`
+	// Evictions counts blocks dropped for capacity.
+	Evictions uint64 `json:"evictions"`
+}
+
+// HitRatio is the demand hit ratio — the headline score.
+func (s PolicyStats) HitRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.DemandHits) / float64(s.Requests)
+}
+
+// Accuracy is the fraction of issued prefetches that were used.
+func (s PolicyStats) Accuracy() float64 {
+	if s.PrefetchIssued == 0 {
+		return 0
+	}
+	return float64(s.PrefetchUsed) / float64(s.PrefetchIssued)
+}
+
+// evalEntry is one cached block in the model.
+type evalEntry struct {
+	block      int
+	el         *list.Element // nil when pinned
+	prefetched bool
+}
+
+// EvaluatePolicy replays a demand block-access trace through a
+// fully-associative LRU cache of cfg.CacheBlocks blocks under prefetch
+// policy pf (nil disables prefetching), mirroring the serving stack's
+// semantics: a demand miss loads the block and then speculatively loads
+// pf.Predict(block); pinned blocks are preloaded and never evicted.
+// Accesses outside [0, numBlocks) are errors.
+func EvaluatePolicy(accesses []int, numBlocks int, pf policy.Prefetcher, cfg PolicyConfig) (PolicyStats, error) {
+	if numBlocks <= 0 {
+		return PolicyStats{}, fmt.Errorf("memsys: numBlocks must be positive")
+	}
+	if cfg.CacheBlocks <= 0 {
+		return PolicyStats{}, fmt.Errorf("memsys: CacheBlocks must be positive")
+	}
+
+	var st PolicyStats
+	entries := make(map[int]*evalEntry, cfg.CacheBlocks)
+	lru := list.New() // of *evalEntry; front = most recently used
+	pinned := 0
+
+	for _, b := range cfg.Pinned {
+		if b < 0 || b >= numBlocks {
+			return PolicyStats{}, fmt.Errorf("memsys: pinned block %d out of range [0,%d)", b, numBlocks)
+		}
+		if _, ok := entries[b]; ok || pinned >= cfg.CacheBlocks-1 {
+			continue
+		}
+		entries[b] = &evalEntry{block: b}
+		pinned++
+		st.Decompressions++
+	}
+
+	insert := func(b int, prefetched bool) {
+		e := &evalEntry{block: b, prefetched: prefetched}
+		e.el = lru.PushFront(e)
+		entries[b] = e
+		for lru.Len()+pinned > cfg.CacheBlocks && lru.Len() > 0 {
+			back := lru.Back()
+			v := back.Value.(*evalEntry)
+			lru.Remove(back)
+			delete(entries, v.block)
+			st.Evictions++
+			if v.prefetched {
+				st.PrefetchWasted++
+			}
+		}
+	}
+
+	for _, b := range accesses {
+		if b < 0 || b >= numBlocks {
+			return st, fmt.Errorf("memsys: access %d out of range [0,%d)", b, numBlocks)
+		}
+		st.Requests++
+		if e, ok := entries[b]; ok {
+			st.DemandHits++
+			if e.el != nil {
+				lru.MoveToFront(e.el)
+			}
+			if e.prefetched {
+				e.prefetched = false
+				st.PrefetchUsed++
+			}
+			continue
+		}
+		st.DemandMisses++
+		st.Decompressions++
+		insert(b, false)
+		if pf == nil {
+			continue
+		}
+		for _, p := range pf.Predict(b) {
+			if p < 0 || p >= numBlocks {
+				continue
+			}
+			if _, ok := entries[p]; ok {
+				continue
+			}
+			st.PrefetchIssued++
+			st.Decompressions++
+			insert(p, true)
+		}
+	}
+	// Prefetched blocks still unused at the end were wasted too.
+	for _, e := range entries {
+		if e.prefetched {
+			st.PrefetchWasted++
+		}
+	}
+	return st, nil
+}

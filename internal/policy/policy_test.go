@@ -1,0 +1,114 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+
+	"codecomp/internal/traceprof"
+)
+
+func TestSequentialBounds(t *testing.T) {
+	s := NewSequential(4, 10)
+	if got := s.Predict(0); !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Fatalf("Predict(0) = %v", got)
+	}
+	if got := s.Predict(8); !reflect.DeepEqual(got, []int{9}) {
+		t.Fatalf("Predict(8) = %v", got)
+	}
+	if got := s.Predict(9); len(got) != 0 {
+		t.Fatalf("Predict(9) = %v", got)
+	}
+	if got := s.Predict(-1); got != nil {
+		t.Fatalf("Predict(-1) = %v", got)
+	}
+	if got := s.Predict(10); got != nil {
+		t.Fatalf("Predict(out of range) = %v", got)
+	}
+	if got := NewSequential(-1, 10).Predict(0); len(got) != 0 {
+		t.Fatalf("negative depth Predict = %v", got)
+	}
+}
+
+func TestMarkovTopKAndFallback(t *testing.T) {
+	// 0→7 twice, 0→3 once, 7→0 always.
+	prof := traceprof.BuildProfile([]int{0, 7, 0, 3, 0, 7, 0}, 10)
+	m := NewMarkov(prof, 2, 4)
+	if m.Name() != "markov" {
+		t.Fatal(m.Name())
+	}
+	if got := m.Predict(0); !reflect.DeepEqual(got, []int{7, 3}) {
+		t.Fatalf("Predict(0) = %v", got)
+	}
+	if got := m.Predict(7); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("Predict(7) = %v", got)
+	}
+	// Block 5 never seen: sequential fallback.
+	if got := m.Predict(5); !reflect.DeepEqual(got, []int{6, 7, 8, 9}) {
+		t.Fatalf("Predict(5) = %v", got)
+	}
+	// topK=1 truncates to the most likely successor.
+	if got := NewMarkov(prof, 1, 0).Predict(0); !reflect.DeepEqual(got, []int{7}) {
+		t.Fatalf("topK=1 Predict(0) = %v", got)
+	}
+	// Fallback disabled: unseen blocks predict nothing.
+	if got := NewMarkov(prof, 2, 0).Predict(5); got != nil {
+		t.Fatalf("no-fallback Predict(5) = %v", got)
+	}
+}
+
+func TestHotsetPinsAndDelegates(t *testing.T) {
+	prof := traceprof.BuildProfile([]int{4, 4, 4, 2, 2, 9}, 10)
+	h := NewHotset(prof, 2, NewSequential(1, 10))
+	if got := h.Pinned(); !reflect.DeepEqual(got, []int{4, 2}) {
+		t.Fatalf("Pinned = %v", got)
+	}
+	if got := h.Predict(3); !reflect.DeepEqual(got, []int{4}) {
+		t.Fatalf("Predict(3) = %v", got)
+	}
+	if got := NewHotset(prof, 2, nil).Predict(3); got != nil {
+		t.Fatalf("inner=nil Predict = %v", got)
+	}
+	// Pin count above the working set stops at the working set.
+	if got := NewHotset(prof, 99, nil).Pinned(); len(got) != 3 {
+		t.Fatalf("oversized Pinned = %v", got)
+	}
+}
+
+func TestNew(t *testing.T) {
+	prof := traceprof.BuildProfile([]int{0, 1, 0, 1}, 16)
+
+	p, err := New("sequential", Config{Blocks: 16})
+	if err != nil || p.Name() != "sequential" {
+		t.Fatalf("sequential: %v %v", p, err)
+	}
+	if got := p.Predict(0); len(got) != 4 { // default depth
+		t.Fatalf("default depth Predict = %v", got)
+	}
+
+	p, err = New("markov", Config{Blocks: 16, Profile: prof})
+	if err != nil || p.Name() != "markov" {
+		t.Fatalf("markov: %v %v", p, err)
+	}
+
+	p, err = New("hotset", Config{Blocks: 16, Profile: prof, PinCount: 1})
+	if err != nil || p.Name() != "hotset" {
+		t.Fatalf("hotset: %v %v", p, err)
+	}
+	if got := p.(Pinner).Pinned(); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("hotset pins = %v", got)
+	}
+
+	for _, bad := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"markov", Config{Blocks: 16}},  // no profile
+		{"hotset", Config{Blocks: 16}},  // no profile
+		{"mystery", Config{Blocks: 16}}, // unknown name
+		{"sequential", Config{}},        // no blocks
+	} {
+		if _, err := New(bad.name, bad.cfg); err == nil {
+			t.Errorf("New(%s, %+v) accepted", bad.name, bad.cfg)
+		}
+	}
+}

@@ -10,10 +10,18 @@
 //     (internal/blockcache), so hot blocks decompress once;
 //   - all decompression work runs on a bounded worker pool, so a burst of
 //     cold reads cannot spawn unbounded concurrent decompressions;
-//   - a demand miss at block i speculatively warms blocks i+1..i+k on the
-//     same pool (best-effort: prefetches are dropped, never queued, when
-//     the pool is saturated). This mirrors the paper's refill locality —
-//     after missing block i, straight-line fetch runs into i+1 next.
+//   - a demand miss speculatively warms the blocks the image's prefetch
+//     policy predicts, on the same pool (best-effort: prefetches are
+//     dropped, never queued, when the pool is saturated). Every image
+//     starts on the sequential policy — warm i+1..i+k after missing i,
+//     the paper's refill locality — and can be switched to a trained
+//     markov or hotset policy (internal/policy) at runtime.
+//
+// The tracelab loop closes over three calls: every demand fetch is
+// recorded into a per-image ring buffer (internal/traceprof); Train
+// compiles the ring (or TrainFrom an offline trace) into an access-pattern
+// profile; SetPolicy compiles the profile into the image's live policy,
+// pinning a hotset policy's pin set into the cache's protected region.
 //
 // Close drains: queued work is finished, workers exit, and every API call
 // afterwards reports ErrClosed.
@@ -29,6 +37,8 @@ import (
 
 	"codecomp"
 	"codecomp/internal/blockcache"
+	"codecomp/internal/policy"
+	"codecomp/internal/traceprof"
 )
 
 var (
@@ -38,6 +48,15 @@ var (
 	ErrNotFound = errors.New("romserver: image not found")
 	// ErrOutOfRange is returned for block indices outside an image.
 	ErrOutOfRange = errors.New("romserver: block out of range")
+	// ErrNoTrace is returned by Train when the image has no recorded
+	// accesses yet.
+	ErrNoTrace = errors.New("romserver: no recorded trace")
+	// ErrNoProfile is returned by SetPolicy for a policy that needs
+	// training (markov, hotset) before the image has been trained.
+	ErrNoProfile = errors.New("romserver: image not trained")
+	// ErrBadPolicy is returned by SetPolicy for an unknown policy name or
+	// invalid policy parameters.
+	ErrBadPolicy = errors.New("romserver: bad policy")
 )
 
 // Options configures a Server. Zero values pick serving-friendly defaults.
@@ -54,6 +73,9 @@ type Options struct {
 	// PrefetchDepth is how many sequential blocks a demand miss warms
 	// (default 4; negative disables prefetching).
 	PrefetchDepth int
+	// TraceBuffer is the per-image access-trace ring size, in block
+	// accesses (default 65536; negative disables recording).
+	TraceBuffer int
 }
 
 func (o Options) withDefaults() Options {
@@ -75,10 +97,17 @@ func (o Options) withDefaults() Options {
 	if o.PrefetchDepth < 0 {
 		o.PrefetchDepth = 0
 	}
+	if o.TraceBuffer == 0 {
+		o.TraceBuffer = 65536
+	}
+	if o.TraceBuffer < 0 {
+		o.TraceBuffer = 0
+	}
 	return o
 }
 
-// image is one registered compressed ROM plus its serving counters.
+// image is one registered compressed ROM plus its serving counters and
+// tracelab state.
 type image struct {
 	name     string
 	codec    codecomp.BlockCodec
@@ -86,10 +115,26 @@ type image struct {
 	blocks   int
 	origSize int
 
+	// recorder captures the demand block-access stream (nil when
+	// recording is disabled).
+	recorder *traceprof.Recorder
+	// profile is the last trained access profile, nil before training.
+	profile atomic.Pointer[traceprof.Profile]
+	// pref is the active prefetch policy; nil disables prefetching.
+	pref atomic.Pointer[prefState]
+
 	blockReads     atomic.Int64
 	rangeReads     atomic.Int64
 	fullReads      atomic.Int64
 	decompressions atomic.Int64
+}
+
+// prefState is an image's active policy plus the pin set it holds in the
+// cache's protected region.
+type prefState struct {
+	p    policy.Prefetcher
+	name string
+	pins []int
 }
 
 // task is one unit of pool work; reply is nil for prefetches.
@@ -113,6 +158,9 @@ type Server struct {
 	mu     sync.RWMutex
 	images map[string]*image
 	closed bool
+
+	// policyMu serializes SetPolicy's unpin/pin transitions.
+	policyMu sync.Mutex
 
 	tasks   chan task
 	quit    chan struct{} // closed first: stop accepting work
@@ -180,27 +228,38 @@ func (s *Server) worker() {
 }
 
 func (s *Server) handle(t task) {
-	data, hit, err := s.cache.Get(blockcache.Key{Image: t.img.name, Block: t.block}, func() ([]byte, error) {
+	key := blockcache.Key{Image: t.img.name, Block: t.block}
+	load := func() ([]byte, error) {
 		t.img.decompressions.Add(1)
 		return t.img.codec.Block(t.block)
-	})
+	}
 	if t.reply == nil {
-		if err == nil {
+		// Speculative warm: tag the load so a later demand hit counts
+		// toward prefetch accuracy.
+		if _, _, err := s.cache.GetPrefetch(key, load); err == nil {
 			s.prefetchCompleted.Add(1)
 		}
 		return
 	}
+	data, hit, err := s.cache.Get(key, load)
 	t.reply <- result{data: data, hit: hit, err: err}
 	if err == nil && !hit {
 		s.prefetch(t.img, t.block)
 	}
 }
 
-// prefetch best-effort enqueues warms for the k blocks after a demand miss.
-// It must never block: workers call it, and a blocking send from a worker
-// into its own pool deadlocks under load.
+// prefetch best-effort enqueues warms for the blocks the image's policy
+// predicts after a demand miss. It must never block: workers call it, and
+// a blocking send from a worker into its own pool deadlocks under load.
 func (s *Server) prefetch(img *image, miss int) {
-	for b := miss + 1; b <= miss+s.opts.PrefetchDepth && b < img.blocks; b++ {
+	ref := img.pref.Load()
+	if ref == nil {
+		return
+	}
+	for _, b := range ref.p.Predict(miss) {
+		if b < 0 || b >= img.blocks {
+			continue
+		}
 		if s.cache.Contains(blockcache.Key{Image: img.name, Block: b}) {
 			continue
 		}
@@ -216,7 +275,11 @@ func (s *Server) prefetch(img *image, miss int) {
 }
 
 // fetch runs one demand read through the pool and waits for its result.
+// Demand fetches are the access stream the trace recorder captures.
 func (s *Server) fetch(img *image, block int) ([]byte, bool, error) {
+	if img.recorder != nil {
+		img.recorder.Record(block)
+	}
 	t := task{img: img, block: block, reply: make(chan result, 1)}
 	select {
 	case s.tasks <- t:
@@ -284,13 +347,7 @@ func (s *Server) AddImage(name string, data []byte) (ImageInfo, error) {
 	if err != nil {
 		return ImageInfo{}, err
 	}
-	img := &image{
-		name:     name,
-		codec:    codec,
-		format:   codecomp.DetectFormat(data),
-		blocks:   codec.NumBlocks(),
-		origSize: imageMeta(codec),
-	}
+	img := s.newImage(name, codec, codecomp.DetectFormat(data))
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -408,6 +465,176 @@ func (s *Server) assemble(img *image, first, last int) ([]byte, error) {
 	return out, nil
 }
 
+// TraceSnapshot returns the image's recorded demand-access trace, oldest
+// first (empty when recording is disabled or nothing was fetched yet).
+func (s *Server) TraceSnapshot(name string) (*traceprof.Trace, error) {
+	img, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	t := &traceprof.Trace{Image: name, Blocks: img.blocks}
+	if img.recorder != nil {
+		t.Accesses = img.recorder.Snapshot()
+	}
+	return t, nil
+}
+
+// Train compiles the image's recorded access trace into a profile and
+// stores it for SetPolicy. ErrNoTrace when nothing has been recorded.
+func (s *Server) Train(name string) (*traceprof.Profile, error) {
+	img, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if img.recorder == nil || img.recorder.Len() == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoTrace, name)
+	}
+	p := traceprof.BuildProfile(img.recorder.Snapshot(), img.blocks)
+	img.profile.Store(p)
+	return p, nil
+}
+
+// TrainFrom trains the image from an externally supplied access trace
+// (e.g. a loadgen -tracefile replayed offline) instead of the live ring.
+func (s *Server) TrainFrom(name string, accesses []int) (*traceprof.Profile, error) {
+	img, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(accesses) == 0 {
+		return nil, fmt.Errorf("%w: %q (empty trace)", ErrNoTrace, name)
+	}
+	p := traceprof.BuildProfile(accesses, img.blocks)
+	img.profile.Store(p)
+	return p, nil
+}
+
+// Profile returns the image's trained profile, or ErrNoProfile.
+func (s *Server) Profile(name string) (*traceprof.Profile, error) {
+	img, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	p := img.profile.Load()
+	if p == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoProfile, name)
+	}
+	return p, nil
+}
+
+// PolicySpec selects a prefetch policy for one image. Zero fields take the
+// server defaults.
+type PolicySpec struct {
+	// Policy is "sequential", "markov" or "hotset".
+	Policy string `json:"policy"`
+	// Depth is the sequential/fallback/chain prefetch depth (default:
+	// Options.PrefetchDepth).
+	Depth int `json:"depth"`
+	// TopK is how many Markov successors each miss warms (default 2).
+	TopK int `json:"top_k"`
+	// PinCount is how many hot blocks hotset pins (default: a quarter of
+	// the cache; always clamped to half the cache so demand traffic keeps
+	// room).
+	PinCount int `json:"pin_count"`
+}
+
+// PolicyInfo describes an image's active policy.
+type PolicyInfo struct {
+	Image  string `json:"image"`
+	Policy string `json:"policy"`
+	// Pinned is how many blocks the policy holds in the protected region.
+	Pinned int `json:"pinned"`
+}
+
+// SetPolicy switches the image's prefetch policy. markov and hotset
+// require a prior Train/TrainFrom. A hotset policy's pin set is
+// decompressed and pinned here, before the first request sees the policy;
+// the previous policy's pins are released.
+func (s *Server) SetPolicy(name string, spec PolicySpec) (PolicyInfo, error) {
+	img, err := s.lookup(name)
+	if err != nil {
+		return PolicyInfo{}, err
+	}
+	depth := spec.Depth
+	if depth <= 0 {
+		depth = s.opts.PrefetchDepth
+		if depth <= 0 {
+			depth = 4
+		}
+	}
+	pinCount := spec.PinCount
+	if pinCount <= 0 {
+		pinCount = s.cache.Capacity() / 4
+	}
+	if max := s.cache.Capacity() / 2; pinCount > max {
+		pinCount = max
+	}
+	prof := img.profile.Load()
+	p, err := policy.New(spec.Policy, policy.Config{
+		Blocks:   img.blocks,
+		Depth:    depth,
+		TopK:     spec.TopK,
+		PinCount: pinCount,
+		Profile:  prof,
+	})
+	if err != nil {
+		if prof == nil && (spec.Policy == "markov" || spec.Policy == "hotset") {
+			return PolicyInfo{}, fmt.Errorf("%w: %q (%s policy needs training)", ErrNoProfile, name, spec.Policy)
+		}
+		return PolicyInfo{}, fmt.Errorf("%w: %v", ErrBadPolicy, err)
+	}
+
+	st := &prefState{p: p, name: p.Name()}
+	if pinner, ok := p.(policy.Pinner); ok {
+		st.pins = pinner.Pinned()
+	}
+	s.policyMu.Lock()
+	defer s.policyMu.Unlock()
+	s.cache.UnpinImage(name)
+	// Decompress and pin the hot set directly (an admin-time operation;
+	// it bypasses the worker pool and the trace recorder on purpose).
+	var pinned []int
+	for _, b := range st.pins {
+		if b < 0 || b >= img.blocks {
+			continue
+		}
+		key := blockcache.Key{Image: name, Block: b}
+		block := b
+		_, _, err := s.cache.Get(key, func() ([]byte, error) {
+			img.decompressions.Add(1)
+			return img.codec.Block(block)
+		})
+		if err != nil {
+			s.cache.UnpinImage(name)
+			return PolicyInfo{}, fmt.Errorf("romserver: pinning block %d of %q: %w", b, name, err)
+		}
+		if s.cache.Pin(key) {
+			pinned = append(pinned, b)
+		}
+	}
+	st.pins = pinned
+	img.pref.Store(st)
+	return PolicyInfo{Image: name, Policy: st.name, Pinned: len(pinned)}, nil
+}
+
+// Policy reports the image's active policy.
+func (s *Server) Policy(name string) (PolicyInfo, error) {
+	img, err := s.lookup(name)
+	if err != nil {
+		return PolicyInfo{}, err
+	}
+	return img.policyInfo(), nil
+}
+
+func (img *image) policyInfo() PolicyInfo {
+	info := PolicyInfo{Image: img.name, Policy: "none"}
+	if ref := img.pref.Load(); ref != nil {
+		info.Policy = ref.name
+		info.Pinned = len(ref.pins)
+	}
+	return info
+}
+
 // PrefetchStats counts the speculative warms behind demand misses.
 type PrefetchStats struct {
 	// Issued counts prefetch tasks enqueued onto the pool.
@@ -416,6 +643,20 @@ type PrefetchStats struct {
 	Dropped int64 `json:"dropped"`
 	// Completed counts prefetched blocks that landed in the cache.
 	Completed int64 `json:"completed"`
+	// Hits counts demand hits on prefetch-warmed blocks — the prefetches
+	// that paid off.
+	Hits int64 `json:"hits"`
+	// Wasted counts prefetched blocks evicted before any demand hit.
+	Wasted int64 `json:"wasted"`
+}
+
+// Accuracy is Hits over Completed: the fraction of finished prefetches a
+// demand read actually consumed (so far).
+func (p PrefetchStats) Accuracy() float64 {
+	if p.Completed == 0 {
+		return 0
+	}
+	return float64(p.Hits) / float64(p.Completed)
 }
 
 // ImageStats is per-image serving counters plus the image metadata.
@@ -428,6 +669,14 @@ type ImageStats struct {
 	// Decompressions counts actual codec.Block invocations — the work the
 	// cache and singleflight exist to avoid.
 	Decompressions int64 `json:"decompressions"`
+	// Policy is the active prefetch policy name ("none" when disabled).
+	Policy string `json:"policy"`
+	// Pinned is how many blocks the policy pinned.
+	Pinned int `json:"pinned"`
+	// Trained reports whether the image has a trained profile.
+	Trained bool `json:"trained"`
+	// TraceLen is how many accesses the trace ring currently holds.
+	TraceLen int `json:"trace_len"`
 }
 
 // Stats is a snapshot of the whole serving layer.
@@ -448,17 +697,26 @@ func (s *Server) Stats() Stats {
 			Issued:    s.prefetchIssued.Load(),
 			Dropped:   s.prefetchDropped.Load(),
 			Completed: s.prefetchCompleted.Load(),
+			Hits:      cs.PrefetchHits,
+			Wasted:    cs.PrefetchEvicted,
 		},
 	}
 	s.mu.RLock()
 	for _, img := range s.images {
-		st.Images = append(st.Images, ImageStats{
+		is := ImageStats{
 			ImageInfo:      img.info(),
 			BlockReads:     img.blockReads.Load(),
 			RangeReads:     img.rangeReads.Load(),
 			FullReads:      img.fullReads.Load(),
 			Decompressions: img.decompressions.Load(),
-		})
+			Trained:        img.profile.Load() != nil,
+		}
+		pi := img.policyInfo()
+		is.Policy, is.Pinned = pi.Policy, pi.Pinned
+		if img.recorder != nil {
+			is.TraceLen = img.recorder.Len()
+		}
+		st.Images = append(st.Images, is)
 	}
 	s.mu.RUnlock()
 	sort.Slice(st.Images, func(i, j int) bool { return st.Images[i].Name < st.Images[j].Name })
@@ -468,9 +726,9 @@ func (s *Server) Stats() Stats {
 // CacheStats returns just the block cache counters.
 func (s *Server) CacheStats() blockcache.Stats { return s.cache.Stats() }
 
-// addCodec registers an already-built codec directly; tests use it to
-// instrument decompression with stub codecs.
-func (s *Server) addCodec(name string, codec codecomp.BlockCodec, format string) *image {
+// newImage builds the serving state for one codec: trace recorder sized by
+// Options.TraceBuffer and the default sequential prefetch policy.
+func (s *Server) newImage(name string, codec codecomp.BlockCodec, format string) *image {
 	img := &image{
 		name:     name,
 		codec:    codec,
@@ -478,6 +736,22 @@ func (s *Server) addCodec(name string, codec codecomp.BlockCodec, format string)
 		blocks:   codec.NumBlocks(),
 		origSize: imageMeta(codec),
 	}
+	if s.opts.TraceBuffer > 0 {
+		img.recorder = traceprof.NewRecorder(s.opts.TraceBuffer)
+	}
+	if s.opts.PrefetchDepth > 0 {
+		img.pref.Store(&prefState{
+			p:    policy.NewSequential(s.opts.PrefetchDepth, img.blocks),
+			name: "sequential",
+		})
+	}
+	return img
+}
+
+// addCodec registers an already-built codec directly; tests use it to
+// instrument decompression with stub codecs.
+func (s *Server) addCodec(name string, codec codecomp.BlockCodec, format string) *image {
+	img := s.newImage(name, codec, format)
 	s.mu.Lock()
 	s.images[name] = img
 	s.mu.Unlock()

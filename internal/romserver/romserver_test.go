@@ -409,3 +409,204 @@ func TestConcurrentMixedImages(t *testing.T) {
 		t.Fatalf("implausible cache stats: %+v", st.Cache)
 	}
 }
+
+func TestTraceRecordingAndTrain(t *testing.T) {
+	stub := &stubCodec{blocks: 16}
+	s := New(Options{PrefetchDepth: -1, TraceBuffer: 8})
+	defer s.Close()
+	s.addCodec("stub", stub, "stub")
+
+	// Nothing recorded yet: Train refuses, Profile refuses.
+	if _, err := s.Train("stub"); !errors.Is(err, ErrNoTrace) {
+		t.Fatalf("Train on empty ring: %v", err)
+	}
+	if _, err := s.Profile("stub"); !errors.Is(err, ErrNoProfile) {
+		t.Fatalf("Profile before training: %v", err)
+	}
+
+	for _, b := range []int{0, 9, 0, 9, 0, 3} {
+		if _, _, err := s.Block("stub", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := s.TraceSnapshot("stub")
+	if err != nil || tr.Blocks != 16 || len(tr.Accesses) != 6 {
+		t.Fatalf("TraceSnapshot = %+v, %v", tr, err)
+	}
+	prof, err := s.Train("stub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Heat[0] != 3 || prof.Heat[9] != 2 || prof.Next[0][9] != 2 {
+		t.Fatalf("trained profile = heat %v next %v", prof.Heat, prof.Next)
+	}
+	if got, err := s.Profile("stub"); err != nil || got != prof {
+		t.Fatalf("Profile = %v, %v", got, err)
+	}
+
+	// The ring is bounded: hammering one block keeps only the window.
+	for i := 0; i < 100; i++ {
+		s.Block("stub", 1)
+	}
+	tr, _ = s.TraceSnapshot("stub")
+	if len(tr.Accesses) != 8 {
+		t.Fatalf("ring grew past its bound: %d", len(tr.Accesses))
+	}
+
+	// Unknown images error on every tracelab call.
+	if _, err := s.Train("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatal(err)
+	}
+	if _, err := s.SetPolicy("nope", PolicySpec{Policy: "sequential"}); !errors.Is(err, ErrNotFound) {
+		t.Fatal(err)
+	}
+}
+
+func TestSetPolicyMarkovPrefetchesTrainedSuccessor(t *testing.T) {
+	stub := &stubCodec{blocks: 64}
+	s := New(Options{PrefetchDepth: 2, TraceBuffer: 1024})
+	defer s.Close()
+	s.addCodec("stub", stub, "stub")
+
+	// Markov before training is refused.
+	if _, err := s.SetPolicy("stub", PolicySpec{Policy: "markov"}); !errors.Is(err, ErrNoProfile) {
+		t.Fatalf("untrained markov: %v", err)
+	}
+	if _, err := s.SetPolicy("stub", PolicySpec{Policy: "warp"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+
+	// The trace jumps 10 -> 40 every time; train, then switch to markov.
+	if _, err := s.TrainFrom("stub", []int{10, 40, 10, 40, 10, 40}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.SetPolicy("stub", PolicySpec{Policy: "markov", TopK: 1, Depth: 1})
+	if err != nil || info.Policy != "markov" {
+		t.Fatalf("SetPolicy = %+v, %v", info, err)
+	}
+	if pi, err := s.Policy("stub"); err != nil || pi.Policy != "markov" {
+		t.Fatalf("Policy = %+v, %v", pi, err)
+	}
+
+	// A demand miss on 10 must warm 40 — the trained successor — and not
+	// 11, the sequential guess.
+	if _, _, err := s.Block("stub", 10); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !s.cache.Contains(blockKey("stub", 40)) {
+		if time.Now().After(deadline) {
+			t.Fatal("trained successor never prefetched")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s.cache.Contains(blockKey("stub", 11)) {
+		t.Fatal("markov policy still prefetching sequentially")
+	}
+	// The warmed read is a demand hit and counts as a prefetch hit.
+	if _, hit, err := s.Block("stub", 40); err != nil || !hit {
+		t.Fatalf("warmed read: hit=%v err=%v", hit, err)
+	}
+	st := s.Stats()
+	if st.Prefetch.Hits != 1 || st.Prefetch.Completed != 1 {
+		t.Fatalf("prefetch stats = %+v", st.Prefetch)
+	}
+	if st.Prefetch.Accuracy() != 1 {
+		t.Fatalf("accuracy = %v", st.Prefetch.Accuracy())
+	}
+	if len(st.Images) != 1 || st.Images[0].Policy != "markov" || !st.Images[0].Trained {
+		t.Fatalf("image stats = %+v", st.Images[0])
+	}
+}
+
+func TestPrefetchHitAccountingSequential(t *testing.T) {
+	stub := &stubCodec{blocks: 16}
+	s := New(Options{PrefetchDepth: 4})
+	defer s.Close()
+	s.addCodec("stub", stub, "stub")
+
+	if _, _, err := s.Block("stub", 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Prefetch.Completed < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("prefetches never completed: %+v", s.Stats().Prefetch)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Two demand reads of warmed blocks, one re-read: prefetch hits count
+	// first use only, ordinary hits keep counting.
+	s.Block("stub", 1)
+	s.Block("stub", 2)
+	s.Block("stub", 1)
+	st := s.Stats()
+	if st.Prefetch.Hits != 2 {
+		t.Fatalf("prefetch hits = %d, want 2 (stats %+v)", st.Prefetch.Hits, st.Prefetch)
+	}
+	if st.Cache.Hits != 3 {
+		t.Fatalf("cache hits = %d, want 3", st.Cache.Hits)
+	}
+}
+
+func TestSetPolicyHotsetPinsSurviveColdScan(t *testing.T) {
+	stub := &stubCodec{blocks: 256}
+	// Cache far below the image size so a cold scan evicts everything
+	// unpinned.
+	s := New(Options{CacheBlocks: 16, CacheShards: 1, PrefetchDepth: -1, TraceBuffer: 4096})
+	defer s.Close()
+	s.addCodec("stub", stub, "stub")
+
+	// Blocks 7 and 200 are hot.
+	trace := make([]int, 0, 64)
+	for i := 0; i < 16; i++ {
+		trace = append(trace, 7, 200)
+	}
+	if _, err := s.TrainFrom("stub", trace); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.SetPolicy("stub", PolicySpec{Policy: "hotset", PinCount: 2})
+	if err != nil || info.Pinned != 2 {
+		t.Fatalf("SetPolicy = %+v, %v", info, err)
+	}
+
+	// Full cold scan of the whole image.
+	for b := 0; b < stub.blocks; b++ {
+		if _, _, err := s.Block("stub", b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range []int{7, 200} {
+		if !s.cache.Contains(blockKey("stub", b)) {
+			t.Fatalf("pinned hot block %d evicted by cold scan", b)
+		}
+	}
+	if st := s.CacheStats(); st.Pinned != 2 {
+		t.Fatalf("pinned = %d", st.Pinned)
+	}
+
+	// Switching back to sequential releases the pins; a fresh cold scan
+	// now evicts the previously hot blocks.
+	if _, err := s.SetPolicy("stub", PolicySpec{Policy: "sequential"}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CacheStats(); st.Pinned != 0 {
+		t.Fatalf("pins survived policy switch: %+v", st)
+	}
+	for b := 0; b < stub.blocks; b++ {
+		s.Block("stub", b)
+	}
+	if s.cache.Contains(blockKey("stub", 7)) {
+		t.Fatal("unpinned block survived a full cold scan")
+	}
+
+	// RemoveImage drops pinned state cleanly too.
+	s.TrainFrom("stub", trace)
+	s.SetPolicy("stub", PolicySpec{Policy: "hotset", PinCount: 2})
+	if err := s.RemoveImage("stub"); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CacheStats(); st.Pinned != 0 || st.Entries != 0 {
+		t.Fatalf("stale cache after remove: %+v", st)
+	}
+}

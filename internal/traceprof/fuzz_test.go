@@ -1,0 +1,41 @@
+package traceprof
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceParse guards the trace parser, which accepts operator-supplied
+// files (loadgen -tracefile, POST /train bodies): hostile input must error,
+// never panic, and anything accepted must survive a write/re-parse round
+// trip and profile cleanly.
+func FuzzTraceParse(f *testing.F) {
+	f.Add([]byte("codecomp-trace v1 image=gcc blocks=10\n0\n1\n9\n"))
+	f.Add([]byte("codecomp-trace v1\n3\n3\n2\n"))
+	f.Add([]byte("codecomp-trace v1 blocks=4\n# hot loop\n0\n\n1\n"))
+	f.Add([]byte("codecomp-trace v2 blocks=4\n0\n"))
+	f.Add([]byte("codecomp-trace v1 blocks=99999999999\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo of parsed trace: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of written trace: %v", err)
+		}
+		if back.Blocks != tr.Blocks || !reflect.DeepEqual(back.Accesses, tr.Accesses) {
+			t.Fatalf("round trip changed trace: %+v != %+v", back, tr)
+		}
+		p := tr.Profile()
+		if int(p.Accesses) != len(tr.Accesses) {
+			t.Fatalf("profile counted %d of %d accesses", p.Accesses, len(tr.Accesses))
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package traceprof
+
+import "sync/atomic"
+
+// Recorder is a bounded, lock-free ring buffer of block accesses — the live
+// trace capture that sits on romserver's demand-fetch path. Record is one
+// atomic fetch-add plus one atomic store, so the hot path pays nanoseconds
+// whether or not anyone ever trains a profile from the ring.
+//
+// Snapshot is best-effort under concurrent recording: a writer that laps
+// the reader can tear the oldest few entries, which only perturbs a
+// statistical profile, never corrupts it (every slot is a whole int64).
+type Recorder struct {
+	slots []atomic.Int64
+	next  atomic.Uint64
+}
+
+// NewRecorder returns a ring holding the last n accesses (n <= 0 defaults
+// to 65536).
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = 65536
+	}
+	return &Recorder{slots: make([]atomic.Int64, n)}
+}
+
+// Record appends one block access, overwriting the oldest when full.
+func (r *Recorder) Record(block int) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(int64(block))
+}
+
+// Total is the number of accesses ever recorded (including overwritten
+// ones).
+func (r *Recorder) Total() int64 { return int64(r.next.Load()) }
+
+// Len is the number of accesses currently held.
+func (r *Recorder) Len() int {
+	if t := r.Total(); t < int64(len(r.slots)) {
+		return int(t)
+	}
+	return len(r.slots)
+}
+
+// Snapshot returns the held accesses, oldest first.
+func (r *Recorder) Snapshot() []int {
+	total := r.next.Load()
+	n := uint64(len(r.slots))
+	out := make([]int, 0, r.Len())
+	if total <= n {
+		for i := uint64(0); i < total; i++ {
+			out = append(out, int(r.slots[i].Load()))
+		}
+		return out
+	}
+	for i := total; i < total+n; i++ {
+		out = append(out, int(r.slots[i%n].Load()))
+	}
+	return out
+}

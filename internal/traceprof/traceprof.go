@@ -1,0 +1,361 @@
+// Package traceprof turns block-access traces into access-pattern profiles.
+//
+// The serving layer (internal/romserver) decompresses cache blocks on
+// demand; how well it hides that latency depends entirely on the access
+// pattern. Ozturk et al. (access-pattern-based code compression) show the
+// pattern is exploitable: block heat is heavily skewed and the next block
+// fetched is highly predictable from the current one. This package captures
+// both facts from a trace:
+//
+//   - Heat: per-block demand counts (who is hot, who is cold);
+//   - Next: the first-order Markov transition table between consecutive
+//     distinct block accesses (what usually comes after block i);
+//   - Reuse: an LRU stack-distance histogram (how big a cache must be for
+//     a reuse to still hit).
+//
+// A Profile compiles into prefetch policies in internal/policy. Traces come
+// from the live recorder in romserver (Recorder, this package), from
+// loadgen's -tracefile output, or from any text in the codecomp-trace
+// format below.
+//
+// # Trace text format
+//
+//	codecomp-trace v1 image=gcc-samc blocks=940
+//	12
+//	13
+//	# comments and blank lines are skipped
+//	40
+//
+// The header's blocks=N field bounds the indices; image= is optional
+// documentation. One decimal block index per line, in access order.
+package traceprof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// maxBlocks bounds the block count so a hostile header or index cannot make
+// the profiler allocate per-block state for 2^60 blocks. 2^22 32-byte
+// blocks is a 128 MiB image — far beyond any embedded ROM we serve.
+const maxBlocks = 1 << 22
+
+// Trace is one block-access trace: the sequence of demand block indices an
+// image served, in order.
+type Trace struct {
+	// Image is the image name the trace was recorded against (optional).
+	Image string
+	// Blocks is the image's block count; every access is in [0, Blocks).
+	Blocks int
+	// Accesses is the block index sequence.
+	Accesses []int
+}
+
+// Parse reads a codecomp-trace v1 text stream. Indices outside
+// [0, blocks) are errors, as is a missing or malformed header. When the
+// header omits blocks=, the count is inferred as max(index)+1.
+func Parse(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("traceprof: %w", err)
+		}
+		return nil, fmt.Errorf("traceprof: empty trace")
+	}
+	t := &Trace{}
+	fields := strings.Fields(sc.Text())
+	if len(fields) < 2 || fields[0] != "codecomp-trace" || fields[1] != "v1" {
+		return nil, fmt.Errorf("traceprof: bad header %q", sc.Text())
+	}
+	declared := false
+	for _, f := range fields[2:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return nil, fmt.Errorf("traceprof: bad header field %q", f)
+		}
+		switch key {
+		case "image":
+			t.Image = val
+		case "blocks":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 || n > maxBlocks {
+				return nil, fmt.Errorf("traceprof: bad blocks=%q", val)
+			}
+			t.Blocks = n
+			declared = true
+		default:
+			// Unknown fields are ignored so v1 readers survive v1.x writers.
+		}
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		b, err := strconv.Atoi(s)
+		if err != nil || b < 0 || b >= maxBlocks {
+			return nil, fmt.Errorf("traceprof: line %d: bad block index %q", line, s)
+		}
+		if declared && b >= t.Blocks {
+			return nil, fmt.Errorf("traceprof: line %d: block %d out of range [0,%d)", line, b, t.Blocks)
+		}
+		if !declared && b >= t.Blocks {
+			t.Blocks = b + 1
+		}
+		t.Accesses = append(t.Accesses, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("traceprof: %w", err)
+	}
+	return t, nil
+}
+
+// WriteTo writes the trace in the text format Parse reads.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	hdr := "codecomp-trace v1"
+	if t.Image != "" {
+		hdr += " image=" + t.Image
+	}
+	hdr += fmt.Sprintf(" blocks=%d\n", t.Blocks)
+	if err := count(bw.WriteString(hdr)); err != nil {
+		return n, err
+	}
+	for _, b := range t.Accesses {
+		if err := count(bw.WriteString(strconv.Itoa(b))); err != nil {
+			return n, err
+		}
+		if err := count(bw.WriteString("\n")); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Profile builds the access-pattern profile of the trace.
+func (t *Trace) Profile() *Profile { return BuildProfile(t.Accesses, t.Blocks) }
+
+// ReuseHist is an LRU stack-distance histogram. A reuse at distance d hits
+// any fully-associative LRU cache holding more than d blocks, so the
+// cumulative histogram is the hit-ratio-vs-capacity curve of the trace.
+type ReuseHist struct {
+	// Cold counts first-ever accesses (infinite distance).
+	Cold int64 `json:"cold"`
+	// Buckets[i] counts reuses whose stack distance d (distinct blocks
+	// touched since the previous access of the same block) has
+	// bits.Len(d) == i: bucket 0 is d=0, bucket 1 is d=1, bucket 2 is
+	// d in [2,4), bucket 3 is d in [4,8), and so on.
+	Buckets []int64 `json:"buckets"`
+}
+
+func (h *ReuseHist) add(dist int) {
+	idx := bits.Len(uint(dist))
+	for len(h.Buckets) <= idx {
+		h.Buckets = append(h.Buckets, 0)
+	}
+	h.Buckets[idx]++
+}
+
+// Reuses is the total number of non-cold accesses counted.
+func (h ReuseHist) Reuses() int64 {
+	var n int64
+	for _, b := range h.Buckets {
+		n += b
+	}
+	return n
+}
+
+// Profile is the compiled access-pattern statistics of one trace.
+type Profile struct {
+	// Blocks is the image block count the profile covers.
+	Blocks int `json:"blocks"`
+	// Accesses is the trace length used for training.
+	Accesses int64 `json:"accesses"`
+	// Heat[i] counts demand accesses of block i.
+	Heat []int64 `json:"heat"`
+	// Next[i][j] counts transitions from block i to a different block j
+	// between consecutive accesses — the first-order Markov table.
+	Next []map[int]int64 `json:"next"`
+	// Reuse is the LRU stack-distance histogram.
+	Reuse ReuseHist `json:"reuse"`
+}
+
+// BuildProfile computes a Profile from a block-access sequence. Accesses
+// outside [0, blocks) are skipped; blocks <= 0 infers the count from the
+// trace.
+func BuildProfile(accesses []int, blocks int) *Profile {
+	if blocks <= 0 {
+		for _, b := range accesses {
+			if b >= blocks {
+				blocks = b + 1
+			}
+		}
+	}
+	if blocks < 0 || blocks > maxBlocks {
+		blocks = 0
+	}
+	p := &Profile{
+		Blocks: blocks,
+		Heat:   make([]int64, blocks),
+		Next:   make([]map[int]int64, blocks),
+	}
+	// Fenwick tree over trace positions: a 1 marks the current last-access
+	// position of some block, so the count of ones strictly between two
+	// positions is exactly the number of distinct blocks touched in between
+	// — the LRU stack distance, in O(log n) per access.
+	fen := newFenwick(len(accesses))
+	lastPos := make([]int, blocks)
+	for i := range lastPos {
+		lastPos[i] = -1
+	}
+	prev := -1
+	pos := 0
+	for _, b := range accesses {
+		if b < 0 || b >= blocks {
+			continue
+		}
+		p.Accesses++
+		p.Heat[b]++
+		if prev >= 0 && prev != b {
+			if p.Next[prev] == nil {
+				p.Next[prev] = make(map[int]int64)
+			}
+			p.Next[prev][b]++
+		}
+		prev = b
+		if lp := lastPos[b]; lp >= 0 {
+			p.Reuse.add(fen.sum(pos) - fen.sum(lp+1))
+			fen.add(lp+1, -1)
+		} else {
+			p.Reuse.Cold++
+		}
+		fen.add(pos+1, 1)
+		lastPos[b] = pos
+		pos++
+	}
+	return p
+}
+
+// UniqueBlocks is the number of blocks the trace ever touched — the
+// working-set size.
+func (p *Profile) UniqueBlocks() int {
+	n := 0
+	for _, h := range p.Heat {
+		if h > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// HotSet returns the n hottest blocks, hottest first (ties broken by lower
+// index). Blocks never accessed are excluded even if n exceeds the working
+// set.
+func (p *Profile) HotSet(n int) []int {
+	idx := make([]int, 0, len(p.Heat))
+	for b, h := range p.Heat {
+		if h > 0 {
+			idx = append(idx, b)
+		}
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		if p.Heat[idx[i]] != p.Heat[idx[j]] {
+			return p.Heat[idx[i]] > p.Heat[idx[j]]
+		}
+		return idx[i] < idx[j]
+	})
+	if n < len(idx) {
+		idx = idx[:n]
+	}
+	return idx
+}
+
+// Successors returns block i's top-k most likely next blocks, most likely
+// first (ties broken by lower index).
+func (p *Profile) Successors(i, k int) []int {
+	if i < 0 || i >= len(p.Next) || len(p.Next[i]) == 0 || k <= 0 {
+		return nil
+	}
+	succ := make([]int, 0, len(p.Next[i]))
+	for b := range p.Next[i] {
+		succ = append(succ, b)
+	}
+	sort.Slice(succ, func(a, b int) bool {
+		if p.Next[i][succ[a]] != p.Next[i][succ[b]] {
+			return p.Next[i][succ[a]] > p.Next[i][succ[b]]
+		}
+		return succ[a] < succ[b]
+	})
+	if k < len(succ) {
+		succ = succ[:k]
+	}
+	return succ
+}
+
+// BlockHeat is one row of a profile summary's hot list.
+type BlockHeat struct {
+	Block int   `json:"block"`
+	Count int64 `json:"count"`
+}
+
+// Summary is the JSON-friendly digest of a Profile: everything an operator
+// wants from /profile without shipping the full transition table.
+type Summary struct {
+	Blocks       int         `json:"blocks"`
+	Accesses     int64       `json:"accesses"`
+	UniqueBlocks int         `json:"unique_blocks"`
+	Transitions  int         `json:"transitions"`
+	Hot          []BlockHeat `json:"hot"`
+	Reuse        ReuseHist   `json:"reuse"`
+}
+
+// Summary digests the profile, listing the topHot hottest blocks.
+func (p *Profile) Summary(topHot int) Summary {
+	s := Summary{
+		Blocks:       p.Blocks,
+		Accesses:     p.Accesses,
+		UniqueBlocks: p.UniqueBlocks(),
+		Reuse:        p.Reuse,
+	}
+	for _, m := range p.Next {
+		s.Transitions += len(m)
+	}
+	for _, b := range p.HotSet(topHot) {
+		s.Hot = append(s.Hot, BlockHeat{Block: b, Count: p.Heat[b]})
+	}
+	return s
+}
+
+// fenwick is a 1-based binary indexed tree of int counts.
+type fenwick []int
+
+func newFenwick(n int) fenwick { return make(fenwick, n+1) }
+
+// add adds delta at 1-based position i.
+func (f fenwick) add(i, delta int) {
+	for ; i < len(f); i += i & -i {
+		f[i] += delta
+	}
+}
+
+// sum returns the prefix sum of positions [1, i].
+func (f fenwick) sum(i int) int {
+	s := 0
+	for ; i > 0; i -= i & -i {
+		s += f[i]
+	}
+	return s
+}

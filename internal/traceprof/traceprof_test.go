@@ -1,0 +1,179 @@
+package traceprof
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParseWriteRoundTrip(t *testing.T) {
+	in := &Trace{Image: "gcc-samc", Blocks: 10, Accesses: []int{0, 1, 2, 9, 2, 1, 0}}
+	var buf bytes.Buffer
+	if _, err := in.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	src := "codecomp-trace v1 blocks=8 future=stuff\n\n# comment\n 3 \n7\n"
+	tr, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Blocks != 8 || !reflect.DeepEqual(tr.Accesses, []int{3, 7}) {
+		t.Fatalf("parsed %+v", tr)
+	}
+
+	// blocks= omitted: inferred from the data.
+	tr, err = Parse(strings.NewReader("codecomp-trace v1\n5\n2\n"))
+	if err != nil || tr.Blocks != 6 {
+		t.Fatalf("inferred blocks = %d, err %v", tr.Blocks, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"not a trace\n1\n",
+		"codecomp-trace v2 blocks=4\n",
+		"codecomp-trace v1 blocks=nope\n",
+		"codecomp-trace v1 blocks=-1\n",
+		"codecomp-trace v1 noequals\n",
+		"codecomp-trace v1 blocks=4\n4\n",  // out of declared range
+		"codecomp-trace v1 blocks=4\n-1\n", // negative
+		"codecomp-trace v1 blocks=4\nxyz\n",
+		"codecomp-trace v1 blocks=999999999999999999\n",
+	} {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestProfileStatistics(t *testing.T) {
+	// 0→1→0→1→0→2: heat 0:3 1:2 2:1; transitions 0→1 x2, 1→0 x2, 0→2 x1.
+	p := BuildProfile([]int{0, 1, 0, 1, 0, 2}, 3)
+	if p.Accesses != 6 || p.Blocks != 3 {
+		t.Fatalf("profile header %+v", p)
+	}
+	if !reflect.DeepEqual(p.Heat, []int64{3, 2, 1}) {
+		t.Fatalf("heat = %v", p.Heat)
+	}
+	if p.Next[0][1] != 2 || p.Next[0][2] != 1 || p.Next[1][0] != 2 {
+		t.Fatalf("transitions = %v", p.Next)
+	}
+	if got := p.Successors(0, 2); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("Successors(0) = %v", got)
+	}
+	if got := p.Successors(0, 1); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("Successors(0, 1) = %v", got)
+	}
+	if got := p.Successors(2, 4); got != nil {
+		t.Fatalf("Successors(2) = %v", got)
+	}
+	if got := p.HotSet(2); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("HotSet(2) = %v", got)
+	}
+	if got := p.UniqueBlocks(); got != 3 {
+		t.Fatalf("UniqueBlocks = %d", got)
+	}
+}
+
+func TestProfileReuseDistances(t *testing.T) {
+	// Accesses: 0 1 2 0 — the reuse of 0 has stack distance 2 (blocks 1,2
+	// touched in between); 3 cold accesses.
+	p := BuildProfile([]int{0, 1, 2, 0}, 3)
+	if p.Reuse.Cold != 3 {
+		t.Fatalf("cold = %d", p.Reuse.Cold)
+	}
+	// distance 2 → bucket bits.Len(2) = 2.
+	if p.Reuse.Reuses() != 1 || len(p.Reuse.Buckets) != 3 || p.Reuse.Buckets[2] != 1 {
+		t.Fatalf("reuse hist = %+v", p.Reuse)
+	}
+
+	// Immediate re-access: distance 0 → bucket 0.
+	p = BuildProfile([]int{5, 5}, 8)
+	if p.Reuse.Buckets[0] != 1 || p.Reuse.Cold != 1 {
+		t.Fatalf("reuse hist = %+v", p.Reuse)
+	}
+}
+
+func TestProfileSkipsOutOfRange(t *testing.T) {
+	p := BuildProfile([]int{0, 99, -3, 1}, 2)
+	if p.Accesses != 2 || p.Heat[0] != 1 || p.Heat[1] != 1 {
+		t.Fatalf("profile = %+v", p)
+	}
+	// 99 and -3 are dropped, so the observed transition is 0→1.
+	if p.Next[0][1] != 1 {
+		t.Fatalf("transitions = %v", p.Next)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := BuildProfile([]int{0, 1, 0, 1, 0, 2}, 3).Summary(2)
+	if s.Blocks != 3 || s.Accesses != 6 || s.UniqueBlocks != 3 || s.Transitions != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if len(s.Hot) != 2 || s.Hot[0] != (BlockHeat{Block: 0, Count: 3}) {
+		t.Fatalf("hot = %+v", s.Hot)
+	}
+}
+
+func TestRecorderWrapAround(t *testing.T) {
+	r := NewRecorder(4)
+	if r.Len() != 0 || len(r.Snapshot()) != 0 {
+		t.Fatal("fresh recorder not empty")
+	}
+	for i := 0; i < 3; i++ {
+		r.Record(i)
+	}
+	if got := r.Snapshot(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("partial snapshot = %v", got)
+	}
+	for i := 3; i < 10; i++ {
+		r.Record(i)
+	}
+	if got := r.Snapshot(); !reflect.DeepEqual(got, []int{6, 7, 8, 9}) {
+		t.Fatalf("wrapped snapshot = %v", got)
+	}
+	if r.Total() != 10 || r.Len() != 4 {
+		t.Fatalf("total=%d len=%d", r.Total(), r.Len())
+	}
+}
+
+// TestRecorderConcurrent is the race-detector proof that Record/Snapshot
+// need no locks.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(g*1000 + i)
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 8000 || r.Len() != 256 {
+		t.Fatalf("total=%d len=%d", r.Total(), r.Len())
+	}
+	for _, b := range r.Snapshot() {
+		if b < 0 || b >= 8000 {
+			t.Fatalf("torn value %d", b)
+		}
+	}
+}
