@@ -12,8 +12,18 @@
 //	GET  /images/{name}/blocks/{i}  one decompressed block (X-Cache: hit|miss)
 //	GET  /images/{name}/text     the whole decompressed program
 //	DELETE /images/{name}        deregister an image
-//	GET  /healthz                liveness
+//	GET  /healthz                liveness (always 200 while the process serves)
+//	GET  /readyz                 readiness (503 while any image is quarantined)
 //	GET  /metrics                JSON cache/prefetch/per-image counters
+//
+// Faultlab (chaos testing, only with -enable-fault-injection):
+//
+//	PUT  /images/{name}/faults?bitflip=0.02&transient=0.01&seed=1
+//	                             install a deterministic fault injector in
+//	                             front of the image's codec; also accepts
+//	                             panic_blocks= and error_blocks= (comma-
+//	                             separated block indices) and latency_ms=
+//	DELETE /images/{name}/faults remove the injector
 //
 // Tracelab (access-pattern profiling and prefetch policies):
 //
@@ -48,16 +58,19 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"codecomp/internal/faultinj"
 	"codecomp/internal/romserver"
 	"codecomp/internal/traceprof"
 )
 
 type daemon struct {
-	rs      *romserver.Server
-	started time.Time
+	rs            *romserver.Server
+	started       time.Time
+	faultsAllowed bool
 }
 
 func main() {
@@ -69,18 +82,37 @@ func main() {
 	prefetch := flag.Int("prefetch", 4, "blocks warmed after a demand miss (-1 disables)")
 	traceBuffer := flag.Int("trace-buffer", 65536, "per-image access-trace ring size (-1 disables recording)")
 	maxImage := flag.Int64("max-image-bytes", 64<<20, "largest accepted upload")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout")
+	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "HTTP server write timeout")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "HTTP server idle timeout")
+	loadTimeout := flag.Duration("load-timeout", 5*time.Second, "per-block decompression deadline (0 disables)")
+	retries := flag.Int("retries", 3, "decompression attempts per block before failing the read")
+	reverify := flag.Duration("reverify", 2*time.Second, "background re-verify interval for unhealthy images (0 disables)")
+	enableFaults := flag.Bool("enable-fault-injection", false, "allow PUT /images/{name}/faults (chaos testing)")
 	flag.Parse()
 
+	lt := *loadTimeout
+	if lt <= 0 {
+		lt = -1 // romserver: negative disables, zero means default
+	}
+	rv := *reverify
+	if rv <= 0 {
+		rv = -1
+	}
 	d := &daemon{
 		rs: romserver.New(romserver.Options{
-			CacheBlocks:   *cacheBlocks,
-			CacheShards:   *cacheShards,
-			Workers:       *workers,
-			QueueDepth:    *queueDepth,
-			PrefetchDepth: *prefetch,
-			TraceBuffer:   *traceBuffer,
+			CacheBlocks:      *cacheBlocks,
+			CacheShards:      *cacheShards,
+			Workers:          *workers,
+			QueueDepth:       *queueDepth,
+			PrefetchDepth:    *prefetch,
+			TraceBuffer:      *traceBuffer,
+			LoadTimeout:      lt,
+			LoadAttempts:     *retries,
+			ReverifyInterval: rv,
 		}),
-		started: time.Now(),
+		started:       time.Now(),
+		faultsAllowed: *enableFaults,
 	}
 
 	mux := http.NewServeMux()
@@ -95,10 +127,19 @@ func main() {
 	mux.HandleFunc("GET /images/{name}/trace", d.handleTrace)
 	mux.HandleFunc("PUT /images/{name}/policy", d.handleSetPolicy)
 	mux.HandleFunc("GET /images/{name}/policy", d.handleGetPolicy)
+	mux.HandleFunc("PUT /images/{name}/faults", d.handleSetFaults)
+	mux.HandleFunc("DELETE /images/{name}/faults", d.handleClearFaults)
 	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /readyz", d.handleReadyz)
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
 
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      mux,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  *idleTimeout,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -112,6 +153,9 @@ func main() {
 
 	log.Printf("codecompd: serving on %s (cache %d blocks / %d shards, %d workers, prefetch %d)",
 		*addr, *cacheBlocks, *cacheShards, *workers, *prefetch)
+	if d.faultsAllowed {
+		log.Printf("codecompd: FAULT INJECTION ENABLED — do not run in production")
+	}
 	err := srv.ListenAndServe()
 	if !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("codecompd: %v", err)
@@ -140,8 +184,12 @@ func writeErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, romserver.ErrNotFound), errors.Is(err, romserver.ErrOutOfRange):
 		status = http.StatusNotFound
-	case errors.Is(err, romserver.ErrClosed):
+	case errors.Is(err, romserver.ErrClosed), errors.Is(err, romserver.ErrQuarantined):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, romserver.ErrCorruptBlock), errors.Is(err, romserver.ErrCodecPanic):
+		status = http.StatusBadGateway
+	case errors.Is(err, romserver.ErrDecompressTimeout):
+		status = http.StatusGatewayTimeout
 	case errors.Is(err, romserver.ErrNoTrace), errors.Is(err, romserver.ErrNoProfile):
 		status = http.StatusConflict
 	case errors.Is(err, romserver.ErrBadPolicy):
@@ -310,12 +358,116 @@ func (d *daemon) handleGetPolicy(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// handleSetFaults installs a deterministic fault injector in front of one
+// image's codec. Refused unless the daemon was started with
+// -enable-fault-injection, so a production deployment cannot be chaos-
+// tested by accident.
+func (d *daemon) handleSetFaults(w http.ResponseWriter, r *http.Request) {
+	if !d.faultsAllowed {
+		writeJSON(w, http.StatusForbidden, map[string]string{
+			"error": "fault injection disabled; restart codecompd with -enable-fault-injection",
+		})
+		return
+	}
+	q := r.URL.Query()
+	var opts faultinj.Options
+	for _, f := range []struct {
+		key string
+		dst *float64
+	}{{"bitflip", &opts.BitFlipRate}, {"transient", &opts.TransientRate}} {
+		if v := q.Get(f.key); v != "" {
+			rate, err := strconv.ParseFloat(v, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": f.key + " must be a rate in [0,1]"})
+				return
+			}
+			*f.dst = rate
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "seed must be an integer"})
+			return
+		}
+		opts.Seed = seed
+	}
+	if v := q.Get("latency_ms"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "latency_ms must be a non-negative integer"})
+			return
+		}
+		opts.Latency = time.Duration(ms) * time.Millisecond
+	}
+	var err error
+	if opts.PanicBlocks, err = parseBlockList(q.Get("panic_blocks")); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "panic_blocks: " + err.Error()})
+		return
+	}
+	if opts.ErrorBlocks, err = parseBlockList(q.Get("error_blocks")); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "error_blocks: " + err.Error()})
+		return
+	}
+	name := r.PathValue("name")
+	if err := d.rs.SetFaults(name, &opts); err != nil {
+		writeErr(w, err)
+		return
+	}
+	log.Printf("codecompd: fault injector on %q: bitflip=%g transient=%g panic=%v error=%v latency=%s seed=%d",
+		name, opts.BitFlipRate, opts.TransientRate, opts.PanicBlocks, opts.ErrorBlocks, opts.Latency, opts.Seed)
+	writeJSON(w, http.StatusOK, opts)
+}
+
+func parseBlockList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, errors.New("want comma-separated non-negative block indices")
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func (d *daemon) handleClearFaults(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := d.rs.SetFaults(name, nil); err != nil {
+		writeErr(w, err)
+		return
+	}
+	log.Printf("codecompd: fault injector removed from %q", name)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleHealthz is liveness: it answers 200 as long as the process can
+// serve HTTP at all, and carries the readiness breakdown as payload so a
+// human poking the endpoint sees degraded/quarantined images immediately.
 func (d *daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ready, images := d.rs.Health()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
+		"ready":          ready,
 		"images":         len(d.rs.Images()),
+		"health":         images,
 		"uptime_seconds": time.Since(d.started).Seconds(),
 	})
+}
+
+// handleReadyz is readiness: 503 while any image is quarantined, so a load
+// balancer drains traffic from a replica serving a corrupted ROM without
+// restarting it (liveness stays green and the re-verifier can heal it).
+func (d *daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready, images := d.rs.Health()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"ready": ready, "health": images})
 }
 
 func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -18,11 +18,22 @@
 // generated trace can be saved with -tracefile for later replay through
 // traceprof tooling or a /train upload.
 //
+// With -chaos it becomes an end-to-end fault drill: it installs a
+// deterministic fault injector on the uploaded image (bit flips, transient
+// errors, one permanently panicking block), replays the trace while
+// verifying every served block byte-for-byte against the original text,
+// watches the image's health degrade in /metrics, then lifts the faults
+// and waits for the background re-verifier to walk it back to healthy.
+// The run fails (exit 1) if a single corrupt byte is ever served, if the
+// daemon stops answering, if the injected faults go undetected, or if the
+// image does not recover. Requires `codecompd -enable-fault-injection`.
+//
 // Example (after `codecompd -addr :8077 -cache-blocks 256`):
 //
 //	loadgen -addr http://localhost:8077 -profile gcc -alg samc -loops 4
 //	loadgen -addr http://localhost:8077 -profile gcc -loops 3 -policy markov
 //	loadgen -offline -profile gcc -loops 3
+//	loadgen -addr http://localhost:8077 -profile gcc -chaos
 package main
 
 import (
@@ -61,6 +72,11 @@ func main() {
 	tracefile := flag.String("tracefile", "", "also write the generated block trace here in codecomp-trace format")
 	offline := flag.Bool("offline", false, "skip the server: score sequential/markov/hotset through the memsys policy evaluator")
 	simCache := flag.Int("sim-cache", 0, "offline cache capacity in blocks (0 = working set / 3)")
+	chaos := flag.Bool("chaos", false, "fault drill: inject faults server-side, verify every served byte, assert detection and recovery")
+	chaosBitflip := flag.Float64("chaos-bitflip", 0.02, "chaos: per-decompression bit-flip rate")
+	chaosTransient := flag.Float64("chaos-transient", 0.01, "chaos: per-decompression transient-error rate")
+	chaosPanic := flag.Int("chaos-panic-block", -1, "chaos: block whose decompression panics (-1 = auto-pick from the trace)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault injector RNG seed")
 	flag.Parse()
 
 	if *name == "" {
@@ -103,6 +119,28 @@ func main() {
 	client := &http.Client{Timeout: 30 * time.Second}
 	if !*keep {
 		defer deleteImage(client, *addr, *name)
+	}
+
+	if *chaos {
+		fatal(upload(client, *addr, *name, image))
+		cfg := chaosConfig{
+			bitflip:    *chaosBitflip,
+			transient:  *chaosTransient,
+			panicBlock: *chaosPanic,
+			seed:       *chaosSeed,
+			blockSize:  *blockSize,
+		}
+		if cfg.panicBlock < 0 && len(reqs) > 0 {
+			cfg.panicBlock = reqs[len(reqs)/2]
+		}
+		violations := runChaos(client, *addr, *name, text, reqs, *loops, *concurrency, cfg)
+		deleteImage(client, *addr, *name)
+		if violations > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: chaos: FAIL (%d invariant violations)\n", violations)
+			os.Exit(1)
+		}
+		fmt.Printf("loadgen: chaos: PASS — faults injected, detected, never served; image recovered\n")
+		return
 	}
 
 	if *polName == "" {
@@ -289,6 +327,275 @@ func runOffline(reqs []int, blocks, loops, cache, topK, depth, pin int) error {
 	return nil
 }
 
+// chaosConfig parameterizes the -chaos fault drill.
+type chaosConfig struct {
+	bitflip, transient float64
+	panicBlock         int
+	seed               int64
+	blockSize          int
+}
+
+// runChaos executes the fault drill and returns the number of invariant
+// violations. The invariants, in order of importance:
+//
+//  1. Zero corrupt bytes served: every 200 response matches the original
+//     text exactly, bit flips notwithstanding.
+//  2. The daemon survives: /healthz answers after the storm.
+//  3. The faults were detected, not absorbed: corrupt_blocks and
+//     panics_recovered are nonzero in /metrics.
+//  4. Degradation is observable: a non-healthy state shows up in /metrics
+//     while the faults are active.
+//  5. The image recovers to healthy after the faults are lifted.
+func runChaos(client *http.Client, addr, name string, text []byte, reqs []int, loops, concurrency int, cfg chaosConfig) int {
+	fmt.Printf("loadgen: chaos: bitflip=%g transient=%g panic block=%d seed=%d\n",
+		cfg.bitflip, cfg.transient, cfg.panicBlock, cfg.seed)
+	if err := putFaults(client, addr, name, cfg); err != nil {
+		fatal(err)
+	}
+
+	expect := func(b int) []byte {
+		lo := b * cfg.blockSize
+		hi := lo + cfg.blockSize
+		if hi > len(text) {
+			hi = len(text)
+		}
+		return text[lo:hi]
+	}
+
+	// Health monitor: watch /metrics for state transitions while the
+	// storm runs. Poll failures are counted, not fatal — the verdict on
+	// liveness is the final /healthz probe.
+	statesSeen := make(map[string]bool)
+	var stMu sync.Mutex
+	var pollErrs atomic.Int64
+	stopMon := make(chan struct{})
+	var monWG sync.WaitGroup
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopMon:
+				return
+			case <-tick.C:
+				st, err := metrics(client, addr)
+				if err != nil {
+					pollErrs.Add(1)
+					continue
+				}
+				for _, img := range st.Images {
+					if img.Name == name {
+						stMu.Lock()
+						statesSeen[img.Health] = true
+						stMu.Unlock()
+					}
+				}
+			}
+		}
+	}()
+
+	// Prime the panic block so panics_recovered and the bad-block list are
+	// populated deterministically, whatever the trace ordering does.
+	if cfg.panicBlock >= 0 {
+		for i := 0; i < 3; i++ {
+			fetchBlockVerify(client, addr, name, cfg.panicBlock, expect(cfg.panicBlock)) //nolint:errcheck
+		}
+	}
+
+	// Verified replay: like runOnce, but every body is compared against
+	// the original text. Failures are retried client-side a couple of
+	// times (the server already retries transient faults internally);
+	// a body mismatch is never retried — the invariant is already gone.
+	var ok, failed, corrupt, panicFails atomic.Int64
+	work := make(chan int, 4*concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range work {
+				want := expect(b)
+				served := false
+				for attempt := 0; attempt < 3; attempt++ {
+					mismatch, err := fetchBlockVerify(client, addr, name, b, want)
+					if mismatch {
+						corrupt.Add(1)
+						fmt.Printf("loadgen: chaos: CORRUPT BYTES SERVED for block %d\n", b)
+						served = true // delivered, just wrong — retrying can't un-serve it
+						break
+					}
+					if err == nil {
+						ok.Add(1)
+						served = true
+						break
+					}
+				}
+				if !served {
+					failed.Add(1)
+					if b == cfg.panicBlock {
+						panicFails.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	for l := 0; l < loops; l++ {
+		for _, b := range reqs {
+			work <- b
+		}
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stopMon)
+	monWG.Wait()
+
+	st, stErr := metrics(client, addr)
+	var img imageStats
+	for _, is := range st.Images {
+		if is.Name == name {
+			img = is
+		}
+	}
+	stMu.Lock()
+	var states []string
+	for s := range statesSeen {
+		states = append(states, s)
+	}
+	stMu.Unlock()
+
+	fmt.Printf("loadgen: chaos: %d served ok, %d failed (%d on panic block) in %v; %d metric-poll errors\n",
+		ok.Load(), failed.Load(), panicFails.Load(), elapsed.Round(time.Millisecond), pollErrs.Load())
+	fmt.Printf("loadgen: chaos: server detected %d corrupt blocks, recovered %d panics, retried %d, health states seen %v\n",
+		img.CorruptBlocks, img.PanicsRecovered, img.Retries, states)
+
+	violations := 0
+	check := func(okCond bool, what string) {
+		if okCond {
+			fmt.Printf("loadgen: chaos: ok   - %s\n", what)
+		} else {
+			fmt.Printf("loadgen: chaos: FAIL - %s\n", what)
+			violations++
+		}
+	}
+	check(corrupt.Load() == 0, "zero corrupt bytes served")
+	check(healthzAlive(client, addr), "daemon alive after the storm")
+	check(stErr == nil && img.CorruptBlocks > 0, "injected bit flips were detected (corrupt_blocks > 0)")
+	check(stErr == nil && img.PanicsRecovered > 0, "codec panics were contained (panics_recovered > 0)")
+	check(statesSeen["degraded"] || statesSeen["quarantined"], "degradation observable in /metrics")
+	check(ok.Load() > 0, "requests still succeed under faults")
+
+	// Lift the faults; the background re-verifier must bring the image
+	// back without any client traffic.
+	fatal(clearFaults(client, addr, name))
+	fmt.Printf("loadgen: chaos: faults lifted, waiting for recovery\n")
+	recovered := false
+	deadline := time.Now().Add(90 * time.Second)
+	for time.Now().Before(deadline) {
+		if st, err := metrics(client, addr); err == nil {
+			for _, is := range st.Images {
+				if is.Name == name && is.Health == "healthy" && is.BadBlocks == 0 {
+					recovered = true
+				}
+			}
+		}
+		if recovered {
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	check(recovered, "image re-verified back to healthy")
+	check(readyz(client, addr), "/readyz reports ready after recovery")
+	return violations
+}
+
+// fetchBlockVerify fetches one block and compares it to want. mismatch is
+// true only when a 200 body differs from want — the one unforgivable
+// outcome.
+func fetchBlockVerify(client *http.Client, addr, name string, b int, want []byte) (mismatch bool, err error) {
+	resp, err := client.Get(fmt.Sprintf("%s/images/%s/blocks/%d", addr, name, b))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("block %d: %s", b, resp.Status)
+	}
+	if !bytes.Equal(body, want) {
+		return true, fmt.Errorf("block %d: body mismatch (%d bytes)", b, len(body))
+	}
+	return false, nil
+}
+
+func putFaults(client *http.Client, addr, name string, cfg chaosConfig) error {
+	url := fmt.Sprintf("%s/images/%s/faults?bitflip=%g&transient=%g&seed=%d",
+		addr, name, cfg.bitflip, cfg.transient, cfg.seed)
+	if cfg.panicBlock >= 0 {
+		url += fmt.Sprintf("&panic_blocks=%d", cfg.panicBlock)
+	}
+	req, err := http.NewRequest(http.MethodPut, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusForbidden {
+		return fmt.Errorf("chaos needs a daemon started with -enable-fault-injection: %s", bytes.TrimSpace(body))
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("set faults: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+func clearFaults(client *http.Client, addr, name string) error {
+	req, err := http.NewRequest(http.MethodDelete, addr+"/images/"+name+"/faults", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("clear faults: %s", resp.Status)
+	}
+	return nil
+}
+
+func healthzAlive(client *http.Client, addr string) bool {
+	resp, err := client.Get(addr + "/healthz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func readyz(client *http.Client, addr string) bool {
+	resp, err := client.Get(addr + "/readyz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
 func writeTraceFile(path string, tr *traceprof.Trace) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -438,13 +745,21 @@ type serverStats struct {
 		Hits      int64 `json:"hits"`
 		Wasted    int64 `json:"wasted"`
 	} `json:"prefetch"`
-	Images []struct {
-		Name           string `json:"name"`
-		BlockReads     int64  `json:"block_reads"`
-		Decompressions int64  `json:"decompressions"`
-		Policy         string `json:"policy"`
-		Pinned         int64  `json:"pinned"`
-	} `json:"images"`
+	Images []imageStats `json:"images"`
+}
+
+type imageStats struct {
+	Name           string `json:"name"`
+	BlockReads     int64  `json:"block_reads"`
+	Decompressions int64  `json:"decompressions"`
+	Policy         string `json:"policy"`
+	Pinned         int64  `json:"pinned"`
+	// Faultlab fields (see romserver.ImageStats).
+	Health          string `json:"health"`
+	CorruptBlocks   int64  `json:"corrupt_blocks"`
+	PanicsRecovered int64  `json:"panics_recovered"`
+	Retries         int64  `json:"retries"`
+	BadBlocks       int64  `json:"bad_blocks"`
 }
 
 func metrics(client *http.Client, addr string) (serverStats, error) {

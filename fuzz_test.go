@@ -159,3 +159,44 @@ func FuzzUnmarshalAny(f *testing.F) {
 		_, _ = c.Decompress()
 	})
 }
+
+// FuzzUnmarshalAnyBitFlip models a single-event upset in stored ROM: for
+// every format, ANY single-bit flip anywhere in a marshaled image must be
+// rejected by UnmarshalAny — cleanly, with an error. All three container
+// formats carry a whole-payload CRC32 plus magic/version checks, so a
+// flipped image that unmarshals successfully is a serializer integrity
+// hole, not fuzz noise.
+func FuzzUnmarshalAnyBitFlip(f *testing.F) {
+	text := seedImages(f)
+	samcImg, err := codecomp.CompressSAMC(text, codecomp.SAMCOptions{Connected: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	sadcImg, err := codecomp.CompressSADCMIPS(text, codecomp.SADCOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	huffImg, err := codecomp.CompressHuffman(text, 32)
+	if err != nil {
+		f.Fatal(err)
+	}
+	images := [][]byte{samcImg.Marshal(), sadcImg.Marshal(), huffImg.Marshal()}
+	for i := range images {
+		// Seed bit positions across the header, the CRC field itself and
+		// the payload of each format.
+		for _, bit := range []uint64{0, 8 * 5, 8 * 9, 8 * 20, uint64(len(images[i]))*8 - 1} {
+			f.Add(uint8(i), bit)
+		}
+	}
+	f.Fuzz(func(t *testing.T, which uint8, bit uint64) {
+		img := images[int(which)%len(images)]
+		bit %= uint64(len(img)) * 8
+		flipped := append([]byte(nil), img...)
+		flipped[bit/8] ^= 1 << (bit % 8)
+		c, err := codecomp.UnmarshalAny(flipped)
+		if err == nil {
+			t.Fatalf("image %d with bit %d flipped was accepted (%T) — integrity check hole",
+				which, bit, c)
+		}
+	})
+}

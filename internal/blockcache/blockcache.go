@@ -34,9 +34,17 @@ import (
 	"sync/atomic"
 )
 
-// Key identifies one decompressed block: which image, which block index.
+// Key identifies one decompressed block: which image registration, which
+// block index. Gen is the registration generation the romserver assigns
+// each time a name is (re)registered: a load still in flight when its
+// image is removed or replaced inserts under the old generation, so it
+// can never be served as a block of the new registration — the stale
+// insert is dead weight that ages out of the LRU instead of a silent
+// wrong read. Image-wide operations (InvalidateImage, UnpinImage) match
+// on Image alone and cover every generation.
 type Key struct {
 	Image string
+	Gen   uint64
 	Block int
 }
 
@@ -140,12 +148,15 @@ func New(capacity, shards int) *Cache {
 	return c
 }
 
-// shardFor hashes a key (FNV-1a over the image name and block index) to its
-// shard.
+// shardFor hashes a key (FNV-1a over the image name, generation and block
+// index) to its shard.
 func (c *Cache) shardFor(k Key) *shard {
 	h := uint32(2166136261)
 	for i := 0; i < len(k.Image); i++ {
 		h = (h ^ uint32(k.Image[i])) * 16777619
+	}
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint32(k.Gen>>(8*i)&0xFF)) * 16777619
 	}
 	b := uint32(k.Block)
 	for i := 0; i < 4; i++ {

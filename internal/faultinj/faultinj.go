@@ -1,0 +1,191 @@
+// Package faultinj wraps any codecomp.BlockCodec in a deterministic,
+// seeded fault injector: the adversary the faultlab hardening in
+// internal/romserver is built against. A compressed ROM that is executed
+// in place has no filesystem underneath it to detect bit rot, and a
+// decompressor bug corrupts every instruction it emits after the bad
+// state — so the serving stack must assume the codec can return flipped
+// bits, fail transiently, fail permanently, wedge, or panic, and the
+// injector produces exactly those behaviours on demand:
+//
+//   - BitFlipRate: with probability p per load, one bit of the
+//     decompressed output is flipped (the stored-image rot model: the
+//     decoder "succeeds" but the bytes are wrong).
+//   - TransientRate: with probability p per load, the load fails with a
+//     *TransientError (Temporary() == true), the retryable failure mode
+//     (a refill engine losing arbitration, an allocation blip).
+//   - ErrorBlocks: listed blocks always fail with a permanent error.
+//   - PanicBlocks: listed blocks always panic (the buggy-codec model).
+//   - Latency: every load sleeps first (the slow-decoder model, used to
+//     exercise load deadlines).
+//
+// Faults are drawn from a splitmix64 stream keyed by (Seed, load
+// sequence number), so a single-threaded caller replays the exact same
+// fault sequence for the same seed, and concurrent callers see the same
+// deterministic multiset of faults in arrival order. The wrapped codec
+// is never mutated: bit flips are applied to a copy of its output.
+//
+// Injectors are safe for concurrent use, like the codecs they wrap.
+package faultinj
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"codecomp"
+)
+
+// Options configures one injector. The zero value injects nothing: the
+// wrapper is then a transparent pass-through (plus counters).
+type Options struct {
+	// Seed keys the deterministic fault stream.
+	Seed int64 `json:"seed"`
+	// BitFlipRate is the per-load probability of flipping one output bit.
+	BitFlipRate float64 `json:"bit_flip_rate"`
+	// TransientRate is the per-load probability of a retryable error.
+	TransientRate float64 `json:"transient_rate"`
+	// ErrorBlocks always fail with a permanent (non-retryable) error.
+	ErrorBlocks []int `json:"error_blocks,omitempty"`
+	// PanicBlocks always panic inside Block.
+	PanicBlocks []int `json:"panic_blocks,omitempty"`
+	// Latency is added to every load before anything else happens.
+	Latency time.Duration `json:"latency_ns"`
+}
+
+// Stats counts the faults an injector has produced so far.
+type Stats struct {
+	// Loads counts Block calls that reached the injector.
+	Loads int64 `json:"loads"`
+	// BitFlips counts loads whose output had a bit flipped.
+	BitFlips int64 `json:"bit_flips"`
+	// TransientErrors counts injected retryable failures.
+	TransientErrors int64 `json:"transient_errors"`
+	// PermanentErrors counts loads refused by ErrorBlocks.
+	PermanentErrors int64 `json:"permanent_errors"`
+	// Panics counts loads that panicked via PanicBlocks.
+	Panics int64 `json:"panics"`
+}
+
+// TransientError is the injected retryable failure; it satisfies the
+// Temporary() convention the romserver retry policy keys on.
+type TransientError struct {
+	Block int
+	Seq   int64
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("faultinj: injected transient error on block %d (load %d)", e.Block, e.Seq)
+}
+
+// Temporary marks the error as retryable.
+func (e *TransientError) Temporary() bool { return true }
+
+// Injector is a fault-injecting BlockCodec wrapper; construct with New.
+type Injector struct {
+	inner       codecomp.BlockCodec
+	opts        Options
+	errorBlocks map[int]bool
+	panicBlocks map[int]bool
+
+	seq        atomic.Int64
+	bitFlips   atomic.Int64
+	transients atomic.Int64
+	permanents atomic.Int64
+	panics     atomic.Int64
+}
+
+var _ codecomp.BlockCodec = (*Injector)(nil)
+
+// New wraps inner with the configured faults.
+func New(inner codecomp.BlockCodec, opts Options) *Injector {
+	j := &Injector{
+		inner:       inner,
+		opts:        opts,
+		errorBlocks: make(map[int]bool, len(opts.ErrorBlocks)),
+		panicBlocks: make(map[int]bool, len(opts.PanicBlocks)),
+	}
+	for _, b := range opts.ErrorBlocks {
+		j.errorBlocks[b] = true
+	}
+	for _, b := range opts.PanicBlocks {
+		j.panicBlocks[b] = true
+	}
+	return j
+}
+
+// Options returns the injector's configuration.
+func (j *Injector) Options() Options { return j.opts }
+
+// Stats snapshots the fault counters.
+func (j *Injector) Stats() Stats {
+	return Stats{
+		Loads:           j.seq.Load(),
+		BitFlips:        j.bitFlips.Load(),
+		TransientErrors: j.transients.Load(),
+		PermanentErrors: j.permanents.Load(),
+		Panics:          j.panics.Load(),
+	}
+}
+
+// NumBlocks delegates to the wrapped codec.
+func (j *Injector) NumBlocks() int { return j.inner.NumBlocks() }
+
+// CompressedSize delegates to the wrapped codec.
+func (j *Injector) CompressedSize() int { return j.inner.CompressedSize() }
+
+// Ratio delegates to the wrapped codec.
+func (j *Injector) Ratio() float64 { return j.inner.Ratio() }
+
+// Decompress delegates to the wrapped codec unfaulted: whole-image reads
+// are an admin/registration path, and faultlab targets the per-block
+// serving path.
+func (j *Injector) Decompress() ([]byte, error) { return j.inner.Decompress() }
+
+// Block loads block i through the fault model: latency first, then
+// panic/permanent blocks, then the seeded transient/bit-flip draws.
+func (j *Injector) Block(i int) ([]byte, error) {
+	seq := j.seq.Add(1)
+	if j.opts.Latency > 0 {
+		time.Sleep(j.opts.Latency)
+	}
+	if j.panicBlocks[i] {
+		j.panics.Add(1)
+		panic(fmt.Sprintf("faultinj: injected panic on block %d (load %d)", i, seq))
+	}
+	if j.errorBlocks[i] {
+		j.permanents.Add(1)
+		return nil, fmt.Errorf("faultinj: injected permanent error on block %d", i)
+	}
+	// Two independent draws from the (Seed, seq) stream: transient gate,
+	// then flip gate + flip position.
+	r0 := splitmix(uint64(j.opts.Seed) ^ uint64(seq)*0x9e3779b97f4a7c15)
+	if unit(r0) < j.opts.TransientRate {
+		j.transients.Add(1)
+		return nil, &TransientError{Block: i, Seq: seq}
+	}
+	data, err := j.inner.Block(i)
+	if err != nil {
+		return data, err
+	}
+	r1 := splitmix(r0)
+	if len(data) > 0 && unit(r1) < j.opts.BitFlipRate {
+		out := append([]byte(nil), data...)
+		bit := int(splitmix(r1) % uint64(len(out)*8))
+		out[bit/8] ^= 1 << (bit % 8)
+		j.bitFlips.Add(1)
+		return out, nil
+	}
+	return data, nil
+}
+
+// splitmix is the splitmix64 finalizer: one cheap, well-mixed draw per
+// call, chainable by feeding the output back in.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit maps a draw onto [0,1).
+func unit(x uint64) float64 { return float64(x>>11) / (1 << 53) }

@@ -1,0 +1,222 @@
+package faultinj
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memCodec is a trivial in-memory BlockCodec: block i is 32 bytes of i.
+type memCodec struct{ blocks int }
+
+func (c *memCodec) NumBlocks() int { return c.blocks }
+func (c *memCodec) Block(i int) ([]byte, error) {
+	return bytes.Repeat([]byte{byte(i)}, 32), nil
+}
+func (c *memCodec) Decompress() ([]byte, error) {
+	var out []byte
+	for i := 0; i < c.blocks; i++ {
+		b, _ := c.Block(i)
+		out = append(out, b...)
+	}
+	return out, nil
+}
+func (c *memCodec) CompressedSize() int { return c.blocks * 8 }
+func (c *memCodec) Ratio() float64      { return 0.25 }
+
+func TestPassThroughWhenZeroOptions(t *testing.T) {
+	inner := &memCodec{blocks: 8}
+	j := New(inner, Options{})
+	if j.NumBlocks() != 8 || j.CompressedSize() != 64 || j.Ratio() != 0.25 {
+		t.Fatal("metadata not delegated")
+	}
+	for i := 0; i < 8; i++ {
+		got, err := j.Block(i)
+		want, _ := inner.Block(i)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("Block(%d) = %v, %v", i, got, err)
+		}
+	}
+	full, err := j.Decompress()
+	wantFull, _ := inner.Decompress()
+	if err != nil || !bytes.Equal(full, wantFull) {
+		t.Fatal("Decompress not delegated")
+	}
+	st := j.Stats()
+	if st.Loads != 8 || st.BitFlips+st.TransientErrors+st.PermanentErrors+st.Panics != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDeterministicFaultSequence(t *testing.T) {
+	run := func() []string {
+		j := New(&memCodec{blocks: 4}, Options{Seed: 7, BitFlipRate: 0.3, TransientRate: 0.3})
+		var log []string
+		clean, _ := (&memCodec{blocks: 4}).Block(1)
+		for i := 0; i < 200; i++ {
+			data, err := j.Block(1)
+			switch {
+			case err != nil:
+				log = append(log, "err")
+			case !bytes.Equal(data, clean):
+				log = append(log, "flip:"+string(data))
+			default:
+				log = append(log, "ok")
+			}
+		}
+		return log
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequence diverged at load %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	// A different seed must give a different sequence.
+	j := New(&memCodec{blocks: 4}, Options{Seed: 8, BitFlipRate: 0.3, TransientRate: 0.3})
+	diff := false
+	clean, _ := (&memCodec{blocks: 4}).Block(1)
+	for i := 0; i < 200; i++ {
+		data, err := j.Block(1)
+		var got string
+		switch {
+		case err != nil:
+			got = "err"
+		case !bytes.Equal(data, clean):
+			got = "flip:" + string(data)
+		default:
+			got = "ok"
+		}
+		if got != a[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 7 and 8 produced identical fault sequences")
+	}
+}
+
+func TestRatesApproximatelyHold(t *testing.T) {
+	const n = 20000
+	j := New(&memCodec{blocks: 2}, Options{Seed: 1, BitFlipRate: 0.10, TransientRate: 0.05})
+	for i := 0; i < n; i++ {
+		j.Block(0) //nolint:errcheck — counting via Stats
+	}
+	st := j.Stats()
+	if st.Loads != n {
+		t.Fatalf("loads = %d", st.Loads)
+	}
+	// Transients gate before flips; both rates should land within ±40%
+	// of nominal over 20k draws.
+	checkRate := func(name string, got int64, want float64) {
+		r := float64(got) / n
+		if r < want*0.6 || r > want*1.4 {
+			t.Errorf("%s rate = %.4f, want ≈ %.2f", name, r, want)
+		}
+	}
+	checkRate("transient", st.TransientErrors, 0.05)
+	checkRate("bitflip", st.BitFlips, 0.10*0.95)
+}
+
+func TestBitFlipChangesExactlyOneBit(t *testing.T) {
+	inner := &memCodec{blocks: 2}
+	j := New(inner, Options{Seed: 3, BitFlipRate: 1})
+	clean, _ := inner.Block(1)
+	for i := 0; i < 50; i++ {
+		got, err := j.Block(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := 0
+		for k := range got {
+			x := got[k] ^ clean[k]
+			for ; x != 0; x &= x - 1 {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("load %d flipped %d bits", i, diff)
+		}
+	}
+	// The wrapped codec's own buffer must never be mutated.
+	again, _ := inner.Block(1)
+	if !bytes.Equal(again, clean) {
+		t.Fatal("injector mutated the inner codec's output")
+	}
+}
+
+func TestPermanentAndPanicBlocks(t *testing.T) {
+	j := New(&memCodec{blocks: 8}, Options{ErrorBlocks: []int{2}, PanicBlocks: []int{5}})
+	for i := 0; i < 3; i++ {
+		if _, err := j.Block(2); err == nil {
+			t.Fatal("permanent block served")
+		}
+		var te *TransientError
+		if _, err := j.Block(2); errors.As(err, &te) {
+			t.Fatal("permanent error claims to be transient")
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("panic block did not panic")
+				}
+			}()
+			j.Block(5) //nolint:errcheck
+		}()
+	}
+	if st := j.Stats(); st.PermanentErrors != 6 || st.Panics != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Other blocks are unaffected.
+	if _, err := j.Block(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransientErrorIsTemporary(t *testing.T) {
+	j := New(&memCodec{blocks: 2}, Options{TransientRate: 1})
+	_, err := j.Block(0)
+	var te *TransientError
+	if !errors.As(err, &te) || !te.Temporary() {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	j := New(&memCodec{blocks: 2}, Options{Latency: 20 * time.Millisecond})
+	start := time.Now()
+	if _, err := j.Block(0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("load returned in %v, want ≥ 20ms", d)
+	}
+}
+
+// TestConcurrentLoads is the -race proof: many goroutines drawing faults
+// simultaneously must not race, and the counters must balance.
+func TestConcurrentLoads(t *testing.T) {
+	j := New(&memCodec{blocks: 16}, Options{Seed: 9, BitFlipRate: 0.2, TransientRate: 0.2})
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				j.Block(i % 16) //nolint:errcheck
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := j.Stats()
+	if st.Loads != goroutines*per {
+		t.Fatalf("loads = %d, want %d", st.Loads, goroutines*per)
+	}
+	if st.BitFlips == 0 || st.TransientErrors == 0 {
+		t.Fatalf("no faults under concurrency: %+v", st)
+	}
+}

@@ -1,0 +1,471 @@
+// faultlab: the fault-tolerance layer of the serving stack. The whole
+// premise of executing out of compressed ROM is that one flipped bit in
+// the stored image silently corrupts every byte the decoder emits after
+// it — and a serving cache would then fan the corruption out to every
+// client. This file makes the decompression path a managed, failure-aware
+// runtime service instead of a trusted library call:
+//
+//   - an integrity sidecar (per-block CRC32-C + length, computed once at
+//     registration) verifies every decompressed block BEFORE it can enter
+//     the block cache — corruption is detected, counted and surfaced as
+//     ErrCorruptBlock, never served or cached;
+//   - the hardened load path recovers codec panics into errors, bounds
+//     each decompression attempt with a deadline, and retries transient
+//     failures (and integrity failures, which a re-decompression often
+//     clears) with bounded, jittered exponential backoff;
+//   - a per-image health state machine (healthy → degraded → quarantined)
+//     driven by a sliding window of load outcomes plus a bad-block list,
+//     with a periodic background re-verify pass that walks bad blocks and
+//     brings recovered images back to healthy;
+//   - SetFaults wraps an image's codec in internal/faultinj at runtime,
+//     so chaos tests (loadgen -chaos) exercise all of the above end to
+//     end against a live daemon.
+package romserver
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"codecomp"
+	"codecomp/internal/faultinj"
+)
+
+// Health state thresholds: an image degrades when its sliding-window
+// failure rate crosses degradedRate (or any block is on the bad list) and
+// quarantines at quarantineRate; escalation needs at least minHealthObs
+// observations so one early blip cannot quarantine a fresh image.
+const (
+	degradedRate   = 0.10
+	quarantineRate = 0.50
+	minHealthObs   = 16
+	// reverifyBatch bounds how many blocks one background re-verify pass
+	// checks per unhealthy image.
+	reverifyBatch = 8
+)
+
+// castagnoli is the sidecar CRC table (Castagnoli rather than IEEE so a
+// sidecar checksum is never confused with the marshaled image checksum,
+// and because it is hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// HealthState is one image's position in the health state machine.
+type HealthState int32
+
+const (
+	// Healthy: serving normally.
+	Healthy HealthState = iota
+	// Degraded: error/corruption rate over the window crossed
+	// degradedRate, or blocks are on the bad list; still serving, under
+	// observation and background re-verification.
+	Degraded
+	// Quarantined: failure rate crossed quarantineRate. Cached blocks are
+	// still served (they were verified on the way in) but new
+	// decompressions are refused with ErrQuarantined until background
+	// re-verification walks the image back to health.
+	Quarantined
+)
+
+func (h HealthState) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Quarantined:
+		return "quarantined"
+	}
+	return fmt.Sprintf("HealthState(%d)", int32(h))
+}
+
+// sidecar is an image's integrity ground truth: one CRC32-C and expected
+// length per decompressed block, computed from the freshly unmarshaled
+// codec at registration. Immutable after construction.
+type sidecar struct {
+	crcs []uint32
+	lens []int32
+}
+
+// buildSidecar decompresses every block once and records its checksum and
+// length. A codec that errors or panics here is rejected at registration
+// rather than discovered in a worker.
+func buildSidecar(c codecomp.BlockCodec) (sc *sidecar, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sc, err = nil, fmt.Errorf("codec panicked during verification: %v", r)
+		}
+	}()
+	n := c.NumBlocks()
+	sc = &sidecar{crcs: make([]uint32, n), lens: make([]int32, n)}
+	for i := 0; i < n; i++ {
+		blk, err := c.Block(i)
+		if err != nil {
+			return nil, fmt.Errorf("block %d failed to decompress: %w", i, err)
+		}
+		sc.crcs[i] = crc32.Checksum(blk, castagnoli)
+		sc.lens[i] = int32(len(blk))
+	}
+	return sc, nil
+}
+
+// verify checks one decompressed block against the sidecar. A nil sidecar
+// (test codecs registered via addCodec) verifies nothing.
+func (sc *sidecar) verify(block int, data []byte) error {
+	if sc == nil {
+		return nil
+	}
+	if len(data) != int(sc.lens[block]) {
+		return fmt.Errorf("%w: block %d decompressed to %d bytes, registered as %d",
+			ErrCorruptBlock, block, len(data), sc.lens[block])
+	}
+	if got := crc32.Checksum(data, castagnoli); got != sc.crcs[block] {
+		return fmt.Errorf("%w: block %d checksum %08x, registered as %08x",
+			ErrCorruptBlock, block, got, sc.crcs[block])
+	}
+	return nil
+}
+
+// imageHealth is one image's sliding window of load outcomes, bad-block
+// list and current state. All fields are guarded by mu; reads of the
+// current state go through State() which takes the lock briefly.
+type imageHealth struct {
+	mu sync.Mutex
+	// window is a ring of final load outcomes (true = failed).
+	window []bool
+	idx    int
+	filled int
+	fails  int
+	state  HealthState
+	// bad holds blocks whose most recent load failed after all retries;
+	// membership alone keeps the image at least Degraded until a
+	// successful load or re-verify clears it.
+	bad         map[int]struct{}
+	transitions int64
+}
+
+func newImageHealth(window int) *imageHealth {
+	return &imageHealth{window: make([]bool, window), bad: make(map[int]struct{})}
+}
+
+// State returns the current health state.
+func (h *imageHealth) State() HealthState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
+
+// snapshot returns state, bad-block count, window failure rate and
+// transition count in one lock acquisition.
+func (h *imageHealth) snapshot() (HealthState, int, float64, int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rate := 0.0
+	if h.filled > 0 {
+		rate = float64(h.fails) / float64(h.filled)
+	}
+	return h.state, len(h.bad), rate, h.transitions
+}
+
+// record pushes one final load outcome (after all retries) into the
+// window, updates the bad-block list and recomputes the state. It returns
+// the (from, to) pair when the state changed.
+func (h *imageHealth) record(block int, failed bool) (from, to HealthState, changed bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.filled == len(h.window) {
+		if h.window[h.idx] {
+			h.fails--
+		}
+	} else {
+		h.filled++
+	}
+	h.window[h.idx] = failed
+	if failed {
+		h.fails++
+		h.bad[block] = struct{}{}
+	} else {
+		delete(h.bad, block)
+	}
+	h.idx = (h.idx + 1) % len(h.window)
+	return h.recompute()
+}
+
+// recompute applies the thresholds. Caller holds mu.
+func (h *imageHealth) recompute() (from, to HealthState, changed bool) {
+	rate := 0.0
+	if h.filled > 0 {
+		rate = float64(h.fails) / float64(h.filled)
+	}
+	next := Healthy
+	switch {
+	case h.filled >= minHealthObs && rate >= quarantineRate:
+		next = Quarantined
+	case (h.filled >= minHealthObs && rate >= degradedRate) || len(h.bad) > 0:
+		next = Degraded
+	}
+	if next == h.state {
+		return h.state, next, false
+	}
+	from, h.state = h.state, next
+	h.transitions++
+	return from, next, true
+}
+
+// reverifyTargets picks up to n blocks for a background re-verify pass:
+// every bad block first, then a spread of ordinary blocks so repeated
+// passes push fresh outcomes into the window and walk a recovered image's
+// failure rate back under the thresholds.
+func (h *imageHealth) reverifyTargets(n, blocks int) []int {
+	h.mu.Lock()
+	targets := make([]int, 0, n)
+	for b := range h.bad {
+		if len(targets) == n {
+			break
+		}
+		targets = append(targets, b)
+	}
+	h.mu.Unlock()
+	for i := 0; len(targets) < n && i < n && blocks > 0; i++ {
+		targets = append(targets, (i*blocks)/n)
+	}
+	return targets
+}
+
+// retryable reports whether a load error is worth another attempt:
+// anything that self-describes as temporary (net.Error-style Temporary(),
+// which faultinj's transient errors implement) and decompression
+// deadlines. Codec panics and plain errors are permanent — a
+// deterministic decoder will fail the same way again.
+func retryable(err error) bool {
+	if errors.Is(err, ErrDecompressTimeout) {
+		return true
+	}
+	var te interface{ Temporary() bool }
+	return errors.As(err, &te) && te.Temporary()
+}
+
+// activeCodec returns the fault injector when one is installed, else the
+// real codec.
+func (img *image) activeCodec() codecomp.BlockCodec {
+	if f := img.faults.Load(); f != nil {
+		return f
+	}
+	return img.codec
+}
+
+// safeBlock is one raw decompression with panic containment: a panicking
+// codec becomes an ErrCodecPanic error instead of killing a pool worker.
+func (s *Server) safeBlock(img *image, block int) (data []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			img.panicsRecovered.Add(1)
+			s.panicsRecovered.Add(1)
+			err = fmt.Errorf("%w: block %d of %q: %v", ErrCodecPanic, block, img.name, r)
+		}
+	}()
+	img.decompressions.Add(1)
+	return img.activeCodec().Block(block)
+}
+
+// loadOnce is one bounded decompression attempt. When a deadline is
+// configured the codec runs on its own goroutine so a wedged decoder
+// costs one abandoned goroutine, not a pool worker.
+func (s *Server) loadOnce(img *image, block int) ([]byte, error) {
+	if s.opts.LoadTimeout <= 0 {
+		return s.safeBlock(img, block)
+	}
+	type res struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		data, err := s.safeBlock(img, block)
+		ch <- res{data, err}
+	}()
+	timer := time.NewTimer(s.opts.LoadTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.data, r.err
+	case <-timer.C:
+		img.timeouts.Add(1)
+		s.timeouts.Add(1)
+		return nil, fmt.Errorf("%w: block %d of %q after %v",
+			ErrDecompressTimeout, block, img.name, s.opts.LoadTimeout)
+	}
+}
+
+// loadVerified is the hardened load path every decompression goes
+// through (demand, prefetch, pinning and re-verify alike): bounded
+// attempts with jittered exponential backoff, integrity verification
+// against the sidecar before the bytes can reach the cache, and health
+// accounting of the final outcome.
+func (s *Server) loadVerified(img *image, block int) ([]byte, error) {
+	var lastErr error
+	backoff := s.opts.RetryBackoff
+	for attempt := 0; attempt < s.opts.LoadAttempts; attempt++ {
+		if attempt > 0 {
+			img.retries.Add(1)
+			s.retries.Add(1)
+			// Full jitter on an exponential base, capped at quit.
+			d := backoff + time.Duration(rand.Int63n(int64(backoff)+1))
+			select {
+			case <-time.After(d):
+			case <-s.quit:
+				return nil, ErrClosed
+			}
+			backoff *= 2
+		}
+		data, err := s.loadOnce(img, block)
+		if err == nil {
+			if verr := img.sidecar.verify(block, data); verr != nil {
+				// Detected corruption: count it, never serve or cache it.
+				// Retry — decompression is deterministic but the fault
+				// (RAM bit rot, injected flip) often is not.
+				img.corruptBlocks.Add(1)
+				s.corruptBlocks.Add(1)
+				lastErr = verr
+				continue
+			}
+			s.recordHealth(img, block, false)
+			return data, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			break
+		}
+	}
+	img.loadFailures.Add(1)
+	s.loadFailures.Add(1)
+	s.recordHealth(img, block, true)
+	return nil, lastErr
+}
+
+// recordHealth pushes a final load outcome into the image's health window
+// and counts state transitions.
+func (s *Server) recordHealth(img *image, block int, failed bool) {
+	if _, _, changed := img.health.record(block, failed); changed {
+		s.healthTransitions.Add(1)
+	}
+}
+
+// reverifier is the background recovery loop: every interval it walks
+// each unhealthy image's bad blocks (plus a spread of ordinary blocks)
+// through the hardened load path. Successes clear bad-list entries and
+// dilute the failure window, so an image whose faults have stopped steps
+// back down to healthy; persistent failures keep it where it is.
+func (s *Server) reverifier(interval time.Duration) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.reverifyPass()
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// reverifyPass re-verifies every unhealthy image once.
+func (s *Server) reverifyPass() {
+	s.mu.RLock()
+	imgs := make([]*image, 0, len(s.images))
+	for _, img := range s.images {
+		imgs = append(imgs, img)
+	}
+	s.mu.RUnlock()
+	for _, img := range imgs {
+		if img.health.State() == Healthy {
+			continue
+		}
+		for _, b := range img.health.reverifyTargets(reverifyBatch, img.blocks) {
+			if b < 0 || b >= img.blocks {
+				continue
+			}
+			img.reverifies.Add(1)
+			s.reverifies.Add(1)
+			s.loadVerified(img, b) //nolint:errcheck — outcome lands in health accounting
+			select {
+			case <-s.quit:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// SetFaults installs a fault injector between the serving stack and the
+// image's codec (chaos testing: see cmd/loadgen -chaos). A nil spec
+// removes the injector. The integrity sidecar was computed from the clean
+// codec at registration and is deliberately left untouched, so injected
+// corruption is detected exactly like real corruption would be.
+func (s *Server) SetFaults(name string, opts *faultinj.Options) error {
+	img, err := s.lookup(name)
+	if err != nil {
+		return err
+	}
+	if opts == nil {
+		img.faults.Store(nil)
+		return nil
+	}
+	img.faults.Store(faultinj.New(img.codec, *opts))
+	return nil
+}
+
+// FaultStats returns the image's injected-fault counters, or nil when no
+// injector is installed.
+func (s *Server) FaultStats(name string) (*faultinj.Stats, error) {
+	img, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if f := img.faults.Load(); f != nil {
+		st := f.Stats()
+		return &st, nil
+	}
+	return nil, nil
+}
+
+// HealthInfo is one image's health for /healthz-style reporting.
+type HealthInfo struct {
+	Image string `json:"image"`
+	// State is "healthy", "degraded" or "quarantined".
+	State string `json:"state"`
+	// BadBlocks is how many blocks are currently on the bad list.
+	BadBlocks int `json:"bad_blocks"`
+	// FailureRate is the failure fraction of the sliding outcome window.
+	FailureRate float64 `json:"failure_rate"`
+}
+
+// Health reports readiness: ready is false while any image is
+// quarantined. The per-image breakdown is sorted by name.
+func (s *Server) Health() (ready bool, infos []HealthInfo) {
+	s.mu.RLock()
+	imgs := make([]*image, 0, len(s.images))
+	for _, img := range s.images {
+		imgs = append(imgs, img)
+	}
+	s.mu.RUnlock()
+	ready = true
+	for _, img := range imgs {
+		state, bad, rate, _ := img.health.snapshot()
+		if state == Quarantined {
+			ready = false
+		}
+		infos = append(infos, HealthInfo{
+			Image:       img.name,
+			State:       state.String(),
+			BadBlocks:   bad,
+			FailureRate: rate,
+		})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Image < infos[j].Image })
+	return ready, infos
+}

@@ -34,9 +34,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"codecomp"
 	"codecomp/internal/blockcache"
+	"codecomp/internal/faultinj"
 	"codecomp/internal/policy"
 	"codecomp/internal/traceprof"
 )
@@ -57,6 +59,19 @@ var (
 	// ErrBadPolicy is returned by SetPolicy for an unknown policy name or
 	// invalid policy parameters.
 	ErrBadPolicy = errors.New("romserver: bad policy")
+	// ErrCorruptBlock is returned when a decompressed block fails
+	// verification against the integrity sidecar on every attempt. The
+	// corrupt bytes are never served and never cached.
+	ErrCorruptBlock = errors.New("romserver: corrupt block detected")
+	// ErrQuarantined is returned for reads that would need a fresh
+	// decompression of a quarantined image (cached blocks still serve).
+	ErrQuarantined = errors.New("romserver: image quarantined")
+	// ErrCodecPanic is a codec panic recovered into an error by the
+	// hardened load path.
+	ErrCodecPanic = errors.New("romserver: codec panicked")
+	// ErrDecompressTimeout is one decompression attempt exceeding
+	// Options.LoadTimeout.
+	ErrDecompressTimeout = errors.New("romserver: decompression timed out")
 )
 
 // Options configures a Server. Zero values pick serving-friendly defaults.
@@ -76,6 +91,23 @@ type Options struct {
 	// TraceBuffer is the per-image access-trace ring size, in block
 	// accesses (default 65536; negative disables recording).
 	TraceBuffer int
+
+	// LoadAttempts is how many times one block load is tried before the
+	// read fails (default 3). Only transient errors, decompression
+	// timeouts and integrity failures are retried.
+	LoadAttempts int
+	// RetryBackoff is the base delay before the first retry; it doubles
+	// per attempt with full jitter (default 2ms).
+	RetryBackoff time.Duration
+	// LoadTimeout bounds one decompression attempt (default 5s; negative
+	// disables the deadline).
+	LoadTimeout time.Duration
+	// HealthWindow is the per-image sliding window of load outcomes that
+	// drives the health state machine (default 64).
+	HealthWindow int
+	// ReverifyInterval is how often the background pass re-verifies
+	// degraded/quarantined images (default 5s; negative disables it).
+	ReverifyInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -103,17 +135,50 @@ func (o Options) withDefaults() Options {
 	if o.TraceBuffer < 0 {
 		o.TraceBuffer = 0
 	}
+	if o.LoadAttempts <= 0 {
+		o.LoadAttempts = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 2 * time.Millisecond
+	}
+	if o.LoadTimeout == 0 {
+		o.LoadTimeout = 5 * time.Second
+	}
+	if o.LoadTimeout < 0 {
+		o.LoadTimeout = 0
+	}
+	if o.HealthWindow <= 0 {
+		o.HealthWindow = 64
+	}
+	if o.ReverifyInterval == 0 {
+		o.ReverifyInterval = 5 * time.Second
+	}
+	if o.ReverifyInterval < 0 {
+		o.ReverifyInterval = 0
+	}
 	return o
 }
 
-// image is one registered compressed ROM plus its serving counters and
-// tracelab state.
+// image is one registered compressed ROM plus its serving counters,
+// tracelab state and faultlab state.
 type image struct {
 	name     string
 	codec    codecomp.BlockCodec
 	format   string
 	blocks   int
 	origSize int
+	// gen is this registration's cache-key generation: a load in flight
+	// across a replace/remove inserts under the old generation and can
+	// never be served as a block of the new one.
+	gen uint64
+
+	// sidecar is the per-block integrity ground truth (nil for test
+	// codecs registered without verification).
+	sidecar *sidecar
+	// health is the image's sliding-window health state machine.
+	health *imageHealth
+	// faults, when set, interposes a fault injector before the codec.
+	faults atomic.Pointer[faultinj.Injector]
 
 	// recorder captures the demand block-access stream (nil when
 	// recording is disabled).
@@ -127,6 +192,18 @@ type image struct {
 	rangeReads     atomic.Int64
 	fullReads      atomic.Int64
 	decompressions atomic.Int64
+
+	corruptBlocks   atomic.Int64
+	retries         atomic.Int64
+	panicsRecovered atomic.Int64
+	timeouts        atomic.Int64
+	loadFailures    atomic.Int64
+	reverifies      atomic.Int64
+}
+
+// key is the image's cache key for one block.
+func (img *image) key(b int) blockcache.Key {
+	return blockcache.Key{Image: img.name, Gen: img.gen, Block: b}
 }
 
 // prefState is an image's active policy plus the pin set it holds in the
@@ -167,9 +244,21 @@ type Server struct {
 	drained chan struct{} // closed after the pool has fully drained
 	wg      sync.WaitGroup
 
+	// nextGen hands out cache-key generations to registrations.
+	nextGen atomic.Uint64
+
 	prefetchIssued    atomic.Int64
 	prefetchDropped   atomic.Int64
 	prefetchCompleted atomic.Int64
+
+	// faultlab rollups (server-lifetime; they survive image removal).
+	corruptBlocks     atomic.Int64
+	retries           atomic.Int64
+	panicsRecovered   atomic.Int64
+	timeouts          atomic.Int64
+	loadFailures      atomic.Int64
+	reverifies        atomic.Int64
+	healthTransitions atomic.Int64
 }
 
 // New starts a server and its worker pool.
@@ -186,6 +275,10 @@ func New(opts Options) *Server {
 	s.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		go s.worker()
+	}
+	if opts.ReverifyInterval > 0 {
+		s.wg.Add(1)
+		go s.reverifier(opts.ReverifyInterval)
 	}
 	return s
 }
@@ -228,10 +321,14 @@ func (s *Server) worker() {
 }
 
 func (s *Server) handle(t task) {
-	key := blockcache.Key{Image: t.img.name, Block: t.block}
+	key := t.img.key(t.block)
 	load := func() ([]byte, error) {
-		t.img.decompressions.Add(1)
-		return t.img.codec.Block(t.block)
+		// Quarantined images refuse fresh decompressions; their cached
+		// (verified) blocks above this loader keep serving.
+		if t.img.health.State() == Quarantined {
+			return nil, fmt.Errorf("%w: %q", ErrQuarantined, t.img.name)
+		}
+		return s.loadVerified(t.img, t.block)
 	}
 	if t.reply == nil {
 		// Speculative warm: tag the load so a later demand hit counts
@@ -260,7 +357,7 @@ func (s *Server) prefetch(img *image, miss int) {
 		if b < 0 || b >= img.blocks {
 			continue
 		}
-		if s.cache.Contains(blockcache.Key{Image: img.name, Block: b}) {
+		if s.cache.Contains(img.key(b)) {
 			continue
 		}
 		select {
@@ -309,6 +406,9 @@ type ImageInfo struct {
 	OrigSize       int     `json:"orig_size"`
 	CompressedSize int     `json:"compressed_size"`
 	Ratio          float64 `json:"ratio"`
+	// Health is the image's current health state ("healthy", "degraded"
+	// or "quarantined").
+	Health string `json:"health"`
 }
 
 func (img *image) info() ImageInfo {
@@ -319,6 +419,7 @@ func (img *image) info() ImageInfo {
 		OrigSize:       img.origSize,
 		CompressedSize: img.codec.CompressedSize(),
 		Ratio:          img.codec.Ratio(),
+		Health:         img.health.State().String(),
 	}
 }
 
@@ -337,8 +438,12 @@ func imageMeta(c codecomp.BlockCodec) (origSize int) {
 }
 
 // AddImage registers a marshaled image under name, auto-detecting its
-// format by magic. Re-registering a name replaces the image and drops its
-// cached blocks.
+// format by magic. Registration decompresses every block once to build
+// the integrity sidecar (per-block CRC32-C + length) that all later
+// worker decompressions are verified against — an image whose blocks do
+// not decompress cleanly is rejected here instead of failing in a
+// worker. Re-registering a name replaces the image and drops its cached
+// blocks.
 func (s *Server) AddImage(name string, data []byte) (ImageInfo, error) {
 	if name == "" || strings.ContainsAny(name, "/ \t\n") {
 		return ImageInfo{}, fmt.Errorf("romserver: invalid image name %q", name)
@@ -347,7 +452,12 @@ func (s *Server) AddImage(name string, data []byte) (ImageInfo, error) {
 	if err != nil {
 		return ImageInfo{}, err
 	}
+	sc, err := buildSidecar(codec)
+	if err != nil {
+		return ImageInfo{}, fmt.Errorf("romserver: image %q rejected at registration: %w", name, err)
+	}
 	img := s.newImage(name, codec, codecomp.DetectFormat(data))
+	img.sidecar = sc
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -598,11 +708,10 @@ func (s *Server) SetPolicy(name string, spec PolicySpec) (PolicyInfo, error) {
 		if b < 0 || b >= img.blocks {
 			continue
 		}
-		key := blockcache.Key{Image: name, Block: b}
+		key := img.key(b)
 		block := b
 		_, _, err := s.cache.Get(key, func() ([]byte, error) {
-			img.decompressions.Add(1)
-			return img.codec.Block(block)
+			return s.loadVerified(img, block)
 		})
 		if err != nil {
 			s.cache.UnpinImage(name)
@@ -677,6 +786,41 @@ type ImageStats struct {
 	Trained bool `json:"trained"`
 	// TraceLen is how many accesses the trace ring currently holds.
 	TraceLen int `json:"trace_len"`
+
+	// CorruptBlocks counts decompressions rejected by the integrity
+	// sidecar (detected, never served, never cached).
+	CorruptBlocks int64 `json:"corrupt_blocks"`
+	// Retries counts extra load attempts after a retryable failure.
+	Retries int64 `json:"retries"`
+	// PanicsRecovered counts codec panics contained by the load path.
+	PanicsRecovered int64 `json:"panics_recovered"`
+	// Timeouts counts load attempts that hit the decompression deadline.
+	Timeouts int64 `json:"timeouts"`
+	// LoadFailures counts loads that failed after all attempts.
+	LoadFailures int64 `json:"load_failures"`
+	// Reverifies counts background re-verification loads of this image.
+	Reverifies int64 `json:"reverifies"`
+	// BadBlocks is how many blocks are currently on the bad list.
+	BadBlocks int `json:"bad_blocks"`
+	// FailureRate is the failing fraction of the health outcome window.
+	FailureRate float64 `json:"failure_rate"`
+	// HealthTransitions counts this image's health state changes.
+	HealthTransitions int64 `json:"health_transitions"`
+	// Faults reports injected-fault counters when a fault injector is
+	// installed (chaos mode); omitted otherwise.
+	Faults *faultinj.Stats `json:"faults,omitempty"`
+}
+
+// FaultStatsRollup is the server-lifetime faultlab counters (they survive
+// image removal, unlike the per-image copies).
+type FaultStatsRollup struct {
+	CorruptBlocks     int64 `json:"corrupt_blocks"`
+	Retries           int64 `json:"retries"`
+	PanicsRecovered   int64 `json:"panics_recovered"`
+	Timeouts          int64 `json:"timeouts"`
+	LoadFailures      int64 `json:"load_failures"`
+	Reverifies        int64 `json:"reverifies"`
+	HealthTransitions int64 `json:"health_transitions"`
 }
 
 // Stats is a snapshot of the whole serving layer.
@@ -684,10 +828,14 @@ type Stats struct {
 	Cache         blockcache.Stats `json:"cache"`
 	CacheHitRatio float64          `json:"cache_hit_ratio"`
 	Prefetch      PrefetchStats    `json:"prefetch"`
-	Images        []ImageStats     `json:"images"`
+	Faults        FaultStatsRollup `json:"faults"`
+	// Ready is false while any image is quarantined (the readiness
+	// signal behind /readyz).
+	Ready  bool         `json:"ready"`
+	Images []ImageStats `json:"images"`
 }
 
-// Stats snapshots cache, prefetch and per-image counters.
+// Stats snapshots cache, prefetch, faultlab and per-image counters.
 func (s *Server) Stats() Stats {
 	cs := s.cache.Stats()
 	st := Stats{
@@ -700,16 +848,42 @@ func (s *Server) Stats() Stats {
 			Hits:      cs.PrefetchHits,
 			Wasted:    cs.PrefetchEvicted,
 		},
+		Faults: FaultStatsRollup{
+			CorruptBlocks:     s.corruptBlocks.Load(),
+			Retries:           s.retries.Load(),
+			PanicsRecovered:   s.panicsRecovered.Load(),
+			Timeouts:          s.timeouts.Load(),
+			LoadFailures:      s.loadFailures.Load(),
+			Reverifies:        s.reverifies.Load(),
+			HealthTransitions: s.healthTransitions.Load(),
+		},
+		Ready: true,
 	}
 	s.mu.RLock()
 	for _, img := range s.images {
 		is := ImageStats{
-			ImageInfo:      img.info(),
-			BlockReads:     img.blockReads.Load(),
-			RangeReads:     img.rangeReads.Load(),
-			FullReads:      img.fullReads.Load(),
-			Decompressions: img.decompressions.Load(),
-			Trained:        img.profile.Load() != nil,
+			ImageInfo:       img.info(),
+			BlockReads:      img.blockReads.Load(),
+			RangeReads:      img.rangeReads.Load(),
+			FullReads:       img.fullReads.Load(),
+			Decompressions:  img.decompressions.Load(),
+			Trained:         img.profile.Load() != nil,
+			CorruptBlocks:   img.corruptBlocks.Load(),
+			Retries:         img.retries.Load(),
+			PanicsRecovered: img.panicsRecovered.Load(),
+			Timeouts:        img.timeouts.Load(),
+			LoadFailures:    img.loadFailures.Load(),
+			Reverifies:      img.reverifies.Load(),
+		}
+		state, bad, rate, transitions := img.health.snapshot()
+		is.Health = state.String()
+		is.BadBlocks, is.FailureRate, is.HealthTransitions = bad, rate, transitions
+		if state == Quarantined {
+			st.Ready = false
+		}
+		if f := img.faults.Load(); f != nil {
+			fs := f.Stats()
+			is.Faults = &fs
 		}
 		pi := img.policyInfo()
 		is.Policy, is.Pinned = pi.Policy, pi.Pinned
@@ -727,7 +901,8 @@ func (s *Server) Stats() Stats {
 func (s *Server) CacheStats() blockcache.Stats { return s.cache.Stats() }
 
 // newImage builds the serving state for one codec: trace recorder sized by
-// Options.TraceBuffer and the default sequential prefetch policy.
+// Options.TraceBuffer, the default sequential prefetch policy, a fresh
+// cache-key generation and a fresh health state machine.
 func (s *Server) newImage(name string, codec codecomp.BlockCodec, format string) *image {
 	img := &image{
 		name:     name,
@@ -735,6 +910,8 @@ func (s *Server) newImage(name string, codec codecomp.BlockCodec, format string)
 		format:   format,
 		blocks:   codec.NumBlocks(),
 		origSize: imageMeta(codec),
+		gen:      s.nextGen.Add(1),
+		health:   newImageHealth(s.opts.HealthWindow),
 	}
 	if s.opts.TraceBuffer > 0 {
 		img.recorder = traceprof.NewRecorder(s.opts.TraceBuffer)

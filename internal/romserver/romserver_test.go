@@ -82,7 +82,7 @@ func TestAddImageFormatsAndReplace(t *testing.T) {
 	if got := s.CacheStats().Entries; got != 0 {
 		// Only prog-samc blocks could be cached at this point (modulo its
 		// prefetches, which are also invalidated).
-		if s.cache.Contains(blockKey("prog-samc", 0)) {
+		if s.cache.Contains(blockKey(s, "prog-samc", 0)) {
 			t.Fatal("replaced image still cached")
 		}
 		_ = got
@@ -96,8 +96,13 @@ func TestAddImageFormatsAndReplace(t *testing.T) {
 	}
 }
 
-func blockKey(name string, i int) blockcache.Key {
-	return blockcache.Key{Image: name, Block: i}
+// blockKey resolves the live registration's cache key for one block.
+func blockKey(s *Server, name string, i int) blockcache.Key {
+	img, err := s.lookup(name)
+	if err != nil {
+		return blockcache.Key{Image: name, Block: i}
+	}
+	return img.key(i)
 }
 
 func TestBlockRangeFullText(t *testing.T) {
@@ -286,7 +291,7 @@ func TestPrefetchWarmsSequentialBlocks(t *testing.T) {
 	for {
 		warm := 0
 		for b := 1; b <= 4; b++ {
-			if s.cache.Contains(blockKey("prog", b)) {
+			if s.cache.Contains(blockKey(s, "prog", b)) {
 				warm++
 			}
 		}
@@ -494,13 +499,13 @@ func TestSetPolicyMarkovPrefetchesTrainedSuccessor(t *testing.T) {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(10 * time.Second)
-	for !s.cache.Contains(blockKey("stub", 40)) {
+	for !s.cache.Contains(blockKey(s, "stub", 40)) {
 		if time.Now().After(deadline) {
 			t.Fatal("trained successor never prefetched")
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if s.cache.Contains(blockKey("stub", 11)) {
+	if s.cache.Contains(blockKey(s, "stub", 11)) {
 		t.Fatal("markov policy still prefetching sequentially")
 	}
 	// The warmed read is a demand hit and counts as a prefetch hit.
@@ -577,7 +582,7 @@ func TestSetPolicyHotsetPinsSurviveColdScan(t *testing.T) {
 		}
 	}
 	for _, b := range []int{7, 200} {
-		if !s.cache.Contains(blockKey("stub", b)) {
+		if !s.cache.Contains(blockKey(s, "stub", b)) {
 			t.Fatalf("pinned hot block %d evicted by cold scan", b)
 		}
 	}
@@ -596,7 +601,7 @@ func TestSetPolicyHotsetPinsSurviveColdScan(t *testing.T) {
 	for b := 0; b < stub.blocks; b++ {
 		s.Block("stub", b)
 	}
-	if s.cache.Contains(blockKey("stub", 7)) {
+	if s.cache.Contains(blockKey(s, "stub", 7)) {
 		t.Fatal("unpinned block survived a full cold scan")
 	}
 
