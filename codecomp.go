@@ -291,9 +291,37 @@ func UnmarshalAny(data []byte) (BlockCodec, error) {
 	return nil, fmt.Errorf("codecomp: unrecognized image format (no SAMC/SADC/KZHF magic)")
 }
 
+// BlockAppender is the optional fast-path extension of BlockCodec: decode
+// block i into a caller-supplied buffer instead of a fresh one. All built-in
+// images implement it with zero transient heap allocations in steady state
+// (pooled or stack decoder scratch), which the serving layer's cache-miss
+// path relies on. AppendBlock(dst, i) appends exactly the bytes Block(i)
+// would return and leaves dst's prefix untouched; on error the destination
+// contents are unspecified and the returned slice is nil.
+type BlockAppender interface {
+	AppendBlock(dst []byte, i int) ([]byte, error)
+}
+
+// AppendBlock decodes block i of any BlockCodec into dst: directly when the
+// codec implements BlockAppender, otherwise via Block plus a copy.
+func AppendBlock(c BlockCodec, dst []byte, i int) ([]byte, error) {
+	if a, ok := c.(BlockAppender); ok {
+		return a.AppendBlock(dst, i)
+	}
+	b, err := c.Block(i)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, b...), nil
+}
+
 // Interface conformance checks.
 var (
 	_ BlockCodec = (*SAMCImage)(nil)
 	_ BlockCodec = (*SADCImage)(nil)
 	_ BlockCodec = (*HuffmanImage)(nil)
+
+	_ BlockAppender = (*SAMCImage)(nil)
+	_ BlockAppender = (*SADCImage)(nil)
+	_ BlockAppender = (*HuffmanImage)(nil)
 )

@@ -22,11 +22,11 @@ const (
 	// Top is the exclusive upper bound of the coding interval (2^24); the
 	// paper's pseudocode initializes max to 0x1000000.
 	Top = 1 << 24
-	// minRange triggers byte renormalization, per the pseudocode's
+	// MinRange triggers byte renormalization, per the pseudocode's
 	// `while ((max-min) < 0xff)` guard (we use the 256 boundary so that a
 	// full byte always fits; the off-by-one does not affect correctness as
 	// long as encoder and decoder agree).
-	minRange = 1 << 8
+	MinRange = 1 << 8
 	// ProbBits is the fixed-point precision of bit predictions.
 	ProbBits = 16
 	// ProbOne is the fixed-point representation of probability 1.0.
@@ -96,7 +96,7 @@ func (e *Encoder) EncodeBit(bit int, p0 uint16) {
 	} else {
 		e.hi = m
 	}
-	for e.hi-e.lo < minRange {
+	for e.hi-e.lo < MinRange {
 		e.out = append(e.out, byte(e.lo>>16))
 		e.lo = e.lo << 8 & (Top - 1)
 		e.hi = e.hi << 8 & (Top - 1)
@@ -157,17 +157,41 @@ func (d *Decoder) next() byte {
 }
 
 // DecodeBit recovers one bit using the prediction p0 that it is 0.
+// The renormalization loop lives in its own method so DecodeBit stays small
+// enough to inline into the per-bit decode loops; renorm runs only once per
+// emitted compressed byte, so the common path is straight-line code. The
+// bit selection is written as single-assignment conditionals so the
+// compiler lowers them to conditional moves — the bit's value is data, not
+// a predictable branch, and a mispredict per bit would dominate the decode.
 func (d *Decoder) DecodeBit(p0 uint16) int {
 	m := mid(d.lo, d.hi, p0)
-	var bit int
-	if d.val >= m {
-		bit = 1
-		d.lo = m
-	} else {
-		bit = 0
-		d.hi = m
+	ge := d.val >= m
+	lo, hi := d.lo, d.hi
+	if ge {
+		lo = m
 	}
-	for d.hi-d.lo < minRange {
+	if !ge {
+		hi = m
+	}
+	bit := 0
+	if ge {
+		bit = 1
+	}
+	d.lo, d.hi = lo, hi
+	if hi-lo < MinRange {
+		d.renorm()
+	}
+	return bit
+}
+
+// renorm shifts compressed bytes into the 24-bit window until the interval
+// is wide enough again, applying the carry-avoidance clamp. Kept out of
+// line so DecodeBit fits the inlining budget; it runs roughly once per
+// compressed byte versus once per decoded bit for DecodeBit.
+//
+//go:noinline
+func (d *Decoder) renorm() {
+	for d.hi-d.lo < MinRange {
 		d.val = (d.val<<8 | uint32(d.next())) & (Top - 1)
 		d.lo = d.lo << 8 & (Top - 1)
 		d.hi = d.hi << 8 & (Top - 1)
@@ -175,7 +199,6 @@ func (d *Decoder) DecodeBit(p0 uint16) int {
 			d.hi = Top
 		}
 	}
-	return bit
 }
 
 // Consumed reports how many input bytes the decoder has fetched, including

@@ -99,10 +99,10 @@ func (nd *NibbleDecoder) DecodeNibble(n int, probs func(path uint32, depth int) 
 			out = out<<1 | uint32(bit)
 			path = path<<1 | bit
 			decoded++
-			if nd.d.hi-nd.d.lo < minRange {
+			if nd.d.hi-nd.d.lo < MinRange {
 				// Renormalize exactly as the serial decoder would; the
 				// rest of the speculative tree is now stale.
-				for nd.d.hi-nd.d.lo < minRange {
+				for nd.d.hi-nd.d.lo < MinRange {
 					nd.d.val = (nd.d.val<<8 | uint32(nd.d.next())) & (Top - 1)
 					nd.d.lo = nd.d.lo << 8 & (Top - 1)
 					nd.d.hi = nd.d.hi << 8 & (Top - 1)

@@ -5,9 +5,17 @@
 // Bits are packed most-significant-bit first within each byte, matching the
 // convention of the paper's hardware decompressor, which shifts compressed
 // bytes into a 24-bit window from the left.
+//
+// The Reader keeps a 64-bit refill buffer so the hot decode loops consume
+// bits by shifting a register instead of re-indexing the byte slice per bit
+// — the software analogue of the paper's shift-register input window. The
+// buffer holds the next bits of the stream left-aligned; PeekBits/Consume
+// expose it to table-driven decoders (internal/huffman's DecodeFast), and
+// ReadBit/ReadBits run word-at-a-time on top of the same buffer.
 package bitio
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -41,13 +49,36 @@ func (w *Writer) WriteBit(bit int) {
 }
 
 // WriteBits appends the low n bits of v, most significant first. n may be
-// 0..64.
+// 0..64. Bits are moved a byte at a time, not bit-serially.
 func (w *Writer) WriteBits(v uint64, n uint) {
 	if n > 64 {
 		panic(fmt.Sprintf("bitio: WriteBits n=%d > 64", n))
 	}
-	for i := int(n) - 1; i >= 0; i-- {
-		w.WriteBit(int(v >> uint(i) & 1))
+	if n < 64 {
+		v &= (1 << n) - 1
+	}
+	w.bits += int64(n)
+	// Top up the partial byte first.
+	if w.nCur > 0 {
+		free := 8 - w.nCur
+		if n < free {
+			w.cur = w.cur<<n | byte(v)
+			w.nCur += n
+			return
+		}
+		w.buf = append(w.buf, w.cur<<free|byte(v>>(n-free)))
+		w.cur, w.nCur = 0, 0
+		n -= free
+	}
+	// Whole bytes.
+	for n >= 8 {
+		n -= 8
+		w.buf = append(w.buf, byte(v>>n))
+	}
+	// Leftover partial byte.
+	if n > 0 {
+		w.cur = byte(v) & (1<<n - 1)
+		w.nCur = n
 	}
 }
 
@@ -58,6 +89,11 @@ func (w *Writer) WriteU8(b byte) {
 
 // WriteBytes appends each byte of p in order.
 func (w *Writer) WriteBytes(p []byte) {
+	if w.nCur == 0 {
+		w.buf = append(w.buf, p...)
+		w.bits += int64(len(p)) * 8
+		return
+	}
 	for _, b := range p {
 		w.WriteU8(b)
 	}
@@ -80,16 +116,23 @@ func (w *Writer) BitLen() int64 { return w.bits }
 // Len reports the number of whole bytes the stream occupies after padding.
 func (w *Writer) Len() int { return int((w.bits + 7) / 8) }
 
-// Bytes returns the written stream, zero-padded to a byte boundary. The
-// Writer remains usable; further writes must not be interleaved with use of
-// the returned slice.
-func (w *Writer) Bytes() []byte {
-	out := make([]byte, 0, w.Len())
-	out = append(out, w.buf...)
+// AppendBytes appends the written stream, zero-padded to a byte boundary,
+// to dst and returns the extended slice. It allocates only if dst lacks
+// capacity, so callers that own a reusable buffer copy the stream out
+// without a transient allocation. The Writer remains usable.
+func (w *Writer) AppendBytes(dst []byte) []byte {
+	dst = append(dst, w.buf...)
 	if w.nCur != 0 {
-		out = append(out, w.cur<<(8-w.nCur))
+		dst = append(dst, w.cur<<(8-w.nCur))
 	}
-	return out
+	return dst
+}
+
+// Bytes returns the written stream, zero-padded to a byte boundary, in a
+// freshly allocated slice. The Writer remains usable; further writes must
+// not be interleaved with use of the returned slice.
+func (w *Writer) Bytes() []byte {
+	return w.AppendBytes(make([]byte, 0, w.Len()))
 }
 
 // Reset truncates the writer to empty.
@@ -99,9 +142,15 @@ func (w *Writer) Reset() {
 }
 
 // Reader consumes bits MSB-first from a byte slice.
+//
+// Internally it maintains a left-aligned 64-bit refill buffer caching the
+// bits at [pos, pos+nBits). All read paths go through the buffer; seeking
+// invalidates it.
 type Reader struct {
-	data []byte
-	pos  int64 // bit position
+	data   []byte
+	pos    int64  // bit position of the next unconsumed bit
+	bitbuf uint64 // next nBits bits of the stream, left-aligned
+	nBits  uint   // valid bits in bitbuf
 }
 
 // NewReader returns a Reader over data. The Reader does not copy data.
@@ -109,13 +158,60 @@ func NewReader(data []byte) *Reader {
 	return &Reader{data: data}
 }
 
+// Reset re-points the Reader at a new stream, reusing the receiver so the
+// per-block decode loops avoid reallocating readers.
+func (r *Reader) Reset(data []byte) {
+	r.data = data
+	r.pos = 0
+	r.bitbuf, r.nBits = 0, 0
+}
+
+// refill tops the bit buffer up to at least 57 valid bits (or to end of
+// stream). The fast path loads 8 aligned bytes at once.
+func (r *Reader) refill() {
+	next := r.pos + int64(r.nBits) // first bit not yet buffered
+	if r.nBits == 0 && next&7 == 0 {
+		if i := next >> 3; i+8 <= int64(len(r.data)) {
+			r.bitbuf = binary.BigEndian.Uint64(r.data[i:])
+			r.nBits = 64
+			return
+		}
+	}
+	if k := uint(next & 7); k != 0 {
+		// Mid-byte start (only right after NewReader/SeekBit): buffer the
+		// tail of the current byte first so refills stay byte-aligned.
+		i := next >> 3
+		if i >= int64(len(r.data)) {
+			return
+		}
+		avail := 8 - k
+		b := r.data[i] & (1<<avail - 1)
+		r.bitbuf |= uint64(b) << (64 - avail - r.nBits)
+		r.nBits += avail
+		next += int64(avail)
+	}
+	for r.nBits <= 56 {
+		i := next >> 3
+		if i >= int64(len(r.data)) {
+			return
+		}
+		r.bitbuf |= uint64(r.data[i]) << (56 - r.nBits)
+		r.nBits += 8
+		next += 8
+	}
+}
+
 // ReadBit consumes and returns one bit.
 func (r *Reader) ReadBit() (int, error) {
-	if r.pos >= int64(len(r.data))*8 {
-		return 0, ErrUnexpectedEOF
+	if r.nBits == 0 {
+		r.refill()
+		if r.nBits == 0 {
+			return 0, ErrUnexpectedEOF
+		}
 	}
-	b := r.data[r.pos>>3]
-	bit := int(b >> (7 - uint(r.pos&7)) & 1)
+	bit := int(r.bitbuf >> 63)
+	r.bitbuf <<= 1
+	r.nBits--
 	r.pos++
 	return bit, nil
 }
@@ -125,15 +221,78 @@ func (r *Reader) ReadBits(n uint) (uint64, error) {
 	if n > 64 {
 		panic(fmt.Sprintf("bitio: ReadBits n=%d > 64", n))
 	}
-	var v uint64
-	for i := uint(0); i < n; i++ {
-		bit, err := r.ReadBit()
-		if err != nil {
-			return 0, err
+	if r.nBits >= n {
+		var v uint64
+		if n > 0 {
+			v = r.bitbuf >> (64 - n)
+			r.bitbuf <<= n
+			r.nBits -= n
+			r.pos += int64(n)
 		}
-		v = v<<1 | uint64(bit)
+		return v, nil
+	}
+	return r.readBitsSlow(n)
+}
+
+// readBitsSlow handles reads that straddle a refill or the end of stream.
+func (r *Reader) readBitsSlow(n uint) (uint64, error) {
+	var v uint64
+	for n > 0 {
+		if r.nBits == 0 {
+			r.refill()
+			if r.nBits == 0 {
+				// Matches the bit-serial behavior: all remaining bits were
+				// consumed before the underflow was detected.
+				return 0, ErrUnexpectedEOF
+			}
+		}
+		take := n
+		if take > r.nBits {
+			take = r.nBits
+		}
+		v = v<<take | r.bitbuf>>(64-take)
+		r.bitbuf <<= take
+		r.nBits -= take
+		r.pos += int64(take)
+		n -= take
 	}
 	return v, nil
+}
+
+// PeekBits returns the next n bits (n ≤ 56) right-aligned, without
+// consuming them. Past the end of the stream the
+// missing bits read as zero — the caller detects a truncated code by the
+// subsequent Consume failing. n above 56 panics: the refill buffer cannot
+// guarantee more than 57 valid bits at arbitrary alignment.
+func (r *Reader) PeekBits(n uint) uint64 {
+	if n > 56 {
+		panic(fmt.Sprintf("bitio: PeekBits n=%d > 56", n))
+	}
+	if r.nBits < n {
+		r.refill()
+	}
+	return r.bitbuf >> (64 - n) // n==0 shifts by 64, which Go defines as 0
+}
+
+// Consume advances past n previously peeked bits. If fewer than n bits
+// remain it consumes them all and returns ErrUnexpectedEOF, mirroring what
+// a bit-serial reader would have done.
+func (r *Reader) Consume(n uint) error {
+	if r.nBits >= n {
+		r.bitbuf <<= n
+		r.nBits -= n
+		r.pos += int64(n)
+		return nil
+	}
+	rem := r.Remaining()
+	if int64(n) > rem {
+		r.pos = int64(len(r.data)) * 8
+		r.bitbuf, r.nBits = 0, 0
+		return ErrUnexpectedEOF
+	}
+	r.pos += int64(n)
+	r.bitbuf, r.nBits = 0, 0
+	return nil
 }
 
 // ReadByte consumes 8 bits.
@@ -157,7 +316,18 @@ func (r *Reader) ReadByteOrZero() byte {
 
 // AlignByte advances the read position to the next byte boundary.
 func (r *Reader) AlignByte() {
-	r.pos = (r.pos + 7) &^ 7
+	skip := uint(-r.pos & 7)
+	if skip == 0 {
+		return
+	}
+	if r.nBits >= skip {
+		r.bitbuf <<= skip
+		r.nBits -= skip
+		r.pos += int64(skip)
+		return
+	}
+	r.pos += int64(skip)
+	r.bitbuf, r.nBits = 0, 0
 }
 
 // BitPos reports the current bit position.
@@ -169,6 +339,7 @@ func (r *Reader) SeekBit(pos int64) error {
 		return fmt.Errorf("bitio: seek to bit %d outside stream of %d bits", pos, int64(len(r.data))*8)
 	}
 	r.pos = pos
+	r.bitbuf, r.nBits = 0, 0
 	return nil
 }
 

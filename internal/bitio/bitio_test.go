@@ -199,3 +199,148 @@ func BenchmarkWriteBits(b *testing.B) {
 		w.WriteBits(uint64(i), 32)
 	}
 }
+
+// TestPeekConsume exercises the refill-buffer fast path: peeks must not
+// move the position, consumes must, and peeking past the end zero-pads.
+func TestPeekConsume(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0b1011_0100_1100_0011, 16)
+	r := NewReader(w.Bytes())
+	if got := r.PeekBits(4); got != 0b1011 {
+		t.Fatalf("PeekBits(4) = %04b, want 1011", got)
+	}
+	if got := r.PeekBits(4); got != 0b1011 {
+		t.Fatalf("second PeekBits(4) = %04b, want 1011 (peek must not consume)", got)
+	}
+	if r.BitPos() != 0 {
+		t.Fatalf("BitPos after peek = %d, want 0", r.BitPos())
+	}
+	if err := r.Consume(6); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.PeekBits(10); got != 0b00_1100_0011 {
+		t.Fatalf("PeekBits(10) after Consume(6) = %010b", got)
+	}
+	if err := r.Consume(10); err != nil {
+		t.Fatal(err)
+	}
+	// Stream exhausted: peeks zero-pad, consumes fail.
+	if got := r.PeekBits(8); got != 0 {
+		t.Fatalf("PeekBits past end = %08b, want 0", got)
+	}
+	if err := r.Consume(1); err != ErrUnexpectedEOF {
+		t.Fatalf("Consume past end = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// TestPeekZeroPadTail: a peek straddling the end returns real bits in the
+// high positions and zeros below, and a consume of only the real bits
+// still succeeds.
+func TestPeekZeroPadTail(t *testing.T) {
+	r := NewReader([]byte{0b1110_0000})
+	if err := r.Consume(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.PeekBits(8); got != 0 {
+		t.Fatalf("PeekBits(8) with 3 bits left = %08b, want 00000000", got)
+	}
+	if err := r.SeekBit(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.PeekBits(12); got != 0b1110_0000_0000 {
+		t.Fatalf("PeekBits(12) of 8-bit stream = %012b", got)
+	}
+	if err := r.Consume(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Consume(1); err != ErrUnexpectedEOF {
+		t.Fatalf("Consume(1) at end = %v", err)
+	}
+}
+
+// TestSeekMidByteRefill: seeking to a mid-byte position must re-prime the
+// refill buffer from the partial byte correctly.
+func TestSeekMidByteRefill(t *testing.T) {
+	data := []byte{0xA5, 0x3C, 0x7E, 0x81, 0xF0, 0x0F, 0x55, 0xAA, 0x99}
+	want := NewReader(data)
+	for seek := int64(0); seek <= int64(len(data))*8; seek++ {
+		r := NewReader(data)
+		if err := r.SeekBit(seek); err != nil {
+			t.Fatal(err)
+		}
+		if err := want.SeekBit(seek); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			b1, err1 := r.ReadBit()
+			b2, err2 := want.ReadBit()
+			if (err1 != nil) != (err2 != nil) || b1 != b2 {
+				t.Fatalf("seek %d: bit %d/%v vs %d/%v", seek, b1, err1, b2, err2)
+			}
+			if err1 != nil {
+				break
+			}
+		}
+	}
+}
+
+// TestAppendBytes: AppendBytes matches Bytes and reuses dst capacity.
+func TestAppendBytes(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0xDEAD, 16)
+	w.WriteBits(0b101, 3)
+	dst := make([]byte, 0, 16)
+	got := w.AppendBytes(dst)
+	if !bytes.Equal(got, w.Bytes()) {
+		t.Fatalf("AppendBytes = %x, Bytes = %x", got, w.Bytes())
+	}
+	if &got[0] != &dst[:1][0] {
+		t.Fatal("AppendBytes reallocated despite sufficient capacity")
+	}
+	// Appending onto existing content preserves the prefix.
+	pre := []byte{0xFF}
+	got = w.AppendBytes(pre)
+	if got[0] != 0xFF || !bytes.Equal(got[1:], w.Bytes()) {
+		t.Fatalf("AppendBytes with prefix = %x", got)
+	}
+}
+
+// Property: ReadBits through the refill buffer agrees with a bit-serial
+// read of the same stream at every split point.
+func TestQuickPeekConsumeEquivalence(t *testing.T) {
+	f := func(data []byte, widths []uint8) bool {
+		fast := NewReader(data)
+		slow := NewReader(data)
+		for _, wd := range widths {
+			n := uint(wd % 57)
+			pv := fast.PeekBits(n)
+			var sv uint64
+			bits := 0
+			for ; bits < int(n); bits++ {
+				b, err := slow.ReadBit()
+				if err != nil {
+					break
+				}
+				sv = sv<<1 | uint64(b)
+			}
+			sv <<= uint(int(n) - bits) // zero-pad like PeekBits
+			if pv != sv {
+				return false
+			}
+			errFast := fast.Consume(n)
+			if (bits < int(n)) != (errFast != nil) {
+				return false
+			}
+			if errFast != nil {
+				return fast.Remaining() == 0
+			}
+			if fast.BitPos() != slow.BitPos() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -29,7 +29,6 @@
 package blockcache
 
 import (
-	"container/list"
 	"sync"
 	"sync/atomic"
 )
@@ -101,25 +100,95 @@ type Cache struct {
 type shard struct {
 	mu      sync.Mutex
 	entries map[Key]*entry
-	lru     *list.List // of *entry; front = most recently used
-	flight  map[Key]*call
-	pinned  int // entries in the protected region (not on lru)
+	// root is the sentinel of a circular intrusive LRU list:
+	// root.next = most recently used, root.prev = eviction candidate.
+	// Linking through the entries themselves (instead of container/list)
+	// means moving or unlinking an entry touches no allocator, and evicted
+	// nodes go on a freelist for the next insert.
+	root   entry
+	lruLen int
+	free   *entry // freelist of recycled entry nodes, chained via next
+	flight map[Key]*call
+	pinned int // entries in the protected region (not on the LRU list)
 }
 
 type entry struct {
 	key Key
 	val []byte
-	// el is the entry's LRU node; nil while the entry is pinned.
-	el *list.Element
+	// prev/next are the intrusive LRU links; both nil while the entry is
+	// pinned (off the list) or on the freelist (next only).
+	prev, next *entry
 	// prefetched marks a speculative load that no demand Get has hit yet.
 	prefetched bool
 }
 
-// call is one in-flight load; waiters block on done.
+// pushFront links e as most recently used. Caller holds the shard lock.
+func (s *shard) pushFront(e *entry) {
+	e.prev = &s.root
+	e.next = s.root.next
+	e.prev.next = e
+	e.next.prev = e
+	s.lruLen++
+}
+
+// unlink removes e from the LRU list. Caller holds the shard lock.
+func (s *shard) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+	s.lruLen--
+}
+
+// moveToFront refreshes e's recency. Caller holds the shard lock.
+func (s *shard) moveToFront(e *entry) {
+	if s.root.next == e {
+		return
+	}
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev = &s.root
+	e.next = s.root.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+// newEntry pops a node off the freelist or allocates one. Caller holds the
+// shard lock.
+func (s *shard) newEntry() *entry {
+	if e := s.free; e != nil {
+		s.free = e.next
+		e.next = nil
+		return e
+	}
+	return &entry{}
+}
+
+// recycle clears a dead node and pushes it on the freelist. Caller holds the
+// shard lock.
+func (s *shard) recycle(e *entry) {
+	*e = entry{next: s.free}
+	s.free = e
+}
+
+// call is one in-flight load; waiters block on wg. Calls are pooled: refs
+// counts the owner plus every waiter, and the last one out returns the call
+// for reuse, so a cache miss does not allocate a channel per flight.
 type call struct {
-	done chan struct{}
+	wg   sync.WaitGroup
 	val  []byte
 	err  error
+	refs atomic.Int32
+}
+
+var callPool = sync.Pool{New: func() any { return &call{} }}
+
+// release drops one reference and recycles the call when everyone (owner and
+// all deduped waiters) is done with it.
+func (fl *call) release() {
+	if fl.refs.Add(-1) == 0 {
+		fl.val, fl.err = nil, nil
+		callPool.Put(fl)
+	}
 }
 
 // New returns a cache holding at most capacity blocks spread over the given
@@ -141,9 +210,10 @@ func New(capacity, shards int) *Cache {
 		perShardCap: (capacity + shards - 1) / shards,
 	}
 	for i := range c.shards {
-		c.shards[i].entries = make(map[Key]*entry)
-		c.shards[i].lru = list.New()
-		c.shards[i].flight = make(map[Key]*call)
+		s := &c.shards[i]
+		s.entries = make(map[Key]*entry)
+		s.root.next, s.root.prev = &s.root, &s.root
+		s.flight = make(map[Key]*call)
 	}
 	return c
 }
@@ -184,8 +254,8 @@ func (c *Cache) get(key Key, load func() ([]byte, error), prefetch bool) ([]byte
 	s := c.shardFor(key)
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
-		if e.el != nil {
-			s.lru.MoveToFront(e.el)
+		if e.prev != nil {
+			s.moveToFront(e)
 		}
 		if e.prefetched && !prefetch {
 			e.prefetched = false
@@ -197,26 +267,33 @@ func (c *Cache) get(key Key, load func() ([]byte, error), prefetch bool) ([]byte
 		return val, true, nil
 	}
 	if fl, ok := s.flight[key]; ok {
+		fl.refs.Add(1)
 		s.mu.Unlock()
 		c.deduped.Add(1)
-		<-fl.done
-		return fl.val, false, fl.err
+		fl.wg.Wait()
+		val, err := fl.val, fl.err
+		fl.release()
+		return val, false, err
 	}
-	fl := &call{done: make(chan struct{})}
+	fl := callPool.Get().(*call)
+	fl.refs.Store(1)
+	fl.wg.Add(1)
 	s.flight[key] = fl
 	s.mu.Unlock()
 	c.misses.Add(1)
 
-	fl.val, fl.err = load()
+	val, err := load()
+	fl.val, fl.err = val, err
 
 	s.mu.Lock()
 	delete(s.flight, key)
-	if fl.err == nil {
-		s.insert(c, key, fl.val, prefetch)
+	if err == nil {
+		s.insert(c, key, val, prefetch)
 	}
 	s.mu.Unlock()
-	close(fl.done)
-	return fl.val, false, fl.err
+	fl.wg.Done()
+	fl.release()
+	return val, false, err
 }
 
 // insert adds a loaded value, evicting from the LRU tail while over
@@ -227,13 +304,14 @@ func (s *shard) insert(c *Cache, key Key, val []byte, prefetched bool) {
 		// keep the newest value.
 		c.bytes.Add(int64(len(val)) - int64(len(e.val)))
 		e.val = val
-		if e.el != nil {
-			s.lru.MoveToFront(e.el)
+		if e.prev != nil {
+			s.moveToFront(e)
 		}
 		return
 	}
-	e := &entry{key: key, val: val, prefetched: prefetched}
-	e.el = s.lru.PushFront(e)
+	e := s.newEntry()
+	e.key, e.val, e.prefetched = key, val, prefetched
+	s.pushFront(e)
 	s.entries[key] = e
 	c.bytes.Add(int64(len(val)))
 	s.evict(c)
@@ -243,16 +321,16 @@ func (s *shard) insert(c *Cache, key Key, val []byte, prefetched bool) {
 // entries are untouchable, so when everything left is pinned the shard
 // simply stops evicting. Caller holds s.mu.
 func (s *shard) evict(c *Cache) {
-	for s.lru.Len()+s.pinned > c.perShardCap && s.lru.Len() > 0 {
-		back := s.lru.Back()
-		e := back.Value.(*entry)
-		s.lru.Remove(back)
+	for s.lruLen+s.pinned > c.perShardCap && s.lruLen > 0 {
+		e := s.root.prev
+		s.unlink(e)
 		delete(s.entries, e.key)
 		c.bytes.Add(-int64(len(e.val)))
 		c.evictions.Add(1)
 		if e.prefetched {
 			c.prefetchEvicted.Add(1)
 		}
+		s.recycle(e)
 	}
 }
 
@@ -269,9 +347,8 @@ func (c *Cache) Pin(key Key) bool {
 	if !ok {
 		return false
 	}
-	if e.el != nil {
-		s.lru.Remove(e.el)
-		e.el = nil
+	if e.prev != nil {
+		s.unlink(e)
 		s.pinned++
 		c.pinnedCount.Add(1)
 	}
@@ -288,8 +365,8 @@ func (c *Cache) Unpin(key Key) bool {
 	if !ok {
 		return false
 	}
-	if e.el == nil {
-		e.el = s.lru.PushFront(e)
+	if e.prev == nil {
+		s.pushFront(e)
 		s.pinned--
 		c.pinnedCount.Add(-1)
 		s.evict(c)
@@ -305,8 +382,8 @@ func (c *Cache) UnpinImage(image string) int {
 		s := &c.shards[i]
 		s.mu.Lock()
 		for k, e := range s.entries {
-			if k.Image == image && e.el == nil {
-				e.el = s.lru.PushFront(e)
+			if k.Image == image && e.prev == nil {
+				s.pushFront(e)
 				s.pinned--
 				c.pinnedCount.Add(-1)
 				unpinned++
@@ -342,8 +419,8 @@ func (c *Cache) InvalidateImage(image string) int {
 			if k.Image != image {
 				continue
 			}
-			if e.el != nil {
-				s.lru.Remove(e.el)
+			if e.prev != nil {
+				s.unlink(e)
 			} else {
 				s.pinned--
 				c.pinnedCount.Add(-1)
@@ -351,6 +428,7 @@ func (c *Cache) InvalidateImage(image string) int {
 			delete(s.entries, k)
 			c.bytes.Add(-int64(len(e.val)))
 			dropped++
+			s.recycle(e)
 		}
 		s.mu.Unlock()
 	}

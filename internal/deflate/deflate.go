@@ -220,7 +220,7 @@ func Compress(data []byte) []byte {
 		}
 		mustEncode(litTbl, w, eobSymbol)
 	}
-	return append(hdr, w.Bytes()...)
+	return w.AppendBytes(hdr)
 }
 
 func mustEncode(t *huffman.Table, w *bitio.Writer, sym int) {
@@ -246,7 +246,7 @@ func Decompress(data []byte) ([]byte, error) {
 			return nil, fmt.Errorf("deflate: code-length tables: %w", err)
 		}
 		for {
-			sym, err := litTbl.Decode(r)
+			sym, err := litTbl.DecodeFast(r)
 			if err != nil {
 				return nil, fmt.Errorf("deflate: at %d/%d bytes: %w", len(out), origLen, err)
 			}
@@ -263,7 +263,7 @@ func Decompress(data []byte) ([]byte, error) {
 				return nil, err
 			}
 			length := lc.base + int(extra)
-			ds, err := distTbl.Decode(r)
+			ds, err := distTbl.DecodeFast(r)
 			if err != nil {
 				return nil, err
 			}

@@ -124,7 +124,7 @@ func readTables(r *bitio.Reader) (litTbl, distTbl *huffman.Table, err error) {
 	}
 	lens := make([]uint8, 0, numLitLen+numDist)
 	for len(lens) < numLitLen+numDist {
-		sym, err := clTbl.Decode(r)
+		sym, err := clTbl.DecodeFast(r)
 		if err != nil {
 			return nil, nil, err
 		}

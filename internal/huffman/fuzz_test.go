@@ -1,0 +1,53 @@
+package huffman
+
+import (
+	"testing"
+
+	"codecomp/internal/bitio"
+)
+
+// FuzzHuffmanDecodeFast differentially tests the table-driven decoder
+// against the bit-serial one: for an arbitrary code (derived from fuzzed
+// lengths) and an arbitrary bit stream — valid or hostile — DecodeFast must
+// return the same symbol or the same error as Decode and leave the reader at
+// the same bit position, step after step until the stream runs out.
+func FuzzHuffmanDecodeFast(f *testing.F) {
+	f.Add([]byte{2, 2, 2, 2}, []byte{0x1b, 0x00})
+	f.Add([]byte{1, 2, 3, 3}, []byte{0xff, 0xff, 0xff})
+	// Spill-path seed: code longer than lutBits.
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 12}, []byte{0xff, 0xfe, 0x01, 0x80})
+	f.Add([]byte{}, []byte{0xaa})
+	f.Add([]byte{4}, []byte{})
+	f.Fuzz(func(t *testing.T, rawLens, stream []byte) {
+		if len(rawLens) > 64 {
+			rawLens = rawLens[:64]
+		}
+		lens := make([]uint8, len(rawLens))
+		for i, b := range rawLens {
+			lens[i] = b % (MaxBits + 1)
+		}
+		tbl, err := New(lens)
+		if err != nil {
+			return // over-subscribed code; nothing to compare
+		}
+		slow := bitio.NewReader(stream)
+		fast := bitio.NewReader(stream)
+		for step := 0; ; step++ {
+			sSym, sErr := tbl.Decode(slow)
+			fSym, fErr := tbl.DecodeFast(fast)
+			if sErr != fErr {
+				t.Fatalf("step %d: Decode err %v, DecodeFast err %v", step, sErr, fErr)
+			}
+			if sErr == nil && sSym != fSym {
+				t.Fatalf("step %d: Decode sym %d, DecodeFast sym %d", step, sSym, fSym)
+			}
+			if slow.BitPos() != fast.BitPos() {
+				t.Fatalf("step %d: Decode at bit %d, DecodeFast at bit %d (err %v)",
+					step, slow.BitPos(), fast.BitPos(), sErr)
+			}
+			if sErr != nil {
+				return // both failed identically; stream exhausted or corrupt
+			}
+		}
+	})
+}

@@ -11,6 +11,7 @@ package huffman
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -20,6 +21,25 @@ import (
 // MaxBits is the default maximum code length. 15 matches DEFLATE and keeps
 // decoder state small, which matters for a hardware table decoder.
 const MaxBits = 15
+
+// lutBits is the first-level lookup width of the table decoder: one peek of
+// lutBits resolves every code up to that length in a single table hit,
+// spilling to the canonical walk for longer codes. 10 bits covers the vast
+// majority of symbols of a skewed code (the frequent ones are short) while
+// keeping the table at 1<<10 entries — the same first-level/overflow split
+// flate and zstd decoders use.
+const lutBits = 10
+
+// Sentinel decode errors. They carry no position so the hot decode loops
+// never touch fmt; callers that want context wrap them at the boundary
+// (e.g. "sadc: token 3 of block 7: %w").
+var (
+	// ErrInvalidCode marks a bit pattern outside the canonical code space.
+	ErrInvalidCode = errors.New("huffman: invalid code")
+	// ErrCodeTooLong marks a prefix that is no codeword even at the table's
+	// maximum code length.
+	ErrCodeTooLong = errors.New("huffman: code longer than max length")
+)
 
 // Code describes the canonical codeword assigned to one symbol.
 type Code struct {
@@ -37,6 +57,14 @@ type Table struct {
 	firstSym  [MaxBits + 2]int32
 	syms      []int32 // symbols sorted by (len, symbol)
 	maxLen    uint8
+
+	// First-level lookup table: lut[next tableBits of the stream] packs
+	// symbol<<8 | codeLen for every code of length ≤ tableBits (all
+	// entries sharing that prefix point at the same symbol). A zero entry
+	// means the prefix either extends into a longer code or is invalid;
+	// both spill to the canonical walk.
+	tableBits uint8
+	lut       []uint32
 }
 
 type hNode struct {
@@ -260,7 +288,29 @@ func New(lens []uint8) (*Table, error) {
 		t.Codes[s] = Code{Bits: next[l], Len: l}
 		next[l]++
 	}
+	t.buildLUT()
 	return t, nil
+}
+
+// buildLUT fills the first-level decode table: every code of length
+// l ≤ tableBits owns the 2^(tableBits-l) entries sharing its prefix.
+func (t *Table) buildLUT() {
+	t.tableBits = t.maxLen
+	if t.tableBits > lutBits {
+		t.tableBits = lutBits
+	}
+	t.lut = make([]uint32, 1<<t.tableBits)
+	for sym, c := range t.Codes {
+		if c.Len == 0 || c.Len > t.tableBits {
+			continue
+		}
+		base := c.Bits << (t.tableBits - c.Len)
+		span := uint32(1) << (t.tableBits - c.Len)
+		e := uint32(sym)<<8 | uint32(c.Len)
+		for i := uint32(0); i < span; i++ {
+			t.lut[base+i] = e
+		}
+	}
 }
 
 // Build computes lengths from frequencies and constructs the table.
@@ -299,12 +349,54 @@ func (t *Table) Decode(r *bitio.Reader) (int, error) {
 		next := t.boundAt(l)
 		if code < next {
 			if code < t.firstCode[l] {
-				return 0, fmt.Errorf("huffman: invalid code at bit %d", r.BitPos())
+				return 0, ErrInvalidCode
 			}
 			return int(t.syms[t.firstSym[l]+int32(code-t.firstCode[l])]), nil
 		}
 	}
-	return 0, fmt.Errorf("huffman: code longer than max length %d", t.maxLen)
+	return 0, ErrCodeTooLong
+}
+
+// DecodeFast consumes one codeword from r via the first-level lookup table,
+// spilling to the canonical walk for codes longer than tableBits. It returns
+// exactly the same (symbol, error) and leaves r at exactly the same bit
+// position as Decode on every stream, valid or not.
+func (t *Table) DecodeFast(r *bitio.Reader) (int, error) {
+	if e := t.lut[r.PeekBits(uint(t.tableBits))]; e != 0 {
+		// PeekBits zero-pads past the end of the stream, so a truncated code
+		// can still hit a table entry; Consume reports the EOF a bit-serial
+		// decode would have returned.
+		if err := r.Consume(uint(e & 0xff)); err != nil {
+			return 0, err
+		}
+		return int(e >> 8), nil
+	}
+	return t.decodeSpill(r)
+}
+
+// decodeSpill resolves codes the first-level table cannot: codes longer than
+// tableBits, invalid prefixes, and truncated streams. It repeats the
+// canonical walk of Decode over a single peek so every outcome — symbol,
+// ErrInvalidCode, ErrCodeTooLong, or EOF via Consume — consumes exactly the
+// bits the bit-serial path would have.
+func (t *Table) decodeSpill(r *bitio.Reader) (int, error) {
+	peeked := uint32(r.PeekBits(uint(t.maxLen)))
+	for l := uint8(1); l <= t.maxLen; l++ {
+		code := peeked >> (t.maxLen - l)
+		if code < t.boundAt(l) {
+			if err := r.Consume(uint(l)); err != nil {
+				return 0, err
+			}
+			if code < t.firstCode[l] {
+				return 0, ErrInvalidCode
+			}
+			return int(t.syms[t.firstSym[l]+int32(code-t.firstCode[l])]), nil
+		}
+	}
+	if err := r.Consume(uint(t.maxLen)); err != nil {
+		return 0, err
+	}
+	return 0, ErrCodeTooLong
 }
 
 // boundAt returns one past the last valid codeword of length l.

@@ -277,7 +277,9 @@ func BenchmarkEncode(b *testing.B) {
 	}
 }
 
-func BenchmarkDecode(b *testing.B) {
+// benchStream builds a 4096-symbol coded stream for the decode benchmarks.
+func benchStream(b *testing.B) (*Table, []byte) {
+	b.Helper()
 	freq := make([]uint64, 256)
 	rng := rand.New(rand.NewSource(1))
 	for i := range freq {
@@ -288,15 +290,41 @@ func BenchmarkDecode(b *testing.B) {
 	for i := 0; i < 4096; i++ {
 		_ = tbl.Encode(w, rng.Intn(256))
 	}
-	data := w.Bytes()
+	return tbl, w.Bytes()
+}
+
+// BenchmarkDecode is the production decode path (DecodeFast: first-level
+// LUT with spill to the canonical walk).
+func BenchmarkDecode(b *testing.B) {
+	tbl, data := benchStream(b)
 	b.SetBytes(1)
+	b.ReportAllocs()
 	b.ResetTimer()
-	r := bitio.NewReader(data)
+	var r bitio.Reader
+	r.Reset(data)
 	for i := 0; i < b.N; i++ {
 		if i%4096 == 0 {
-			r = bitio.NewReader(data)
+			r.Reset(data)
 		}
-		if _, err := tbl.Decode(r); err != nil {
+		if _, err := tbl.DecodeFast(&r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeSerial is the bit-serial reference decoder DecodeFast is
+// measured against.
+func BenchmarkDecodeSerial(b *testing.B) {
+	tbl, data := benchStream(b)
+	b.SetBytes(1)
+	b.ResetTimer()
+	var r bitio.Reader
+	r.Reset(data)
+	for i := 0; i < b.N; i++ {
+		if i%4096 == 0 {
+			r.Reset(data)
+		}
+		if _, err := tbl.Decode(&r); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -49,7 +49,7 @@ func Compress(text []byte, blockSize int) (*Compressed, error) {
 				return nil, err
 			}
 		}
-		c.Blocks = append(c.Blocks, append([]byte(nil), w.Bytes()...))
+		c.Blocks = append(c.Blocks, w.AppendBytes(make([]byte, 0, w.Len())))
 	}
 	return c, nil
 }
@@ -57,17 +57,32 @@ func Compress(text []byte, blockSize int) (*Compressed, error) {
 // NumBlocks returns the block count.
 func (c *Compressed) NumBlocks() int { return len(c.Blocks) }
 
-// Block decompresses one cache block.
+// Block decompresses one cache block into a fresh buffer.
 func (c *Compressed) Block(i int) ([]byte, error) {
 	if i < 0 || i >= len(c.Blocks) {
 		return nil, fmt.Errorf("kozuch: block %d out of range [0,%d)", i, len(c.Blocks))
 	}
+	return c.AppendBlock(make([]byte, 0, c.blockOrigLen(i)), i)
+}
+
+// blockOrigLen is block i's uncompressed byte count (the last block may be
+// short).
+func (c *Compressed) blockOrigLen(i int) int {
 	n := c.BlockSize
 	if (i+1)*c.BlockSize > c.OrigSize {
 		n = c.OrigSize - i*c.BlockSize
 	}
+	return n
+}
+
+// blockReference is the original bit-serial decode, kept as the differential
+// oracle and benchmark baseline for AppendBlock.
+func (c *Compressed) blockReference(i int) ([]byte, error) {
+	if i < 0 || i >= len(c.Blocks) {
+		return nil, fmt.Errorf("kozuch: block %d out of range [0,%d)", i, len(c.Blocks))
+	}
 	r := bitio.NewReader(c.Blocks[i])
-	out := make([]byte, n)
+	out := make([]byte, c.blockOrigLen(i))
 	for k := range out {
 		sym, err := c.Table.Decode(r)
 		if err != nil {
@@ -78,15 +93,35 @@ func (c *Compressed) Block(i int) ([]byte, error) {
 	return out, nil
 }
 
-// Decompress reconstructs the whole program.
-func (c *Compressed) Decompress() ([]byte, error) {
-	out := make([]byte, 0, c.OrigSize)
-	for i := range c.Blocks {
-		b, err := c.Block(i)
+// AppendBlock decompresses block i and appends its bytes to dst, using the
+// Huffman table's first-level LUT and a stack reader so a decode allocates
+// nothing beyond dst's growth.
+func (c *Compressed) AppendBlock(dst []byte, i int) ([]byte, error) {
+	if i < 0 || i >= len(c.Blocks) {
+		return nil, fmt.Errorf("kozuch: block %d out of range [0,%d)", i, len(c.Blocks))
+	}
+	var r bitio.Reader
+	r.Reset(c.Blocks[i])
+	tbl := c.Table
+	for n := c.blockOrigLen(i); n > 0; n-- {
+		sym, err := tbl.DecodeFast(&r)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, b...)
+		dst = append(dst, byte(sym))
+	}
+	return dst, nil
+}
+
+// Decompress reconstructs the whole program.
+func (c *Compressed) Decompress() ([]byte, error) {
+	out := make([]byte, 0, c.OrigSize)
+	var err error
+	for i := range c.Blocks {
+		out, err = c.AppendBlock(out, i)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

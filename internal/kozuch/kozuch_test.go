@@ -129,3 +129,84 @@ func BenchmarkDecompressBlock(b *testing.B) {
 		}
 	}
 }
+
+func TestAppendBlockMatchesReference(t *testing.T) {
+	text := mipsText()
+	for _, bs := range []int{8, 32, 64} {
+		c, err := Compress(text[:len(text)-4], bs) // force a short last block
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]byte, 0, bs)
+		for i := 0; i < c.NumBlocks(); i++ {
+			want, err := c.blockReference(i)
+			if err != nil {
+				t.Fatalf("bs=%d blockReference(%d): %v", bs, i, err)
+			}
+			dst, err = c.AppendBlock(dst[:0], i)
+			if err != nil {
+				t.Fatalf("bs=%d AppendBlock(%d): %v", bs, i, err)
+			}
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("bs=%d block %d: AppendBlock differs from reference", bs, i)
+			}
+		}
+	}
+}
+
+func TestAppendBlockNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under the race detector")
+	}
+	c, err := Compress(mipsText(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 0, c.BlockSize)
+	var gotErr error
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		dst, gotErr = c.AppendBlock(dst[:0], i%c.NumBlocks())
+		i++
+	})
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if allocs != 0 {
+		t.Fatalf("AppendBlock allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkDecompressBlockReference(b *testing.B) {
+	text := mipsText()
+	c, err := Compress(text, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.blockReference(i % c.NumBlocks()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendBlock(b *testing.B) {
+	text := mipsText()
+	c, err := Compress(text, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]byte, 0, c.BlockSize)
+	b.SetBytes(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, err = c.AppendBlock(dst[:0], i%c.NumBlocks())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package kozuch
+
+const raceEnabled = false

@@ -32,7 +32,7 @@ func (c *Compressed) Marshal() []byte {
 	out = binary.BigEndian.AppendUint32(out, uint32(len(c.Blocks)))
 	w := bitio.NewWriter(128)
 	c.Table.WriteLengths(w)
-	out = append(out, w.Bytes()...)
+	out = w.AppendBytes(out)
 	var off uint32
 	for _, b := range c.Blocks {
 		out = binary.BigEndian.AppendUint32(out, off)

@@ -101,7 +101,7 @@ func Compress(data []byte) []byte {
 		}
 	}
 	w.WriteBits(uint64(cur), width)
-	return append(hdr, w.Bytes()...)
+	return w.AppendBytes(hdr)
 }
 
 // Decompress decodes a Compress output.

@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"codecomp/internal/arith"
 )
@@ -196,6 +197,15 @@ type Model struct {
 	spec      Spec
 	probs     [][][]uint16 // [stream][ctx][node]
 	precision int          // stored bits per probability (default ProbBits)
+
+	// Flattened probability memory for FastWalker, built lazily on first
+	// use. flat concatenates every (stream, ctx) tree; flatOffs[stream*
+	// numContexts+ctx] is each tree's base. Guarded by flatOnce so
+	// concurrent block decodes share one build.
+	flatOnce sync.Once
+	flat     []uint16
+	flatOffs []int32
+	flatW    []int32
 }
 
 // Spec returns the stream subdivision the model was trained for.
@@ -250,6 +260,11 @@ func (m *Model) ReducePrecision(bits int) {
 		}
 	}
 	m.precision = bits
+	// Invalidate any flattened copy so FastWalker sees the reduced
+	// probabilities. ReducePrecision is a setup-time call; it must not race
+	// with concurrent decoding.
+	m.flatOnce = sync.Once{}
+	m.flat, m.flatOffs, m.flatW = nil, nil, nil
 }
 
 // Walker walks the model during coding. Compressor and decompressor each
@@ -290,6 +305,103 @@ func (wk *Walker) PeekP0(path uint32, depth int) uint16 {
 	}
 	node := nodeIndex(w.depth, w.path)
 	return wk.m.probs[w.stream][w.ctx(wk.m.spec)][node]
+}
+
+// flatten builds the FastWalker's probability memory.
+func (m *Model) flatten() {
+	nCtx := m.spec.numContexts()
+	offs := make([]int32, len(m.probs)*nCtx)
+	total := 0
+	for i, streams := range m.probs {
+		for c, nodes := range streams {
+			offs[i*nCtx+c] = int32(total)
+			total += len(nodes)
+		}
+	}
+	flat := make([]uint16, 0, total)
+	for _, streams := range m.probs {
+		for _, nodes := range streams {
+			flat = append(flat, nodes...)
+		}
+	}
+	widths := make([]int32, len(m.spec.Widths))
+	for i, w := range m.spec.Widths {
+		widths[i] = int32(w)
+	}
+	m.flat, m.flatOffs, m.flatW = flat, offs, widths
+}
+
+// Flattened exposes the model's flat probability memory for fused decode
+// kernels (samc.AppendBlock): flat holds every (stream, ctx) tree
+// concatenated, offs[stream*nCtx+ctx] is each tree's base, widths the
+// per-stream bit counts, and nCtx the root contexts per stream (2 when
+// connected). Within a tree, nodes are heap-ordered: the root is 0 and the
+// children of node v are 2v+1 (bit 0) and 2v+2 (bit 1). The returned slices
+// are shared and must not be mutated.
+func (m *Model) Flattened() (flat []uint16, offs []int32, widths []int32, nCtx int32) {
+	m.flatOnce.Do(m.flatten)
+	return m.flat, m.flatOffs, m.flatW, int32(m.spec.numContexts())
+}
+
+// FastWalker is the allocation-free counterpart of Walker for the per-block
+// decode hot loop. It indexes a single flattened probability array and steps
+// tree nodes with heap arithmetic (child = 2*node+1+bit), so P0+Advance cost
+// one bounds-checked load and a handful of integer ops per bit. It is a
+// value type: obtain one per block with Model.NewFastWalker and keep it on
+// the stack. It observes exactly the same predictions as Walker.
+type FastWalker struct {
+	probs     []uint16
+	offs      []int32
+	widths    []int32
+	nCtx      int32
+	connected bool
+
+	stream int32
+	depth  int32
+	node   int32 // heap index within the current tree
+	base   int32 // flat offset of the current (stream, ctx) tree
+}
+
+// NewFastWalker returns a FastWalker positioned at the initial state. The
+// first call flattens the model's probability tables; subsequent calls (and
+// concurrent ones) reuse the shared copy.
+func (m *Model) NewFastWalker() FastWalker {
+	m.flatOnce.Do(m.flatten)
+	return FastWalker{
+		probs:     m.flat,
+		offs:      m.flatOffs,
+		widths:    m.flatW,
+		nCtx:      int32(m.spec.numContexts()),
+		connected: m.spec.Connected,
+	}
+}
+
+// Reset restarts the walk (cache-block boundary).
+func (wk *FastWalker) Reset() {
+	wk.stream, wk.depth, wk.node = 0, 0, 0
+	wk.base = wk.offs[0]
+}
+
+// P0 returns the current node's prediction that the next bit is 0.
+func (wk *FastWalker) P0() uint16 { return wk.probs[wk.base+wk.node] }
+
+// Advance consumes the bit that was coded and moves to the next state.
+func (wk *FastWalker) Advance(bit int) {
+	wk.depth++
+	if wk.depth == wk.widths[wk.stream] {
+		wk.stream++
+		if wk.stream == int32(len(wk.widths)) {
+			wk.stream = 0
+		}
+		ctx := int32(0)
+		if wk.connected {
+			ctx = int32(bit & 1)
+		}
+		wk.base = wk.offs[wk.stream*wk.nCtx+ctx]
+		wk.depth, wk.node = 0, 0
+		return
+	}
+	wk.node = 2*wk.node + 1 + int32(bit&1)
 }
 
 // Serialize encodes the model (spec + probabilities) into a byte slice, the

@@ -304,6 +304,91 @@ func BenchmarkWalker(b *testing.B) {
 	}
 }
 
+// Property: FastWalker observes exactly the same predictions as Walker over
+// arbitrary specs, bit sequences, and block resets.
+func TestQuickFastWalkerEquivalence(t *testing.T) {
+	f := func(seed int64, connected bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		widths := make([]int, k)
+		total := 0
+		for i := range widths {
+			widths[i] = 1 + rng.Intn(8)
+			total += widths[i]
+		}
+		spec := Spec{Widths: widths, Connected: connected}
+		tr, err := NewTrainer(spec)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 200*total; i++ {
+			if rng.Intn(50) == 0 {
+				tr.ResetBlock()
+			}
+			tr.Add(rng.Intn(2))
+		}
+		m := tr.Finalize(rng.Intn(2) == 0)
+		slow := m.NewWalker()
+		fast := m.NewFastWalker()
+		for i := 0; i < 300*total; i++ {
+			if rng.Intn(60) == 0 {
+				slow.Reset()
+				fast.Reset()
+			}
+			if slow.P0() != fast.P0() {
+				t.Logf("seed %d: P0 diverged at step %d: %d vs %d", seed, i, slow.P0(), fast.P0())
+				return false
+			}
+			bit := rng.Intn(2)
+			slow.Advance(bit)
+			fast.Advance(bit)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastWalkerSeesReducedPrecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr, _ := NewTrainer(Spec{Widths: []int{4, 4}, Connected: true})
+	for i := 0; i < 10000; i++ {
+		if i%8 == 0 {
+			tr.ResetBlock()
+		}
+		tr.Add(rng.Intn(2))
+	}
+	m := tr.Finalize(false)
+	_ = m.NewFastWalker() // flatten at full precision
+	m.ReducePrecision(8)  // must invalidate the flattened copy
+	slow, fast := m.NewWalker(), m.NewFastWalker()
+	for i := 0; i < 1000; i++ {
+		if slow.P0() != fast.P0() {
+			t.Fatalf("step %d: FastWalker stale after ReducePrecision: %d vs %d",
+				i, slow.P0(), fast.P0())
+		}
+		bit := rng.Intn(2)
+		slow.Advance(bit)
+		fast.Advance(bit)
+	}
+}
+
+func BenchmarkFastWalker(b *testing.B) {
+	tr, _ := NewTrainer(Spec{Widths: []int{8, 8, 8, 8}, Connected: true})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<16; i++ {
+		tr.Add(rng.Intn(2))
+	}
+	m := tr.Finalize(false)
+	wk := m.NewFastWalker()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = wk.P0()
+		wk.Advance(i & 1)
+	}
+}
+
 func TestPeekP0MatchesAdvance(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	spec := Spec{Widths: []int{3, 5, 4}, Connected: true}

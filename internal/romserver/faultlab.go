@@ -257,8 +257,15 @@ func (img *image) activeCodec() codecomp.BlockCodec {
 	return img.codec
 }
 
+// blockScratch recycles decode buffers across safeBlock calls. The codec
+// appends into pooled scratch and only the exact-size copy handed to the
+// cache is freshly allocated, so one cache miss costs one allocation.
+var blockScratch = sync.Pool{New: func() any { return new([]byte) }}
+
 // safeBlock is one raw decompression with panic containment: a panicking
 // codec becomes an ErrCodecPanic error instead of killing a pool worker.
+// It decodes through codecomp.AppendBlock into pooled scratch and times
+// the decode for the ns/block and MB/s gauges.
 func (s *Server) safeBlock(img *image, block int) (data []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -268,7 +275,19 @@ func (s *Server) safeBlock(img *image, block int) (data []byte, err error) {
 		}
 	}()
 	img.decompressions.Add(1)
-	return img.activeCodec().Block(block)
+	bp := blockScratch.Get().(*[]byte)
+	defer blockScratch.Put(bp)
+	start := time.Now()
+	buf, err := codecomp.AppendBlock(img.activeCodec(), (*bp)[:0], block)
+	if err != nil {
+		return nil, err
+	}
+	img.decompressNanos.Add(time.Since(start).Nanoseconds())
+	img.decompressedBytes.Add(int64(len(buf)))
+	*bp = buf
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	return out, nil
 }
 
 // loadOnce is one bounded decompression attempt. When a deadline is

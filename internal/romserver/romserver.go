@@ -192,6 +192,11 @@ type image struct {
 	rangeReads     atomic.Int64
 	fullReads      atomic.Int64
 	decompressions atomic.Int64
+	// decompressNanos/decompressedBytes accumulate the time spent inside
+	// (and bytes produced by) successful codec block decodes, for the
+	// decode ns/block and MB/s gauges in /metrics.
+	decompressNanos   atomic.Int64
+	decompressedBytes atomic.Int64
 
 	corruptBlocks   atomic.Int64
 	retries         atomic.Int64
@@ -320,25 +325,51 @@ func (s *Server) worker() {
 	}
 }
 
+// loader is a pooled binding of (server, image, block) to the hardened load
+// path. The bound fn is created once per pooled object, so handing a loader
+// to the cache does not allocate a closure per cache miss.
+type loader struct {
+	s     *Server
+	img   *image
+	block int
+	fn    func() ([]byte, error)
+}
+
+var loaderPool = sync.Pool{New: func() any {
+	l := &loader{}
+	l.fn = l.load
+	return l
+}}
+
+func (l *loader) load() ([]byte, error) {
+	// Quarantined images refuse fresh decompressions; their cached
+	// (verified) blocks above this loader keep serving.
+	if l.img.health.State() == Quarantined {
+		return nil, fmt.Errorf("%w: %q", ErrQuarantined, l.img.name)
+	}
+	return l.s.loadVerified(l.img, l.block)
+}
+
+func (l *loader) release() {
+	l.s, l.img = nil, nil
+	loaderPool.Put(l)
+}
+
 func (s *Server) handle(t task) {
 	key := t.img.key(t.block)
-	load := func() ([]byte, error) {
-		// Quarantined images refuse fresh decompressions; their cached
-		// (verified) blocks above this loader keep serving.
-		if t.img.health.State() == Quarantined {
-			return nil, fmt.Errorf("%w: %q", ErrQuarantined, t.img.name)
-		}
-		return s.loadVerified(t.img, t.block)
-	}
+	l := loaderPool.Get().(*loader)
+	l.s, l.img, l.block = s, t.img, t.block
 	if t.reply == nil {
 		// Speculative warm: tag the load so a later demand hit counts
 		// toward prefetch accuracy.
-		if _, _, err := s.cache.GetPrefetch(key, load); err == nil {
+		if _, _, err := s.cache.GetPrefetch(key, l.fn); err == nil {
 			s.prefetchCompleted.Add(1)
 		}
+		l.release()
 		return
 	}
-	data, hit, err := s.cache.Get(key, load)
+	data, hit, err := s.cache.Get(key, l.fn)
+	l.release()
 	t.reply <- result{data: data, hit: hit, err: err}
 	if err == nil && !hit {
 		s.prefetch(t.img, t.block)
@@ -371,28 +402,38 @@ func (s *Server) prefetch(img *image, miss int) {
 	}
 }
 
+// replyPool recycles the one-shot reply channels of demand fetches; a
+// buffered channel is reusable once its result has been received.
+var replyPool = sync.Pool{New: func() any { return make(chan result, 1) }}
+
 // fetch runs one demand read through the pool and waits for its result.
 // Demand fetches are the access stream the trace recorder captures.
 func (s *Server) fetch(img *image, block int) ([]byte, bool, error) {
 	if img.recorder != nil {
 		img.recorder.Record(block)
 	}
-	t := task{img: img, block: block, reply: make(chan result, 1)}
+	reply := replyPool.Get().(chan result)
+	t := task{img: img, block: block, reply: reply}
 	select {
 	case s.tasks <- t:
 	case <-s.quit:
+		replyPool.Put(reply)
 		return nil, false, ErrClosed
 	}
 	select {
-	case r := <-t.reply:
+	case r := <-reply:
+		replyPool.Put(reply)
 		return r.data, r.hit, r.err
 	case <-s.drained:
 		// Shutdown raced our enqueue; the drain loop may still have served
 		// the task, so check once more before giving up.
 		select {
-		case r := <-t.reply:
+		case r := <-reply:
+			replyPool.Put(reply)
 			return r.data, r.hit, r.err
 		default:
+			// The queued task may still send later; abandon the channel
+			// (it is buffered) instead of recycling it.
 			return nil, false, ErrClosed
 		}
 	}
@@ -778,6 +819,12 @@ type ImageStats struct {
 	// Decompressions counts actual codec.Block invocations — the work the
 	// cache and singleflight exist to avoid.
 	Decompressions int64 `json:"decompressions"`
+	// DecodeNsPerBlock is the mean wall-clock nanoseconds one block decode
+	// took (demand, prefetch, pinning and re-verify loads alike).
+	DecodeNsPerBlock float64 `json:"decode_ns_per_block"`
+	// DecodeMBPerSec is the mean decode throughput in decompressed
+	// megabytes per second.
+	DecodeMBPerSec float64 `json:"decode_mb_per_sec"`
 	// Policy is the active prefetch policy name ("none" when disabled).
 	Policy string `json:"policy"`
 	// Pinned is how many blocks the policy pinned.
@@ -874,6 +921,10 @@ func (s *Server) Stats() Stats {
 			Timeouts:        img.timeouts.Load(),
 			LoadFailures:    img.loadFailures.Load(),
 			Reverifies:      img.reverifies.Load(),
+		}
+		if decs, ns := img.decompressions.Load(), img.decompressNanos.Load(); decs > 0 && ns > 0 {
+			is.DecodeNsPerBlock = float64(ns) / float64(decs)
+			is.DecodeMBPerSec = float64(img.decompressedBytes.Load()) / 1e6 / (float64(ns) / 1e9)
 		}
 		state, bad, rate, transitions := img.health.snapshot()
 		is.Health = state.String()

@@ -615,3 +615,49 @@ func TestSetPolicyHotsetPinsSurviveColdScan(t *testing.T) {
 		t.Fatalf("stale cache after remove: %+v", st)
 	}
 }
+
+// BenchmarkRomserverMiss measures the full demand-miss path end to end —
+// fetch through the worker pool, hardened load, fast-path decode, sidecar
+// verify, cache insert and evict — with prefetch, tracing, the load
+// deadline and background re-verification disabled. The budget is one
+// allocation per miss: the exact-size copy that goes into the cache.
+func BenchmarkRomserverMiss(b *testing.B) {
+	_, text := testText(b)
+	s := New(Options{
+		CacheBlocks:      8,
+		CacheShards:      1,
+		Workers:          1,
+		PrefetchDepth:    -1,
+		TraceBuffer:      -1,
+		LoadTimeout:      -1,
+		ReverifyInterval: -1,
+	})
+	defer s.Close()
+	info, err := s.AddImage("prog", marshalSAMC(b, text))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if info.Blocks <= 16 {
+		b.Fatalf("image too small to defeat the cache: %d blocks", info.Blocks)
+	}
+	// Warm the decode pools and the cache's entry freelist.
+	for i := 0; i < info.Blocks; i++ {
+		if _, _, err := s.Block("prog", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(info.OrigSize / info.Blocks))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Sequential rotation over far more blocks than the cache holds:
+		// every access is a genuine miss plus an eviction.
+		_, hit, err := s.Block("prog", i%info.Blocks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hit {
+			b.Fatal("expected a cache miss")
+		}
+	}
+}

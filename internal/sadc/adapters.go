@@ -41,16 +41,22 @@ func (MIPSAdapter) ToUnits(text []byte) ([]Unit, error) {
 }
 
 // FromUnits re-encodes units to the big-endian text image.
-func (MIPSAdapter) FromUnits(units []Unit) ([]byte, error) {
-	prog := make([]mips.Instr, len(units))
+func (a MIPSAdapter) FromUnits(units []Unit) ([]byte, error) {
+	return a.AppendUnits(make([]byte, 0, 4*len(units)), units)
+}
+
+// AppendUnits re-encodes units directly into dst, one word at a time, so
+// block decodes reuse the caller's buffer instead of staging an []Instr.
+func (MIPSAdapter) AppendUnits(dst []byte, units []Unit) ([]byte, error) {
 	for i := range units {
 		ins, err := mipsInstrFromUnit(&units[i])
 		if err != nil {
 			return nil, err
 		}
-		prog[i] = ins
+		w := ins.Encode()
+		dst = append(dst, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
 	}
-	return mips.EncodeProgram(prog), nil
+	return dst, nil
 }
 
 func mipsInstrFromUnit(u *Unit) (mips.Instr, error) {
@@ -187,17 +193,21 @@ func (a *X86Adapter) ToUnits(text []byte) ([]Unit, error) {
 
 // FromUnits re-encodes units into the x86 byte image.
 func (a *X86Adapter) FromUnits(units []Unit) ([]byte, error) {
-	var out []byte
+	return a.AppendUnits(nil, units)
+}
+
+// AppendUnits re-encodes units into dst, reusing the caller's buffer.
+func (a *X86Adapter) AppendUnits(dst []byte, units []Unit) ([]byte, error) {
 	for i := range units {
 		u := &units[i]
 		if int(u.Op) >= len(a.opBytes) {
 			return nil, fmt.Errorf("sadc: x86 opcode symbol %d out of range", u.Op)
 		}
-		out = append(out, a.opBytes[u.Op]...)
-		out = append(out, u.Regs...)
-		out = append(out, u.Imm...)
+		dst = append(dst, a.opBytes[u.Op]...)
+		dst = append(dst, u.Regs...)
+		dst = append(dst, u.Imm...)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // ReadOperands replays the x86 layout rules: the ModR/M byte read first

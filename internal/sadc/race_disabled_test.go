@@ -1,0 +1,5 @@
+//go:build !race
+
+package sadc
+
+const raceEnabled = false

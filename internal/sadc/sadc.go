@@ -3,6 +3,7 @@ package sadc
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"codecomp/internal/bitio"
 	"codecomp/internal/huffman"
@@ -426,18 +427,19 @@ func Compress(text []byte, ad Adapter, opts Options) (*Compressed, error) {
 		}
 		c.Tables[s] = tbl
 	}
+	w := bitio.NewWriter(opts.BlockSize)
 	for _, rb := range raws {
 		var blk Block
 		blk.Tokens = rb.tokens
 		blk.Bytes = rb.bytes
 		for s := range rb.seg {
-			w := bitio.NewWriter(len(rb.seg[s]))
+			w.Reset()
 			for _, b := range rb.seg[s] {
 				if err := c.Tables[s].Encode(w, int(b)); err != nil {
 					return nil, err
 				}
 			}
-			blk.Seg[s] = w.Bytes()
+			blk.Seg[s] = w.AppendBytes(make([]byte, 0, w.Len()))
 		}
 		c.Blocks = append(c.Blocks, blk)
 	}
@@ -447,8 +449,18 @@ func Compress(text []byte, ad Adapter, opts Options) (*Compressed, error) {
 // NumBlocks returns the block count.
 func (c *Compressed) NumBlocks() int { return len(c.Blocks) }
 
-// Block decompresses one cache block independently.
+// Block decompresses one cache block independently into a fresh buffer.
 func (c *Compressed) Block(i int) ([]byte, error) {
+	if i < 0 || i >= len(c.Blocks) {
+		return nil, fmt.Errorf("sadc: block %d out of range [0,%d)", i, len(c.Blocks))
+	}
+	return c.AppendBlock(make([]byte, 0, c.Blocks[i].Bytes), i)
+}
+
+// blockReference is the original bit-serial, closure-based decode path. It is
+// kept as the differential-testing oracle for AppendBlock and as the baseline
+// the decode benchmarks measure speedups against.
+func (c *Compressed) blockReference(i int) ([]byte, error) {
 	if i < 0 || i >= len(c.Blocks) {
 		return nil, fmt.Errorf("sadc: block %d out of range [0,%d)", i, len(c.Blocks))
 	}
@@ -502,15 +514,121 @@ func (c *Compressed) Block(i int) ([]byte, error) {
 	return c.adapter.FromUnits(units)
 }
 
-// Decompress reconstructs the entire program.
-func (c *Compressed) Decompress() ([]byte, error) {
-	out := make([]byte, 0, c.OrigSize)
-	for i := range c.Blocks {
-		b, err := c.Block(i)
+// decState is the reusable scratch one AppendBlock call needs: the four
+// stream readers, the decoded units, and a byte arena that backs every
+// operand slice handed to the adapter. States are pooled so a steady-state
+// block decode performs no transient heap allocations.
+type decState struct {
+	readers [4]bitio.Reader
+	units   []Unit
+	arena   []byte
+	c       *Compressed
+	it      *Item
+	cursors [numOperandStreams]int
+	takeFn  func(s Stream, n int) ([]byte, error)
+}
+
+var decPool = sync.Pool{New: func() any {
+	d := &decState{}
+	// Bind the method value once per state so handing it to ReadOperands
+	// does not allocate a closure per item.
+	d.takeFn = d.take
+	return d
+}}
+
+// take satisfies the adapter's operand callback: fused operands come from the
+// dictionary entry, everything else is Huffman-decoded from the stream's
+// segment into the arena. Slices returned earlier stay valid when the arena
+// grows — they keep pointing into the old backing array.
+func (d *decState) take(s Stream, n int) ([]byte, error) {
+	if f := d.it.fused(s); f != nil {
+		if d.cursors[s]+n > len(f) {
+			return nil, errShort
+		}
+		b := f[d.cursors[s] : d.cursors[s]+n]
+		d.cursors[s] += n
+		return b, nil
+	}
+	r := &d.readers[1+s]
+	tbl := d.c.Tables[1+s]
+	start := len(d.arena)
+	for k := 0; k < n; k++ {
+		sym, err := tbl.DecodeFast(r)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, b...)
+		d.arena = append(d.arena, byte(sym))
+	}
+	return d.arena[start:], nil
+}
+
+// release returns the state to the pool, dropping references that would pin
+// a dead image.
+func (d *decState) release() {
+	d.c = nil
+	d.it = nil
+	decPool.Put(d)
+}
+
+// AppendBlock decompresses block i and appends its bytes to dst, returning
+// the extended slice. It is the allocation-free fast path behind Block: the
+// four segment readers are pooled values reset in place, symbols come off
+// the Huffman tables' first-level lookup tables (DecodeFast), and operand
+// bytes land in a pooled arena instead of per-operand slices. Output is
+// bit-identical to blockReference, including errors on corrupt input.
+func (c *Compressed) AppendBlock(dst []byte, i int) ([]byte, error) {
+	if i < 0 || i >= len(c.Blocks) {
+		return nil, fmt.Errorf("sadc: block %d out of range [0,%d)", i, len(c.Blocks))
+	}
+	blk := &c.Blocks[i]
+	d := decPool.Get().(*decState)
+	defer d.release()
+	d.c = c
+	d.units = d.units[:0]
+	d.arena = d.arena[:0]
+	for s := range blk.Seg {
+		d.readers[s].Reset(blk.Seg[s])
+	}
+	tokens := c.Tables[0]
+	tr := &d.readers[0]
+	for t := 0; t < blk.Tokens; t++ {
+		sym, err := tokens.DecodeFast(tr)
+		if err != nil {
+			return nil, fmt.Errorf("sadc: token %d of block %d: %w", t, i, err)
+		}
+		if sym >= len(c.Dict) {
+			return nil, fmt.Errorf("sadc: token %d out of dictionary range", sym)
+		}
+		e := &c.Dict[sym]
+		for ii := range e.Items {
+			d.it = &e.Items[ii]
+			d.cursors = [numOperandStreams]int{}
+			u, err := c.adapter.ReadOperands(d.it.Op, d.takeFn)
+			if err != nil {
+				return nil, fmt.Errorf("sadc: block %d: %w", i, err)
+			}
+			d.units = append(d.units, u)
+		}
+	}
+	if aa, ok := c.adapter.(appendAdapter); ok {
+		return aa.AppendUnits(dst, d.units)
+	}
+	out, err := c.adapter.FromUnits(d.units)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, out...), nil
+}
+
+// Decompress reconstructs the entire program.
+func (c *Compressed) Decompress() ([]byte, error) {
+	out := make([]byte, 0, c.OrigSize)
+	var err error
+	for i := range c.Blocks {
+		out, err = c.AppendBlock(out, i)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

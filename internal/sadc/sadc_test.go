@@ -310,3 +310,135 @@ func BenchmarkDecompressBlock(b *testing.B) {
 		}
 	}
 }
+
+func TestAppendBlockMatchesReference(t *testing.T) {
+	cases := []struct {
+		name string
+		text []byte
+		ad   Adapter
+		opts Options
+	}{
+		{"mips-default", mipsText(), MIPSAdapter{}, Options{}},
+		{"mips-small-blocks", mipsText(), MIPSAdapter{}, Options{BlockSize: 16}},
+		{"mips-large-blocks", mipsText(), MIPSAdapter{}, Options{BlockSize: 64}},
+		{"mips-small-dict", mipsText(), MIPSAdapter{}, Options{MaxEntries: 80}},
+		{"x86-default", x86Text(), NewX86Adapter(), Options{}},
+		{"x86-small-blocks", x86Text(), NewX86Adapter(), Options{BlockSize: 16}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := Compress(tc.text, tc.ad, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := make([]byte, 0, 2*c.BlockSize)
+			for i := 0; i < c.NumBlocks(); i++ {
+				want, err := c.blockReference(i)
+				if err != nil {
+					t.Fatalf("blockReference(%d): %v", i, err)
+				}
+				dst, err = c.AppendBlock(dst[:0], i)
+				if err != nil {
+					t.Fatalf("AppendBlock(%d): %v", i, err)
+				}
+				if !bytes.Equal(dst, want) {
+					t.Fatalf("block %d: AppendBlock differs from reference", i)
+				}
+				got, err := c.Block(i)
+				if err != nil {
+					t.Fatalf("Block(%d): %v", i, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("block %d: Block differs from reference", i)
+				}
+			}
+		})
+	}
+}
+
+func TestAppendBlockAppends(t *testing.T) {
+	c, err := Compress(mipsText(), MIPSAdapter{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte("prefix")
+	out, err := c.AppendBlock(append([]byte(nil), prefix...), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatalf("AppendBlock clobbered the destination prefix")
+	}
+	want, err := c.Block(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[len(prefix):], want) {
+		t.Fatalf("appended block bytes differ from Block")
+	}
+}
+
+func TestAppendBlockNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under the race detector")
+	}
+	// MIPS only: the x86 adapter builds small per-unit operand slices in
+	// ReadOperands, which is inherent to its variable-length layout.
+	c, err := Compress(mipsText(), MIPSAdapter{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 0, 2*c.BlockSize)
+	// Warm the decode-state pool and size the arena/unit scratch.
+	for i := 0; i < c.NumBlocks(); i++ {
+		if dst, err = c.AppendBlock(dst[:0], i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var gotErr error
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		dst, gotErr = c.AppendBlock(dst[:0], i%c.NumBlocks())
+		i++
+	})
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if allocs != 0 {
+		t.Fatalf("AppendBlock allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkDecompressBlockReference(b *testing.B) {
+	text := mipsText()
+	c, err := Compress(text, MIPSAdapter{}, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.blockReference(i % c.NumBlocks()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendBlock(b *testing.B) {
+	text := mipsText()
+	c, err := Compress(text, MIPSAdapter{}, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]byte, 0, 2*c.BlockSize)
+	b.SetBytes(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, err = c.AppendBlock(dst[:0], i%c.NumBlocks())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

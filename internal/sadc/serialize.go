@@ -68,10 +68,11 @@ func (c *Compressed) Marshal() []byte {
 		}
 	}
 
+	w := bitio.NewWriter(128)
 	for _, tbl := range c.Tables {
-		w := bitio.NewWriter(128)
+		w.Reset()
 		tbl.WriteLengths(w)
-		out = append(out, w.Bytes()...)
+		out = w.AppendBytes(out)
 	}
 
 	for i := range c.Blocks {

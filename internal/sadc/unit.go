@@ -137,5 +137,17 @@ type Adapter interface {
 	MarshalAux() []byte
 }
 
+// appendAdapter is the optional fast-path extension of Adapter: re-encode
+// units directly into a caller-supplied buffer. Both built-in adapters
+// implement it; AppendBlock falls back to FromUnits plus a copy otherwise.
+type appendAdapter interface {
+	AppendUnits(dst []byte, units []Unit) ([]byte, error)
+}
+
+var (
+	_ appendAdapter = MIPSAdapter{}
+	_ appendAdapter = (*X86Adapter)(nil)
+)
+
 // errShort is returned by stream readers on underflow.
 var errShort = fmt.Errorf("sadc: operand stream underflow")

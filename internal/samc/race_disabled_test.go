@@ -1,0 +1,5 @@
+//go:build !race
+
+package samc
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package samc
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation allocates, making AllocsPerRun meaningless under -race.
+const raceEnabled = true

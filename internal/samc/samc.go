@@ -17,6 +17,7 @@ package samc
 
 import (
 	"fmt"
+	"sync"
 
 	"codecomp/internal/arith"
 	"codecomp/internal/markov"
@@ -93,6 +94,27 @@ type Compressed struct {
 	WordBytes int
 	OrigSize  int
 	Blocks    [][]byte
+
+	// shifts caches Division.Shifts() for AppendBlock, built once on first
+	// use (concurrent block decodes share it). identity records whether the
+	// coding order already matches architectural bit order (true for the
+	// default contiguous divisions), letting the kernel skip the per-word
+	// scatter.
+	shiftOnce sync.Once
+	shifts    []uint8
+	identity  bool
+}
+
+// initShifts caches the flat shift table and the identity-order flag.
+func (c *Compressed) initShifts() {
+	c.shifts = c.Division.Shifts()
+	c.identity = true
+	for j, s := range c.shifts {
+		if int(s) != len(c.shifts)-1-j {
+			c.identity = false
+			break
+		}
+	}
 }
 
 // Compress compresses a program text. len(text) must be a multiple of the
@@ -191,6 +213,17 @@ func (c *Compressed) Block(i int) ([]byte, error) {
 	if i < 0 || i >= len(c.Blocks) {
 		return nil, fmt.Errorf("samc: block %d out of range [0,%d)", i, len(c.Blocks))
 	}
+	return c.AppendBlock(make([]byte, 0, c.blockOrigLen(i)), i)
+}
+
+// blockReference is the original bit-serial decode path: heap-allocated
+// decoder and walker, per-word bit staging through Division.Assemble. It is
+// kept as the differential-testing reference for AppendBlock and as the
+// baseline the benchmark harness measures speedups against.
+func (c *Compressed) blockReference(i int) ([]byte, error) {
+	if i < 0 || i >= len(c.Blocks) {
+		return nil, fmt.Errorf("samc: block %d out of range [0,%d)", i, len(c.Blocks))
+	}
 	n := c.blockOrigLen(i)
 	out := make([]byte, 0, n)
 	dec := arith.NewDecoder(c.Blocks[i])
@@ -208,6 +241,122 @@ func (c *Compressed) Block(i int) ([]byte, error) {
 		}
 	}
 	return out, nil
+}
+
+// AppendBlock decompresses block i and appends the output to dst, returning
+// the extended slice. It is the fast path of Block: bit-identical output,
+// but zero transient allocations and no per-bit calls — the paper's 24-bit
+// arithmetic decoder runs fused into the loop with its interval in locals,
+// the Markov walk uses the flattened FastWalker, and the per-word bit
+// scratch is replaced by direct word assembly through a flat shift table.
+// dst is reused when it has capacity. Safe for concurrent use.
+func (c *Compressed) AppendBlock(dst []byte, i int) ([]byte, error) {
+	if i < 0 || i >= len(c.Blocks) {
+		return nil, fmt.Errorf("samc: block %d out of range [0,%d)", i, len(c.Blocks))
+	}
+	c.shiftOnce.Do(c.initShifts)
+	n := c.blockOrigLen(i)
+	comp := c.Blocks[i]
+	shifts := c.shifts
+	wordBits := len(shifts)
+	identity := c.identity
+	wordBytes := c.WordBytes
+	flat, offs, widths, nCtx := c.Model.Flattened()
+	connected := c.Model.Spec().Connected
+
+	// Prime the 24-bit window, zero-filling past the end of the block like
+	// arith.Decoder.next: trailing window bytes are never examined.
+	var val uint32
+	pos := 0
+	for k := 0; k < 3; k++ {
+		var b byte
+		if pos < len(comp) {
+			b = comp[pos]
+		}
+		val = val<<8 | uint32(b)
+		pos++
+	}
+	lo, hi := uint32(0), uint32(arith.Top)
+
+	// The Markov walk is unrolled per stream: within a stream the tree base
+	// stays fixed, so the per-bit model step is pure heap arithmetic, and
+	// both children's predictions are loaded before the interval comparison
+	// resolves — the load latency hides under the arithmetic-coder chain
+	// instead of extending it.
+	ctx := int32(0)
+	bit := 0
+	for w := 0; w < n; w += wordBytes {
+		var word uint64
+		for s := range widths {
+			base := offs[int32(s)*nCtx+ctx]
+			node := int32(0)
+			p0 := flat[base]
+			kBits := int(widths[s])
+			for d := 0; d < kBits; d++ {
+				// Midpoint with the paper's degenerate-interval fixups,
+				// mirroring arith.mid.
+				r := uint64(hi - lo - 1)
+				m := lo + uint32(r*uint64(p0)>>arith.ProbBits)
+				if m == lo {
+					m++
+				}
+				if m >= hi-1 {
+					m = hi - 2
+				}
+				// Conditional-move-friendly bit selection, as in
+				// arith.DecodeBit.
+				ge := val >= m
+				if ge {
+					lo = m
+				}
+				if !ge {
+					hi = m
+				}
+				bit = 0
+				if ge {
+					bit = 1
+				}
+				for hi-lo < arith.MinRange {
+					var b byte
+					if pos < len(comp) {
+						b = comp[pos]
+						pos++
+					}
+					val = (val<<8 | uint32(b)) & (arith.Top - 1)
+					lo = lo << 8 & (arith.Top - 1)
+					hi = hi << 8 & (arith.Top - 1)
+					if lo >= hi {
+						hi = arith.Top
+					}
+				}
+				if d+1 < kBits {
+					p0 = flat[base+2*node+1]
+					p1 := flat[base+2*node+2]
+					node = 2*node + 1 + int32(bit)
+					if bit != 0 {
+						p0 = p1
+					}
+				}
+				word = word<<1 | uint64(bit)
+			}
+			if connected {
+				ctx = int32(bit) // stream's last bit selects the next root
+			}
+		}
+		if !identity {
+			// Scatter the coding-order bits to their architectural
+			// positions (the paper's instruction-generator routing).
+			var arch uint64
+			for j, s := range shifts {
+				arch |= word >> (wordBits - 1 - j) & 1 << s
+			}
+			word = arch
+		}
+		for b := wordBytes - 1; b >= 0; b-- {
+			dst = append(dst, byte(word>>(8*b)))
+		}
+	}
+	return dst, nil
 }
 
 // BlockParallel decompresses a block with the nibble-parallel engine of §3
@@ -248,12 +397,12 @@ func (c *Compressed) BlockParallel(i int) ([]byte, arith.NibbleStats, error) {
 // Decompress reconstructs the whole program.
 func (c *Compressed) Decompress() ([]byte, error) {
 	out := make([]byte, 0, c.OrigSize)
+	var err error
 	for i := range c.Blocks {
-		blk, err := c.Block(i)
+		out, err = c.AppendBlock(out, i)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, blk...)
 	}
 	return out, nil
 }

@@ -278,6 +278,120 @@ func BenchmarkDecompressBlock(b *testing.B) {
 	}
 }
 
+// TestAppendBlockMatchesReference pins the fast path (value decoder,
+// FastWalker, shift-table word assembly) to the original bit-serial decode,
+// byte for byte, across option shapes and with a reused destination buffer.
+func TestAppendBlockMatchesReference(t *testing.T) {
+	text := testText()
+	for _, opts := range []Options{
+		{},
+		{Connected: true},
+		{Quantize: true},
+		{WordBytes: 1},
+		{WordBytes: 2, BlockSize: 64},
+		{BlockSize: 16, Connected: true},
+	} {
+		c, err := Compress(text, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dst []byte
+		for i := 0; i < c.NumBlocks(); i++ {
+			want, err := c.blockReference(i)
+			if err != nil {
+				t.Fatalf("opts %+v block %d reference: %v", opts, i, err)
+			}
+			dst, err = c.AppendBlock(dst[:0], i)
+			if err != nil {
+				t.Fatalf("opts %+v block %d fast: %v", opts, i, err)
+			}
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("opts %+v: block %d fast decode differs from reference", opts, i)
+			}
+			got, err := c.Block(i)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("opts %+v: block %d Block differs from reference (%v)", opts, i, err)
+			}
+		}
+	}
+}
+
+// TestAppendBlockAppends checks AppendBlock extends dst instead of clobbering
+// it — the contract the romserver scratch pool relies on.
+func TestAppendBlockAppends(t *testing.T) {
+	text := testText()
+	c, err := Compress(text, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := []byte("prefix")
+	dst, err = c.AppendBlock(dst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(dst, []byte("prefix")) {
+		t.Fatal("AppendBlock clobbered existing dst contents")
+	}
+	if !bytes.Equal(dst[6:], text[:c.BlockSize]) {
+		t.Fatal("appended block content wrong")
+	}
+}
+
+func TestAppendBlockNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under the race detector")
+	}
+	text := testText()
+	c, err := Compress(text, Options{Connected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 0, c.BlockSize)
+	c.AppendBlock(dst, 0) // warm the lazy shift table and flattened model
+	n := testing.AllocsPerRun(50, func() {
+		if _, err := c.AppendBlock(dst[:0], 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("AppendBlock allocates %v times per call, want 0", n)
+	}
+}
+
+func BenchmarkDecompressBlockReference(b *testing.B) {
+	text := testText()
+	c, err := Compress(text, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.blockReference(i % c.NumBlocks()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendBlock(b *testing.B) {
+	text := testText()
+	c, err := Compress(text, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]byte, 0, c.BlockSize)
+	b.SetBytes(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, err = c.AppendBlock(dst[:0], i%c.NumBlocks())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func TestBlockParallelMatchesSerial(t *testing.T) {
 	text := testText()
 	for _, opts := range []Options{

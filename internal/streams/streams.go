@@ -104,6 +104,20 @@ func (d Division) Assemble(bits []int) uint64 {
 	return word
 }
 
+// Shifts flattens the division into one shift per coding-order bit: bit j of
+// the stream-ordered walk lands at word bit Shifts()[j] (i.e. word |=
+// bit << shift). It is the table-driven form of Assemble for decode hot
+// loops that build the word directly instead of staging bits in a slice.
+func (d Division) Shifts() []uint8 {
+	shifts := make([]uint8, 0, d.Width)
+	for _, g := range d.Groups {
+		for _, pos := range g {
+			shifts = append(shifts, uint8(d.Width-1-pos))
+		}
+	}
+	return shifts
+}
+
 // Clone deep-copies the division so the optimizer can mutate candidates.
 func (d Division) Clone() Division {
 	c := Division{Width: d.Width, Groups: make([][]int, len(d.Groups))}
