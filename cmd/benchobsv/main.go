@@ -1,0 +1,235 @@
+// benchobsv runs the observability hot-path benchmark suite and writes
+// BENCH_obsv.json, the repository's performance baseline for the metrics
+// layer that now sits on every block load and HTTP request.
+//
+// Every number comes from `go test -run NONE -bench ...` subprocesses
+// (5 passes by default) with the median of the passes kept, mirroring
+// cmd/benchdecode. The regression gate (-check) is machine-independent
+// where it can be and ratio-based where it cannot:
+//
+//   - Allocation budget: the hot-path instruments (Counter.Inc,
+//     Histogram.Observe, and the combined Observe path) must stay at
+//     exactly 0 allocs/op. An allocation on a per-request counter is a
+//     correctness bug in this design, whatever the machine.
+//   - Overhead ratio: the combined counter+histogram observe path is
+//     measured against a bare atomic add in the same pass on the same
+//     machine, and the fresh overhead multiple must stay within tolerance
+//     (default 30%) of the committed baseline's multiple. Absolute ns/op
+//     never gates — only the shape of the overhead does.
+//
+// Usage:
+//
+//	go run ./cmd/benchobsv                # measure, write BENCH_obsv.json
+//	go run ./cmd/benchobsv -check         # measure, compare against baseline
+//	go run ./cmd/benchobsv -count 3       # quicker, noisier
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is the median of one benchmark's samples.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Samples     int     `json:"samples"`
+}
+
+// report is the BENCH_obsv.json schema.
+type report struct {
+	GeneratedBy string            `json:"generated_by"`
+	GoVersion   string            `json:"go_version"`
+	GOARCH      string            `json:"goarch"`
+	Runs        int               `json:"runs"`
+	Benchmarks  map[string]result `json:"benchmarks"`
+	// ObserveOverhead is the combined counter+histogram observe path as a
+	// multiple of a bare atomic add, median of per-pass ratios (both sides
+	// of each ratio measured in the same subprocess).
+	ObserveOverhead float64 `json:"observe_overhead"`
+}
+
+const (
+	pkg      = "codecomp/internal/obsv"
+	benchRE  = "^(BenchmarkObserve|BenchmarkCounterInc|BenchmarkHistogramObserve|BenchmarkAtomicAddReference|BenchmarkObserveParallel|BenchmarkWritePrometheus)$"
+	fastName = "Observe"
+	refName  = "AtomicAddReference"
+)
+
+// zeroAllocBenches must report exactly 0 allocs/op — the machine-
+// independent half of the gate.
+var zeroAllocBenches = []string{"Observe", "CounterInc", "HistogramObserve"}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// runPass executes one -count=1 subprocess and merges the metrics into
+// samples["<name>"][metric][pass]. One pass per subprocess so each pass's
+// observe-vs-atomic ratio is phase-consistent (see cmd/benchdecode).
+func runPass(samples map[string]map[string][]float64) error {
+	cmd := exec.Command("go", "test", "-run", "NONE", "-bench", benchRE,
+		"-benchmem", "-count", "1", pkg)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("%s: %w", pkg, err)
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		if samples[name] == nil {
+			samples[name] = make(map[string][]float64)
+		}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			samples[name][fields[i+1]] = append(samples[name][fields[i+1]], v)
+		}
+	}
+	return nil
+}
+
+func measure(count int) (*report, error) {
+	samples := make(map[string]map[string][]float64)
+	for pass := 0; pass < count; pass++ {
+		fmt.Fprintf(os.Stderr, "pass %d/%d: %s\n", pass+1, count, pkg)
+		if err := runPass(samples); err != nil {
+			return nil, err
+		}
+	}
+	rep := &report{
+		GeneratedBy: "cmd/benchobsv",
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+		Runs:        count,
+		Benchmarks:  make(map[string]result),
+	}
+	for name, metrics := range samples {
+		rep.Benchmarks[name] = result{
+			NsPerOp:     median(append([]float64(nil), metrics["ns/op"]...)),
+			AllocsPerOp: median(append([]float64(nil), metrics["allocs/op"]...)),
+			BytesPerOp:  median(append([]float64(nil), metrics["B/op"]...)),
+			Samples:     len(metrics["ns/op"]),
+		}
+	}
+	fast, okF := samples[fastName]
+	ref, okR := samples[refName]
+	if !okF || !okR || len(fast["ns/op"]) != len(ref["ns/op"]) || len(fast["ns/op"]) == 0 {
+		return nil, fmt.Errorf("missing benchmark pair %s/%s", fastName, refName)
+	}
+	ratios := make([]float64, 0, len(fast["ns/op"]))
+	for i, f := range fast["ns/op"] {
+		if f > 0 && ref["ns/op"][i] > 0 {
+			ratios = append(ratios, f/ref["ns/op"][i])
+		}
+	}
+	if len(ratios) == 0 {
+		return nil, fmt.Errorf("no valid passes for the overhead ratio")
+	}
+	rep.ObserveOverhead = median(ratios)
+	return rep, nil
+}
+
+func check(fresh, baseline *report, tolerance float64) error {
+	var failures []string
+	for _, name := range zeroAllocBenches {
+		b, ok := fresh.Benchmarks[name]
+		status := "ok"
+		if !ok {
+			status = "MISSING"
+			failures = append(failures, name+": missing from fresh run")
+		} else if b.AllocsPerOp != 0 {
+			status = "REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f allocs/op, budget is 0", name, b.AllocsPerOp))
+		}
+		fmt.Printf("%-22s %.0f allocs/op (budget 0) %s\n", name, b.AllocsPerOp, status)
+	}
+	ceiling := baseline.ObserveOverhead * (1 + tolerance)
+	status := "ok"
+	if fresh.ObserveOverhead > ceiling {
+		status = "REGRESSION"
+		failures = append(failures,
+			fmt.Sprintf("observe overhead %.2fx a bare atomic add, ceiling %.2fx (baseline %.2fx)",
+				fresh.ObserveOverhead, ceiling, baseline.ObserveOverhead))
+	}
+	fmt.Printf("%-22s %.2fx bare atomic add (baseline %.2fx, ceiling %.2fx) %s\n",
+		"observe overhead", fresh.ObserveOverhead, baseline.ObserveOverhead, ceiling, status)
+	if len(failures) > 0 {
+		return fmt.Errorf("obsv hot-path regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_obsv.json", "output path (measure mode)")
+		baseline  = flag.String("baseline", "BENCH_obsv.json", "committed baseline (check mode)")
+		doCheck   = flag.Bool("check", false, "compare a fresh run against the baseline instead of rewriting it")
+		count     = flag.Int("count", 5, "benchmark repetitions (median kept)")
+		tolerance = flag.Float64("tolerance", 0.30, "allowed relative overhead growth in check mode")
+	)
+	flag.Parse()
+
+	fresh, err := measure(*count)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchobsv:", err)
+		os.Exit(1)
+	}
+	if *doCheck {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchobsv:", err)
+			os.Exit(1)
+		}
+		var base report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchobsv: parsing %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		if err := check(fresh, &base, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchobsv:", err)
+			os.Exit(1)
+		}
+		fmt.Println("obsv hot path within tolerance of baseline")
+		return
+	}
+	data, err := json.MarshalIndent(fresh, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchobsv:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchobsv:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("observe path %.1f ns/op, %.2fx a bare atomic add\n",
+		fresh.Benchmarks[fastName].NsPerOp, fresh.ObserveOverhead)
+	fmt.Println("wrote", *out)
+}

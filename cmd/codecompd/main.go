@@ -14,7 +14,12 @@
 //	DELETE /images/{name}        deregister an image
 //	GET  /healthz                liveness (always 200 while the process serves)
 //	GET  /readyz                 readiness (503 while any image is quarantined)
-//	GET  /metrics                JSON cache/prefetch/per-image counters
+//	GET  /metrics                Prometheus text exposition by default; the
+//	                             legacy JSON stats with Accept: application/json
+//	                             or ?format=json
+//	GET  /debug/traces           ring of recently sampled block-load traces
+//	                             (queue wait / decode / verify phases, retry
+//	                             and corruption events), newest first
 //
 // Faultlab (chaos testing, only with -enable-fault-injection):
 //
@@ -34,6 +39,9 @@
 //	PUT  /images/{name}/policy?policy=markov&k=2&depth=4&pin=64
 //	                             switch prefetch policy (sequential|markov|hotset)
 //	GET  /images/{name}/policy   the active policy
+//
+// Profiling: -enable-pprof mounts net/http/pprof under /debug/pprof/
+// (off by default; the heap and CPU profiles expose internals).
 //
 // Example:
 //
@@ -55,6 +63,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -63,14 +72,156 @@ import (
 	"time"
 
 	"codecomp/internal/faultinj"
+	"codecomp/internal/obsv"
 	"codecomp/internal/romserver"
 	"codecomp/internal/traceprof"
 )
 
+// config is everything a daemon needs besides the listen address; tests
+// build daemons directly from it.
+type config struct {
+	cacheBlocks   int
+	cacheShards   int
+	workers       int
+	queueDepth    int
+	prefetch      int
+	traceBuffer   int
+	maxImage      int64
+	loadTimeout   time.Duration
+	retries       int
+	reverify      time.Duration
+	faultsAllowed bool
+	enablePprof   bool
+	traceRing     int
+	traceSample   int
+}
+
 type daemon struct {
 	rs            *romserver.Server
+	reg           *obsv.Registry
+	tracer        *obsv.Tracer
+	mux           *http.ServeMux
 	started       time.Time
 	faultsAllowed bool
+
+	// HTTP-layer instruments; the per-route series are resolved at route
+	// registration, not per request.
+	httpInflight *obsv.Gauge
+	httpRequests *obsv.CounterVec
+	httpErrors   *obsv.CounterVec
+	httpLatency  *obsv.HistogramVec
+}
+
+// newDaemon builds the serving stack and its routed, instrumented mux.
+func newDaemon(cfg config) *daemon {
+	lt := cfg.loadTimeout
+	if lt <= 0 {
+		lt = -1 // romserver: negative disables, zero means default
+	}
+	rv := cfg.reverify
+	if rv <= 0 {
+		rv = -1
+	}
+	reg := obsv.NewRegistry()
+	tracer := obsv.NewTracer(cfg.traceRing, cfg.traceSample)
+	d := &daemon{
+		rs: romserver.New(romserver.Options{
+			CacheBlocks:      cfg.cacheBlocks,
+			CacheShards:      cfg.cacheShards,
+			Workers:          cfg.workers,
+			QueueDepth:       cfg.queueDepth,
+			PrefetchDepth:    cfg.prefetch,
+			TraceBuffer:      cfg.traceBuffer,
+			LoadTimeout:      lt,
+			LoadAttempts:     cfg.retries,
+			ReverifyInterval: rv,
+			Registry:         reg,
+			Tracer:           tracer,
+		}),
+		reg:           reg,
+		tracer:        tracer,
+		started:       time.Now(),
+		faultsAllowed: cfg.faultsAllowed,
+		httpInflight: reg.Gauge("codecompd_http_inflight",
+			"HTTP requests currently being served."),
+		httpRequests: reg.CounterVec("codecompd_http_requests_total",
+			"HTTP requests served, by route.", "route"),
+		httpErrors: reg.CounterVec("codecompd_http_errors_total",
+			"HTTP responses with status >= 400, by route.", "route"),
+		httpLatency: reg.HistogramVec("codecompd_http_request_seconds",
+			"HTTP request latency, by route.", "route"),
+	}
+
+	mux := http.NewServeMux()
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, d.instrument(route, h))
+	}
+	handle("POST /images", "upload", d.maxBody(cfg.maxImage, d.handleUpload))
+	handle("GET /images", "list", d.handleList)
+	handle("GET /images/{name}", "image", d.handleImage)
+	handle("DELETE /images/{name}", "delete", d.handleDelete)
+	handle("GET /images/{name}/blocks/{i}", "block", d.handleBlock)
+	handle("GET /images/{name}/text", "text", d.handleText)
+	handle("POST /images/{name}/train", "train", d.maxBody(cfg.maxImage, d.handleTrain))
+	handle("GET /images/{name}/profile", "profile", d.handleProfile)
+	handle("GET /images/{name}/trace", "trace", d.handleTrace)
+	handle("PUT /images/{name}/policy", "set_policy", d.handleSetPolicy)
+	handle("GET /images/{name}/policy", "get_policy", d.handleGetPolicy)
+	handle("PUT /images/{name}/faults", "set_faults", d.handleSetFaults)
+	handle("DELETE /images/{name}/faults", "clear_faults", d.handleClearFaults)
+	handle("GET /healthz", "healthz", d.handleHealthz)
+	handle("GET /readyz", "readyz", d.handleReadyz)
+	handle("GET /metrics", "metrics", d.handleMetrics)
+	handle("GET /debug/traces", "debug_traces", d.handleTraces)
+	if cfg.enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	d.mux = mux
+	return d
+}
+
+// statusWriter captures the response status for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// instrument wraps one route with the HTTP-layer metrics: request and
+// error counters, a per-route latency histogram and the in-flight gauge.
+// The labeled series resolve here, once per route, so per-request cost is
+// four atomic operations plus the status wrapper.
+func (d *daemon) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := d.httpRequests.With(route)
+	errs := d.httpErrors.With(route)
+	lat := d.httpLatency.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		d.httpInflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		d.httpInflight.Add(-1)
+		lat.Observe(time.Since(start))
+		reqs.Inc()
+		if sw.status >= 400 {
+			errs.Inc()
+		}
+	}
 }
 
 func main() {
@@ -89,53 +240,31 @@ func main() {
 	retries := flag.Int("retries", 3, "decompression attempts per block before failing the read")
 	reverify := flag.Duration("reverify", 2*time.Second, "background re-verify interval for unhealthy images (0 disables)")
 	enableFaults := flag.Bool("enable-fault-injection", false, "allow PUT /images/{name}/faults (chaos testing)")
+	enablePprof := flag.Bool("enable-pprof", false, "mount net/http/pprof under /debug/pprof/")
+	traceRing := flag.Int("trace-ring", 256, "how many completed block-load traces /debug/traces keeps")
+	traceSample := flag.Int("trace-sample", 16, "trace one block load in N (1 traces every load)")
 	flag.Parse()
 
-	lt := *loadTimeout
-	if lt <= 0 {
-		lt = -1 // romserver: negative disables, zero means default
-	}
-	rv := *reverify
-	if rv <= 0 {
-		rv = -1
-	}
-	d := &daemon{
-		rs: romserver.New(romserver.Options{
-			CacheBlocks:      *cacheBlocks,
-			CacheShards:      *cacheShards,
-			Workers:          *workers,
-			QueueDepth:       *queueDepth,
-			PrefetchDepth:    *prefetch,
-			TraceBuffer:      *traceBuffer,
-			LoadTimeout:      lt,
-			LoadAttempts:     *retries,
-			ReverifyInterval: rv,
-		}),
-		started:       time.Now(),
+	d := newDaemon(config{
+		cacheBlocks:   *cacheBlocks,
+		cacheShards:   *cacheShards,
+		workers:       *workers,
+		queueDepth:    *queueDepth,
+		prefetch:      *prefetch,
+		traceBuffer:   *traceBuffer,
+		maxImage:      *maxImage,
+		loadTimeout:   *loadTimeout,
+		retries:       *retries,
+		reverify:      *reverify,
 		faultsAllowed: *enableFaults,
-	}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /images", d.maxBody(*maxImage, d.handleUpload))
-	mux.HandleFunc("GET /images", d.handleList)
-	mux.HandleFunc("GET /images/{name}", d.handleImage)
-	mux.HandleFunc("DELETE /images/{name}", d.handleDelete)
-	mux.HandleFunc("GET /images/{name}/blocks/{i}", d.handleBlock)
-	mux.HandleFunc("GET /images/{name}/text", d.handleText)
-	mux.HandleFunc("POST /images/{name}/train", d.maxBody(*maxImage, d.handleTrain))
-	mux.HandleFunc("GET /images/{name}/profile", d.handleProfile)
-	mux.HandleFunc("GET /images/{name}/trace", d.handleTrace)
-	mux.HandleFunc("PUT /images/{name}/policy", d.handleSetPolicy)
-	mux.HandleFunc("GET /images/{name}/policy", d.handleGetPolicy)
-	mux.HandleFunc("PUT /images/{name}/faults", d.handleSetFaults)
-	mux.HandleFunc("DELETE /images/{name}/faults", d.handleClearFaults)
-	mux.HandleFunc("GET /healthz", d.handleHealthz)
-	mux.HandleFunc("GET /readyz", d.handleReadyz)
-	mux.HandleFunc("GET /metrics", d.handleMetrics)
+		enablePprof:   *enablePprof,
+		traceRing:     *traceRing,
+		traceSample:   *traceSample,
+	})
 
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      mux,
+		Handler:      d.mux,
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
 		IdleTimeout:  *idleTimeout,
@@ -155,6 +284,9 @@ func main() {
 		*addr, *cacheBlocks, *cacheShards, *workers, *prefetch)
 	if d.faultsAllowed {
 		log.Printf("codecompd: FAULT INJECTION ENABLED — do not run in production")
+	}
+	if *enablePprof {
+		log.Printf("codecompd: pprof enabled on /debug/pprof/")
 	}
 	err := srv.ListenAndServe()
 	if !errors.Is(err, http.ErrServerClosed) {
@@ -470,6 +602,39 @@ func (d *daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, map[string]any{"ready": ready, "health": images})
 }
 
+// handleMetrics is content-negotiated: Prometheus text exposition by
+// default, the legacy romserver JSON stats when the client asks for JSON
+// (Accept: application/json or ?format=json — cmd/loadgen does the
+// former).
 func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, d.rs.Stats())
+	wantJSON := r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json")
+	if wantJSON {
+		writeJSON(w, http.StatusOK, d.rs.Stats())
+		return
+	}
+	w.Header().Set("Content-Type", obsv.PrometheusContentType)
+	d.reg.WritePrometheus(w) //nolint:errcheck — client went away
+}
+
+// handleTraces serves the sampled block-load trace ring, newest first.
+// ?n= bounds how many traces are returned.
+func (d *daemon) handleTraces(w http.ResponseWriter, r *http.Request) {
+	recs := d.tracer.Snapshot()
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "n must be a non-negative integer"})
+			return
+		}
+		if n < len(recs) {
+			recs = recs[:n]
+		}
+	}
+	begun, done := d.tracer.Sampled()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sampled_begun": begun,
+		"sampled_done":  done,
+		"traces":        recs,
+	})
 }

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"codecomp"
+	"codecomp/internal/obsv"
+	"codecomp/internal/romserver"
+)
+
+func testConfig() config {
+	return config{
+		cacheBlocks: 64,
+		cacheShards: 4,
+		workers:     2,
+		prefetch:    2,
+		traceBuffer: 1024,
+		maxImage:    16 << 20,
+		retries:     2,
+		traceRing:   64,
+		traceSample: 1,
+	}
+}
+
+// startDaemon builds a daemon from cfg, serves its mux over httptest and
+// uploads one SAMC image named "prog". Returns the test server and the
+// image's block count.
+func startDaemon(t *testing.T, cfg config) (*daemon, *httptest.Server, int) {
+	t.Helper()
+	d := newDaemon(cfg)
+	t.Cleanup(func() { d.rs.Close() })
+	ts := httptest.NewServer(d.mux)
+	t.Cleanup(ts.Close)
+
+	prog := codecomp.GenerateMIPS(codecomp.MustProfile("tomcatv"))
+	img, err := codecomp.CompressSAMC(prog.Text(), codecomp.SAMCOptions{Connected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/images?name=prog", "application/octet-stream",
+		strings.NewReader(string(img.Marshal())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("upload: %d: %s", resp.StatusCode, body)
+	}
+	var info romserver.ImageInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return d, ts, info.Blocks
+}
+
+func get(t *testing.T, url string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestMetricsPrometheusRoundTrip drives traffic through the HTTP layer and
+// asserts the default /metrics exposition is valid Prometheus text that
+// our own parser round-trips, with non-zero per-route latency tails.
+func TestMetricsPrometheusRoundTrip(t *testing.T) {
+	_, ts, blocks := startDaemon(t, testConfig())
+	for i := 0; i < blocks; i++ {
+		resp, _ := get(t, fmt.Sprintf("%s/images/prog/blocks/%d", ts.URL, i), nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("block %d: %d", i, resp.StatusCode)
+		}
+	}
+
+	resp, body := get(t, ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obsv.PrometheusContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obsv.PrometheusContentType)
+	}
+	p, err := obsv.ParsePrometheus(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("exposition does not round-trip: %v", err)
+	}
+
+	route := map[string]string{"route": "block"}
+	h, ok := p.Histogram("codecompd_http_request_seconds", route)
+	if !ok {
+		t.Fatal(`codecompd_http_request_seconds{route="block"} missing`)
+	}
+	if h.Count != float64(blocks) {
+		t.Errorf("block route latency count = %v, want %d", h.Count, blocks)
+	}
+	if h.QuantileDuration(0.99) <= 0 {
+		t.Errorf("block route p99 = %v, want > 0", h.QuantileDuration(0.99))
+	}
+	if reqs, _ := p.Value("codecompd_http_requests_total", route); reqs != float64(blocks) {
+		t.Errorf("requests_total{route=block} = %v, want %d", reqs, blocks)
+	}
+	// The romserver phase histograms ride the same registry.
+	for _, name := range []string{
+		"romserver_decode_seconds", "romserver_verify_seconds", "romserver_block_load_seconds",
+	} {
+		if h, ok := p.Histogram(name, nil); !ok || h.Count == 0 {
+			t.Errorf("%s absent or empty in daemon scrape", name)
+		}
+	}
+	// The scrape observes itself: exactly one request (this one) in flight.
+	if g, ok := p.Value("codecompd_http_inflight", nil); !ok || g != 1 {
+		t.Errorf("codecompd_http_inflight = %v during scrape, want 1", g)
+	}
+}
+
+// TestMetricsJSONNegotiation asserts the legacy JSON stats shape is still
+// served when the client asks for it (loadgen does).
+func TestMetricsJSONNegotiation(t *testing.T) {
+	_, ts, _ := startDaemon(t, testConfig())
+	for _, u := range []struct {
+		url string
+		hdr map[string]string
+	}{
+		{ts.URL + "/metrics", map[string]string{"Accept": "application/json"}},
+		{ts.URL + "/metrics?format=json", nil},
+	} {
+		resp, body := get(t, u.url, u.hdr)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d", u.url, resp.StatusCode)
+		}
+		var st romserver.Stats
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("%s: not JSON stats: %v", u.url, err)
+		}
+		if len(st.Images) != 1 {
+			t.Errorf("%s: stats lists %d images, want 1", u.url, len(st.Images))
+		}
+	}
+}
+
+// TestErrorCounter asserts 4xx responses land in the per-route error
+// counter.
+func TestErrorCounter(t *testing.T) {
+	d, ts, _ := startDaemon(t, testConfig())
+	resp, _ := get(t, ts.URL+"/images/absent", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing image: %d", resp.StatusCode)
+	}
+	_, body := get(t, ts.URL+"/metrics", nil)
+	p, err := obsv.ParsePrometheus(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs, _ := p.Value("codecompd_http_errors_total", map[string]string{"route": "image"}); errs != 1 {
+		t.Errorf("errors_total{route=image} = %v, want 1", errs)
+	}
+	_ = d
+}
+
+// TestDebugTraces asserts /debug/traces serves sampled block-load spans
+// with the load phases.
+func TestDebugTraces(t *testing.T) {
+	_, ts, blocks := startDaemon(t, testConfig()) // traceSample: 1
+	for i := 0; i < blocks && i < 8; i++ {
+		get(t, fmt.Sprintf("%s/images/prog/blocks/%d", ts.URL, i), nil)
+	}
+	resp, body := get(t, ts.URL+"/debug/traces?n=4", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces: %d", resp.StatusCode)
+	}
+	var out struct {
+		SampledBegun int64              `json:"sampled_begun"`
+		SampledDone  int64              `json:"sampled_done"`
+		Traces       []obsv.TraceRecord `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Traces) == 0 || len(out.Traces) > 4 {
+		t.Fatalf("got %d traces, want 1..4", len(out.Traces))
+	}
+	if out.SampledDone == 0 {
+		t.Error("sampled_done = 0 after traced loads")
+	}
+	var sawDecode bool
+	for _, tr := range out.Traces {
+		if tr.Name != "block_load" {
+			t.Errorf("trace name = %q", tr.Name)
+		}
+		for _, ph := range tr.Phases {
+			if ph.Name == "decode" {
+				sawDecode = true
+			}
+		}
+	}
+	if !sawDecode {
+		t.Error("no trace carries a decode phase")
+	}
+}
+
+// TestPprofGating asserts the profiling endpoints only exist behind
+// -enable-pprof.
+func TestPprofGating(t *testing.T) {
+	_, off, _ := startDaemon(t, testConfig())
+	if resp, _ := get(t, off.URL+"/debug/pprof/", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof served without -enable-pprof: %d", resp.StatusCode)
+	}
+	cfgOn := testConfig()
+	cfgOn.enablePprof = true
+	_, on, _ := startDaemon(t, cfgOn)
+	if resp, _ := get(t, on.URL+"/debug/pprof/", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof absent with -enable-pprof: %d", resp.StatusCode)
+	}
+}
+
+// TestOperationsDocCoversRegistry walks every family a live daemon
+// registers and asserts docs/OPERATIONS.md documents it by name — the
+// metrics reference cannot silently rot.
+func TestOperationsDocCoversRegistry(t *testing.T) {
+	d := newDaemon(testConfig())
+	defer d.rs.Close()
+	doc, err := os.ReadFile("../../docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("operator runbook missing: %v", err)
+	}
+	var missing []string
+	for _, f := range d.reg.Families() {
+		if !strings.Contains(string(doc), f.Name) {
+			missing = append(missing, f.Name)
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("docs/OPERATIONS.md does not document %d registered metrics:\n  %s",
+			len(missing), strings.Join(missing, "\n  "))
+	}
+}

@@ -6,8 +6,12 @@
 // buffer only fetches when the block changes), and issues the resulting
 // block reads over HTTP from a pool of concurrent clients.
 //
-// At the end it reports client-side throughput and the server's cache hit
-// ratio, prefetch activity and decompression counts from /metrics.
+// At the end it reports client-side throughput, the server's cache hit
+// ratio, prefetch activity and decompression counts from the /metrics JSON
+// view, and a latency table (p50/p90/p99/mean for the HTTP block route and
+// each server-side load phase) computed by scraping the Prometheus
+// exposition before and after the run and differencing the histograms —
+// the numbers cover exactly this run, not the daemon's lifetime.
 //
 // With -policy it becomes a one-command A/B harness: the same trace is
 // replayed twice against a cold cache — once under the sequential baseline,
@@ -50,6 +54,7 @@ import (
 
 	"codecomp"
 	"codecomp/internal/memsys"
+	"codecomp/internal/obsv"
 	"codecomp/internal/policy"
 	"codecomp/internal/traceprof"
 )
@@ -181,6 +186,9 @@ func main() {
 		*polName, pct(a.clientHits, a.ok), pct(b.clientHits, b.ok),
 		pct(a.pfHits, a.pfCompleted), pct(b.pfHits, b.pfCompleted),
 		a.pfWasted, b.pfWasted)
+	if ap, bp := a.p99("http block route"), b.p99("http block route"); ap > 0 && bp > 0 {
+		fmt.Printf("loadgen: A/B block-route p99: %v -> %v\n", rnd(ap), rnd(bp))
+	}
 	if a.fail+b.fail > 0 {
 		os.Exit(1)
 	}
@@ -196,11 +204,70 @@ type runResult struct {
 	pfHits, pfWasted                       int64
 	imgReads, imgDecompressions, imgPinned int64
 	imgPolicy                              string
+	latency                                []latencyRow
+}
+
+// latencyRow is one histogram's delta over the run.
+type latencyRow struct {
+	label string
+	hist  obsv.ParsedHistogram
+}
+
+// latencySeries are the histograms the summary table reports: the HTTP
+// block route end-to-end, then the server-side phases inside it.
+var latencySeries = []struct {
+	label, family string
+	labels        map[string]string
+}{
+	{"http block route", "codecompd_http_request_seconds", map[string]string{"route": "block"}},
+	{"queue wait", "romserver_queue_wait_seconds", nil},
+	{"decode", "romserver_decode_seconds", nil},
+	{"verify", "romserver_verify_seconds", nil},
+	{"block load", "romserver_block_load_seconds", nil},
+}
+
+// promScrape fetches and parses the daemon's Prometheus exposition.
+func promScrape(client *http.Client, addr string) (obsv.Parsed, error) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	return obsv.ParsePrometheus(resp.Body)
+}
+
+// latencyDeltas differences the tracked histograms between two scrapes.
+// A series missing from either scrape is skipped, not an error — an older
+// daemon without some family still gets the rest of the table.
+func latencyDeltas(before, after obsv.Parsed) []latencyRow {
+	var rows []latencyRow
+	for _, s := range latencySeries {
+		b, okB := before.Histogram(s.family, s.labels)
+		a, okA := after.Histogram(s.family, s.labels)
+		if !okA {
+			continue
+		}
+		d := a
+		if okB {
+			d = a.Sub(b)
+		}
+		if d.Count > 0 {
+			rows = append(rows, latencyRow{s.label, d})
+		}
+	}
+	return rows
 }
 
 func runOnce(client *http.Client, addr, name string, reqs []int, loops, concurrency int) (runResult, error) {
 	var res runResult
 	before, err := metrics(client, addr)
+	if err != nil {
+		return res, err
+	}
+	promBefore, err := promScrape(client, addr)
 	if err != nil {
 		return res, err
 	}
@@ -240,6 +307,11 @@ func runOnce(client *http.Client, addr, name string, reqs []int, loops, concurre
 	if err != nil {
 		return res, err
 	}
+	promAfter, err := promScrape(client, addr)
+	if err != nil {
+		return res, err
+	}
+	res.latency = latencyDeltas(promBefore, promAfter)
 	res.ok, res.fail = done.Load(), failed.Load()
 	res.bytesRead, res.clientHits = bytesRead.Load(), clientHits.Load()
 	res.cache = after.Cache.sub(before.Cache)
@@ -271,6 +343,39 @@ func (r runResult) print(name string) {
 			name, r.imgPolicy, r.imgPinned, r.imgReads, r.imgDecompressions,
 			float64(r.imgReads)/float64(max64(r.imgDecompressions, 1)))
 	}
+	if len(r.latency) > 0 {
+		fmt.Printf("  latency          %-16s %9s %10s %10s %10s %10s\n",
+			"", "count", "p50", "p90", "p99", "mean")
+		for _, row := range r.latency {
+			h := row.hist
+			fmt.Printf("  latency          %-16s %9.0f %10v %10v %10v %10v\n",
+				row.label, h.Count,
+				rnd(h.QuantileDuration(0.50)), rnd(h.QuantileDuration(0.90)),
+				rnd(h.QuantileDuration(0.99)), rnd(time.Duration(h.Mean()*float64(time.Second))))
+		}
+	}
+}
+
+// rnd trims a duration to three significant-ish digits for the table.
+func rnd(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond)
+	default:
+		return d.Round(100 * time.Nanosecond)
+	}
+}
+
+// p99 returns the labeled row's p99, or 0 when that series did not appear.
+func (r runResult) p99(label string) time.Duration {
+	for _, row := range r.latency {
+		if row.label == label {
+			return row.hist.QuantileDuration(0.99)
+		}
+	}
+	return 0
 }
 
 // runOffline scores the trace against all three policies through the
@@ -764,7 +869,14 @@ type imageStats struct {
 
 func metrics(client *http.Client, addr string) (serverStats, error) {
 	var st serverStats
-	resp, err := client.Get(addr + "/metrics")
+	req, err := http.NewRequest(http.MethodGet, addr+"/metrics", nil)
+	if err != nil {
+		return st, err
+	}
+	// The daemon's default exposition is Prometheus text; ask for the
+	// legacy JSON stats explicitly.
+	req.Header.Set("Accept", "application/json")
+	resp, err := client.Do(req)
 	if err != nil {
 		return st, err
 	}

@@ -50,6 +50,37 @@ type Options struct {
 	PanicBlocks []int `json:"panic_blocks,omitempty"`
 	// Latency is added to every load before anything else happens.
 	Latency time.Duration `json:"latency_ns"`
+	// Hook, when set, is called once per injected fault with its kind,
+	// from the goroutine the fault is injected on (for panics, before the
+	// panic is raised). The serving layer uses it to mirror injected-fault
+	// counts into its metrics registry. Must be safe for concurrent use.
+	Hook func(Kind) `json:"-"`
+}
+
+// Kind classifies one injected fault for Options.Hook.
+type Kind int
+
+// The four injectable fault kinds.
+const (
+	KindBitFlip Kind = iota
+	KindTransient
+	KindPermanent
+	KindPanic
+)
+
+// String names the fault kind the way the metrics layer does.
+func (k Kind) String() string {
+	switch k {
+	case KindBitFlip:
+		return "bit_flip"
+	case KindTransient:
+		return "transient_error"
+	case KindPermanent:
+		return "permanent_error"
+	case KindPanic:
+		return "panic"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
 // Stats counts the faults an injector has produced so far.
@@ -73,6 +104,7 @@ type TransientError struct {
 	Seq   int64
 }
 
+// Error describes the injected failure with its block and load sequence.
 func (e *TransientError) Error() string {
 	return fmt.Sprintf("faultinj: injected transient error on block %d (load %d)", e.Block, e.Seq)
 }
@@ -150,10 +182,12 @@ func (j *Injector) Block(i int) ([]byte, error) {
 	}
 	if j.panicBlocks[i] {
 		j.panics.Add(1)
+		j.hook(KindPanic)
 		panic(fmt.Sprintf("faultinj: injected panic on block %d (load %d)", i, seq))
 	}
 	if j.errorBlocks[i] {
 		j.permanents.Add(1)
+		j.hook(KindPermanent)
 		return nil, fmt.Errorf("faultinj: injected permanent error on block %d", i)
 	}
 	// Two independent draws from the (Seed, seq) stream: transient gate,
@@ -161,6 +195,7 @@ func (j *Injector) Block(i int) ([]byte, error) {
 	r0 := splitmix(uint64(j.opts.Seed) ^ uint64(seq)*0x9e3779b97f4a7c15)
 	if unit(r0) < j.opts.TransientRate {
 		j.transients.Add(1)
+		j.hook(KindTransient)
 		return nil, &TransientError{Block: i, Seq: seq}
 	}
 	data, err := j.inner.Block(i)
@@ -173,9 +208,17 @@ func (j *Injector) Block(i int) ([]byte, error) {
 		bit := int(splitmix(r1) % uint64(len(out)*8))
 		out[bit/8] ^= 1 << (bit % 8)
 		j.bitFlips.Add(1)
+		j.hook(KindBitFlip)
 		return out, nil
 	}
 	return data, nil
+}
+
+// hook invokes the configured fault hook, if any.
+func (j *Injector) hook(k Kind) {
+	if j.opts.Hook != nil {
+		j.opts.Hook(k)
+	}
 }
 
 // splitmix is the splitmix64 finalizer: one cheap, well-mixed draw per

@@ -1,0 +1,105 @@
+package obsv_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"codecomp/internal/obsv"
+)
+
+// Example shows the intended wiring: register instruments once at setup,
+// resolve labeled series outside the hot loop, then expose the registry
+// in Prometheus text form.
+func Example() {
+	reg := obsv.NewRegistry()
+
+	loads := reg.Counter("block_loads_total", "Blocks loaded.")
+	latency := reg.Histogram("block_load_seconds", "Block load latency.")
+	byRoute := reg.CounterVec("http_requests_total", "Requests by route.", "route")
+	blockRoute := byRoute.With("block") // resolve once, outside the hot path
+
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		// ... decode a block ...
+		loads.Inc()
+		blockRoute.Inc()
+		latency.Observe(time.Since(start))
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		// Histogram bucket lines depend on timing; print the stable lines.
+		if strings.HasPrefix(line, "block_loads_total") ||
+			strings.HasPrefix(line, "http_requests_total") ||
+			strings.HasPrefix(line, "block_load_seconds_count") {
+			fmt.Println(line)
+		}
+	}
+	// Output:
+	// block_load_seconds_count 3
+	// block_loads_total 3
+	// http_requests_total{route="block"} 3
+}
+
+// ExampleTracer shows per-request tracing: begin a span (nil when sampled
+// out — every method is nil-safe), record phases and events, and read the
+// ring back newest-first.
+func ExampleTracer() {
+	tr := obsv.NewTracer(16, 1)
+
+	sp := tr.Begin("load img=demo block=7")
+	sp.Phase("queue_wait", 0)
+	sp.Phase("decode", 0)
+	sp.Event("cache miss")
+	sp.End(nil)
+
+	for _, rec := range tr.Snapshot() {
+		fmt.Println(rec.Name)
+		for _, ph := range rec.Phases {
+			fmt.Println("  phase:", ph.Name)
+		}
+		for _, ev := range rec.Events {
+			fmt.Println("  event:", ev.Msg)
+		}
+	}
+	// Output:
+	// load img=demo block=7
+	//   phase: queue_wait
+	//   phase: decode
+	//   event: cache miss
+}
+
+// ExampleParsePrometheus shows the scrape-and-difference pattern
+// cmd/loadgen uses to report tail latency for exactly one run window.
+func ExampleParsePrometheus() {
+	reg := obsv.NewRegistry()
+	h := reg.Histogram("req_seconds", "Request latency.")
+	h.Observe(time.Millisecond)
+
+	scrape := func() obsv.ParsedHistogram {
+		var sb strings.Builder
+		reg.WritePrometheus(&sb)
+		p, _ := obsv.ParsePrometheus(strings.NewReader(sb.String()))
+		ph, _ := p.Histogram("req_seconds", nil)
+		return ph
+	}
+
+	before := scrape()
+	h.Observe(4 * time.Millisecond) // the run under measurement
+	after := scrape()
+
+	delta := after.Sub(before)
+	fmt.Printf("window count: %.0f\n", delta.Count)
+	fmt.Printf("p50 in [2ms, 8ms]: %v\n",
+		delta.QuantileDuration(0.5) >= 2*time.Millisecond &&
+			delta.QuantileDuration(0.5) <= 8*time.Millisecond)
+	// Output:
+	// window count: 1
+	// p50 in [2ms, 8ms]: true
+}

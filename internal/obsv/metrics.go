@@ -1,0 +1,170 @@
+package obsv
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; all methods are lock-free and allocation-free.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n panics (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obsv: counter decremented")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. The zero value is ready to
+// use; all methods are lock-free and allocation-free.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the fixed bucket count: bucketOf maps any non-negative
+// int64 into [0, 63], so 64 buckets cover every possible observation.
+const histBuckets = 64
+
+// Histogram is a log-bucketed distribution of durations. Bucket i holds
+// observations v (in nanoseconds) with bits.Len64(v) == i: bucket 0 is
+// exactly 0, bucket 1 is 1 ns, bucket 2 is [2,4) ns, bucket i is
+// [2^(i-1), 2^i) ns. Observe is an index computation plus four atomic
+// adds — no locks, no allocation — so it can sit on the block-decode hot
+// path. The zero value is ready to use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+}
+
+// bucketOf maps a non-negative observation to its bucket index.
+func bucketOf(v int64) int { return bits.Len64(uint64(v)) }
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
+
+// ObserveNs records one observation in nanoseconds.
+func (h *Histogram) ObserveNs(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// HistogramSnapshot is a point-in-time copy of a histogram. The flow
+// fields are each individually exact but mutually unsynchronized (an
+// Observe concurrent with Snapshot may appear in some and not others) —
+// fine for monitoring, same as every production metrics system.
+type HistogramSnapshot struct {
+	// Count is the number of observations.
+	Count int64 `json:"count"`
+	// Sum is the total of all observations, in nanoseconds.
+	Sum int64 `json:"sum_ns"`
+	// Max is the largest observation ever recorded, in nanoseconds.
+	Max int64 `json:"max_ns"`
+	// Buckets[i] counts observations v with bits.Len64(v) == i; trailing
+	// empty buckets are trimmed.
+	Buckets []int64 `json:"buckets"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	top := -1
+	var buckets [histBuckets]int64
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			buckets[i] = n
+			top = i
+		}
+	}
+	s.Buckets = append([]int64(nil), buckets[:top+1]...)
+	return s
+}
+
+// bucketBounds returns the value range [lo, hi] covered by bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	return 1 << (i - 1), 1<<i - 1
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the recorded
+// distribution by locating the bucket holding the quantile rank and
+// interpolating linearly inside it. The estimate always lies within that
+// bucket's bounds, so it is within a factor of two of the exact sample
+// quantile. Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			lo, hi := bucketBounds(i)
+			// The top bucket's true upper edge is the recorded maximum.
+			if cum+n == s.Count && s.Max >= lo && s.Max < hi {
+				hi = s.Max
+			}
+			frac := float64(target-cum) / float64(n)
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return time.Duration(s.Max)
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}

@@ -1,0 +1,346 @@
+package obsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParsedBucket is one cumulative histogram bucket read back from the text
+// exposition: Count observations were <= LE seconds.
+type ParsedBucket struct {
+	LE    float64 // upper bound in seconds; +Inf for the last bucket
+	Count float64 // cumulative count
+}
+
+// ParsedHistogram is a histogram read back from the text exposition
+// format, in the cumulative form Prometheus uses. Sub and Quantile let a
+// client (cmd/loadgen) difference two scrapes and report tail latency for
+// exactly the window between them.
+type ParsedHistogram struct {
+	Buckets []ParsedBucket
+	Sum     float64 // seconds
+	Count   float64
+}
+
+// Sub returns the histogram of observations made after prev was scraped,
+// assuming both scrapes came from the same series (same bucket grid).
+func (h ParsedHistogram) Sub(prev ParsedHistogram) ParsedHistogram {
+	out := ParsedHistogram{Sum: h.Sum - prev.Sum, Count: h.Count - prev.Count}
+	prevAt := make(map[float64]float64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevAt[b.LE] = b.Count
+	}
+	for _, b := range h.Buckets {
+		out.Buckets = append(out.Buckets, ParsedBucket{LE: b.LE, Count: b.Count - prevAt[b.LE]})
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile in seconds by linear interpolation
+// between bucket bounds, mirroring HistogramSnapshot.Quantile on the
+// parsed cumulative form. Returns 0 for an empty histogram.
+func (h ParsedHistogram) Quantile(q float64) float64 {
+	if h.Count <= 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := math.Ceil(q * h.Count)
+	if target < 1 {
+		target = 1
+	}
+	lo, prevCum := 0.0, 0.0
+	for _, b := range h.Buckets {
+		if b.Count >= target {
+			if math.IsInf(b.LE, 1) {
+				return lo // everything above the last finite bound collapses to it
+			}
+			inBucket := b.Count - prevCum
+			if inBucket <= 0 {
+				return b.LE
+			}
+			frac := (target - prevCum) / inBucket
+			return lo + frac*(b.LE-lo)
+		}
+		if !math.IsInf(b.LE, 1) {
+			lo, prevCum = b.LE, b.Count
+		}
+	}
+	return lo
+}
+
+// Mean returns the average observation in seconds, or 0 when empty.
+func (h ParsedHistogram) Mean() float64 {
+	if h.Count <= 0 {
+		return 0
+	}
+	return h.Sum / h.Count
+}
+
+// QuantileDuration is Quantile converted to a time.Duration.
+func (h ParsedHistogram) QuantileDuration(q float64) time.Duration {
+	return time.Duration(h.Quantile(q) * float64(time.Second))
+}
+
+// ParsedSeries is one series read back from the text form.
+type ParsedSeries struct {
+	Labels map[string]string
+	Value  float64         // counter/gauge sample
+	Hist   ParsedHistogram // filled for histogram families
+}
+
+// ParsedFamily is one metric family read back from the text form.
+type ParsedFamily struct {
+	Name   string
+	Type   string
+	Help   string
+	Series []*ParsedSeries
+}
+
+// Find returns the series whose labels exactly match want (nil or empty
+// matches the unlabeled series), or nil.
+func (f *ParsedFamily) Find(want map[string]string) *ParsedSeries {
+	for _, s := range f.Series {
+		if len(s.Labels) != len(want) {
+			continue
+		}
+		ok := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// Parsed is a full scrape, keyed by family name.
+type Parsed map[string]*ParsedFamily
+
+// Histogram returns the named family's histogram for the given labels
+// (nil labels for the unlabeled series); ok is false when absent.
+func (p Parsed) Histogram(name string, labels map[string]string) (ParsedHistogram, bool) {
+	f, ok := p[name]
+	if !ok {
+		return ParsedHistogram{}, false
+	}
+	s := f.Find(labels)
+	if s == nil {
+		return ParsedHistogram{}, false
+	}
+	return s.Hist, true
+}
+
+// Value returns the named family's counter/gauge sample for the given
+// labels; ok is false when absent.
+func (p Parsed) Value(name string, labels map[string]string) (float64, bool) {
+	f, ok := p[name]
+	if !ok {
+		return 0, false
+	}
+	s := f.Find(labels)
+	if s == nil {
+		return 0, false
+	}
+	return s.Value, true
+}
+
+// ParsePrometheus reads a Prometheus text-format (0.0.4) scrape — the
+// subset WritePrometheus emits plus ordinary counter/gauge/histogram
+// output from other exporters. Unknown sample suffixes and malformed
+// lines are errors; comments other than HELP/TYPE are skipped.
+func ParsePrometheus(r io.Reader) (Parsed, error) {
+	out := make(Parsed)
+	fam := func(name string) *ParsedFamily {
+		f, ok := out[name]
+		if !ok {
+			f = &ParsedFamily{Name: name}
+			out[name] = f
+		}
+		return f
+	}
+	// series returns (creating) the series in f matching labels.
+	series := func(f *ParsedFamily, labels map[string]string) *ParsedSeries {
+		if s := f.Find(labels); s != nil {
+			return s
+		}
+		s := &ParsedSeries{Labels: labels}
+		f.Series = append(f.Series, s)
+		return s
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 4 && fields[1] == "HELP" {
+				fam(fields[2]).Help = fields[3]
+			} else if len(fields) >= 4 && fields[1] == "TYPE" {
+				fam(fields[2]).Type = strings.TrimSpace(fields[3])
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obsv: line %d: %w", lineNo, err)
+		}
+		// Histogram sample suffixes fold into their base family.
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			base := strings.TrimSuffix(name, "_bucket")
+			f := fam(base)
+			if f.Type == "" || f.Type == "histogram" {
+				le, ok := labels["le"]
+				if !ok {
+					return nil, fmt.Errorf("obsv: line %d: %s_bucket without le", lineNo, base)
+				}
+				bound, err := parseLE(le)
+				if err != nil {
+					return nil, fmt.Errorf("obsv: line %d: %w", lineNo, err)
+				}
+				delete(labels, "le")
+				s := series(f, labels)
+				s.Hist.Buckets = append(s.Hist.Buckets, ParsedBucket{LE: bound, Count: value})
+				continue
+			}
+			// A counter/gauge family that happens to end in _bucket.
+			series(fam(name), labels).Value = value
+		case strings.HasSuffix(name, "_sum") && histBase(out, strings.TrimSuffix(name, "_sum")):
+			series(fam(strings.TrimSuffix(name, "_sum")), labels).Hist.Sum = value
+		case strings.HasSuffix(name, "_count") && histBase(out, strings.TrimSuffix(name, "_count")):
+			series(fam(strings.TrimSuffix(name, "_count")), labels).Hist.Count = value
+		default:
+			series(fam(name), labels).Value = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obsv: %w", err)
+	}
+	// Buckets arrive in exposition order; sort by bound for safety.
+	for _, f := range out {
+		for _, s := range f.Series {
+			sort.Slice(s.Hist.Buckets, func(i, j int) bool { return s.Hist.Buckets[i].LE < s.Hist.Buckets[j].LE })
+		}
+	}
+	return out, nil
+}
+
+// histBase reports whether name is a known histogram family (declared by
+// a TYPE line or an earlier _bucket sample).
+func histBase(p Parsed, name string) bool {
+	f, ok := p[name]
+	if !ok {
+		return false
+	}
+	if f.Type == "histogram" {
+		return true
+	}
+	for _, s := range f.Series {
+		if len(s.Hist.Buckets) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le %q", s)
+	}
+	return v, nil
+}
+
+// parseSample splits `name{a="x",b="y"} 12.5` into its parts. The label
+// block is optional; values may be any float (including +Inf/NaN).
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = make(map[string]string)
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return "", nil, 0, fmt.Errorf("bad sample %q", line)
+	} else {
+		name = rest[:i]
+		rest = rest[i:]
+	}
+	if name == "" {
+		return "", nil, 0, fmt.Errorf("bad sample %q", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, ", \t")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("bad labels in %q", line)
+			}
+			lname := strings.TrimSpace(rest[:eq])
+			rest = rest[eq+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				return "", nil, 0, fmt.Errorf("bad label value in %q", line)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			closed := false
+			for i := 0; i < len(rest); i++ {
+				c := rest[i]
+				if c == '\\' && i+1 < len(rest) {
+					i++
+					switch rest[i] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(rest[i])
+					}
+					continue
+				}
+				if c == '"' {
+					rest = rest[i+1:]
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+			}
+			if !closed {
+				return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+			}
+			labels[lname] = val.String()
+		}
+	}
+	valStr := strings.Fields(rest)
+	if len(valStr) == 0 {
+		return "", nil, 0, fmt.Errorf("missing value in %q", line)
+	}
+	value, err = strconv.ParseFloat(valStr[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q in %q", valStr[0], line)
+	}
+	return name, labels, value, nil
+}

@@ -1,0 +1,195 @@
+package obsv
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxSpanEvents bounds one span's event list so a retry storm cannot grow
+// a trace without bound; later events are dropped and counted.
+const maxSpanEvents = 32
+
+// PhaseRecord is one named, timed sub-interval of a trace (queue wait,
+// decode, verify, ...). Offset is relative to the trace start.
+type PhaseRecord struct {
+	Name       string `json:"name"`
+	OffsetNs   int64  `json:"offset_ns"`
+	DurationNs int64  `json:"duration_ns"`
+}
+
+// EventRecord is one free-form annotation on a trace.
+type EventRecord struct {
+	OffsetNs int64  `json:"offset_ns"`
+	Msg      string `json:"msg"`
+}
+
+// TraceRecord is one completed request trace as stored in the ring and
+// served over HTTP.
+type TraceRecord struct {
+	ID            uint64        `json:"id"`
+	Name          string        `json:"name"`
+	Start         time.Time     `json:"start"`
+	DurationNs    int64         `json:"duration_ns"`
+	Err           string        `json:"error,omitempty"`
+	Phases        []PhaseRecord `json:"phases,omitempty"`
+	Events        []EventRecord `json:"events,omitempty"`
+	DroppedEvents int           `json:"dropped_events,omitempty"`
+}
+
+// Tracer samples request traces into a fixed ring of the last N completed
+// traces. Begin returns nil for requests that are sampled out (and on a
+// nil Tracer), and every Span method is a no-op on a nil receiver, so
+// call sites need no conditionals beyond the ones they want for
+// formatting. Safe for concurrent use.
+type Tracer struct {
+	sample uint64
+	seq    atomic.Uint64
+	ids    atomic.Uint64
+	begun  atomic.Int64
+	done   atomic.Int64
+
+	mu    sync.Mutex
+	ring  []TraceRecord
+	next  int
+	count int
+}
+
+// NewTracer returns a tracer keeping the last ringSize completed traces
+// (<= 0 defaults to 256) and tracing one request in sampleEvery (<= 1
+// traces every request).
+func NewTracer(ringSize, sampleEvery int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = 256
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &Tracer{sample: uint64(sampleEvery), ring: make([]TraceRecord, ringSize)}
+}
+
+// Begin starts a trace named name, or returns nil when this request is
+// sampled out. Nil-safe: a nil tracer always returns nil.
+func (t *Tracer) Begin(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if t.seq.Add(1)%t.sample != 0 {
+		return nil
+	}
+	t.begun.Add(1)
+	return &Span{
+		t: t,
+		rec: TraceRecord{
+			ID:    t.ids.Add(1),
+			Name:  name,
+			Start: time.Now(),
+		},
+	}
+}
+
+// Sampled returns how many traces have been started and completed.
+func (t *Tracer) Sampled() (begun, done int64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.begun.Load(), t.done.Load()
+}
+
+// Snapshot returns the completed traces in the ring, newest first.
+func (t *Tracer) Snapshot() []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceRecord, 0, t.count)
+	for i := 0; i < t.count; i++ {
+		idx := (t.next - 1 - i + len(t.ring)) % len(t.ring)
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// push stores one completed trace.
+func (t *Tracer) push(rec TraceRecord) {
+	t.done.Add(1)
+	t.mu.Lock()
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % len(t.ring)
+	if t.count < len(t.ring) {
+		t.count++
+	}
+	t.mu.Unlock()
+}
+
+// Span is one in-flight trace. A span may be handed across goroutines
+// (HTTP handler → pool worker); its methods serialize internally. All
+// methods are no-ops on a nil span.
+type Span struct {
+	t   *Tracer
+	mu  sync.Mutex
+	rec TraceRecord
+}
+
+// Phase records a named sub-interval that ended now and lasted d.
+func (s *Span) Phase(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	off := time.Since(s.rec.Start) - d
+	if off < 0 {
+		off = 0
+	}
+	s.rec.Phases = append(s.rec.Phases, PhaseRecord{Name: name, OffsetNs: int64(off), DurationNs: int64(d)})
+	s.mu.Unlock()
+}
+
+// Event records a free-form annotation at the current offset.
+func (s *Span) Event(msg string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if len(s.rec.Events) >= maxSpanEvents {
+		s.rec.DroppedEvents++
+	} else {
+		s.rec.Events = append(s.rec.Events, EventRecord{OffsetNs: int64(time.Since(s.rec.Start)), Msg: msg})
+	}
+	s.mu.Unlock()
+}
+
+// Eventf is Event with fmt.Sprintf formatting. The formatting cost is
+// only paid on sampled requests — unsampled requests have a nil span and
+// callers should guard any expensive argument preparation with a nil
+// check.
+func (s *Span) Eventf(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.Event(fmt.Sprintf(format, args...))
+}
+
+// End completes the span and commits it to the tracer's ring. err may be
+// nil. Calling End more than once commits only the first.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.t == nil {
+		s.mu.Unlock()
+		return
+	}
+	t := s.t
+	s.t = nil
+	s.rec.DurationNs = int64(time.Since(s.rec.Start))
+	if err != nil {
+		s.rec.Err = err.Error()
+	}
+	rec := s.rec
+	s.mu.Unlock()
+	t.push(rec)
+}

@@ -1,0 +1,159 @@
+package obsv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(4, 1)
+	for i := 0; i < 6; i++ {
+		sp := tr.Begin(fmt.Sprintf("req-%d", i))
+		if sp == nil {
+			t.Fatalf("sampleEvery=1 must trace every request (i=%d)", i)
+		}
+		sp.End(nil)
+	}
+	recs := tr.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recs))
+	}
+	// Newest first: req-5 down to req-2.
+	for i, r := range recs {
+		want := fmt.Sprintf("req-%d", 5-i)
+		if r.Name != want {
+			t.Errorf("recs[%d] = %q, want %q", i, r.Name, want)
+		}
+	}
+	begun, done := tr.Sampled()
+	if begun != 6 || done != 6 {
+		t.Fatalf("sampled = %d/%d, want 6/6", begun, done)
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(16, 3)
+	var sampled int
+	for i := 0; i < 9; i++ {
+		if sp := tr.Begin("r"); sp != nil {
+			sampled++
+			sp.End(nil)
+		}
+	}
+	if sampled != 3 {
+		t.Fatalf("sampled %d of 9 with sampleEvery=3, want 3", sampled)
+	}
+}
+
+func TestSpanPhasesAndEvents(t *testing.T) {
+	tr := NewTracer(4, 1)
+	sp := tr.Begin("load")
+	sp.Phase("queue_wait", 2*time.Millisecond)
+	sp.Phase("decode", time.Millisecond)
+	sp.Event("cache miss")
+	sp.Eventf("retry %d after %v", 1, time.Millisecond)
+	sp.End(errors.New("checksum mismatch"))
+
+	recs := tr.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	r := recs[0]
+	if r.Err != "checksum mismatch" {
+		t.Errorf("err = %q", r.Err)
+	}
+	if len(r.Phases) != 2 || r.Phases[0].Name != "queue_wait" || r.Phases[1].Name != "decode" {
+		t.Fatalf("phases = %+v", r.Phases)
+	}
+	if r.Phases[0].DurationNs != int64(2*time.Millisecond) {
+		t.Errorf("queue_wait duration = %d", r.Phases[0].DurationNs)
+	}
+	if r.Phases[0].OffsetNs < 0 {
+		t.Errorf("negative phase offset: %d", r.Phases[0].OffsetNs)
+	}
+	if len(r.Events) != 2 || r.Events[1].Msg != "retry 1 after 1ms" {
+		t.Fatalf("events = %+v", r.Events)
+	}
+	if r.DurationNs <= 0 {
+		t.Errorf("duration = %d", r.DurationNs)
+	}
+}
+
+func TestSpanEventCap(t *testing.T) {
+	tr := NewTracer(2, 1)
+	sp := tr.Begin("noisy")
+	for i := 0; i < maxSpanEvents+10; i++ {
+		sp.Event("e")
+	}
+	sp.End(nil)
+	r := tr.Snapshot()[0]
+	if len(r.Events) != maxSpanEvents {
+		t.Fatalf("events = %d, want %d", len(r.Events), maxSpanEvents)
+	}
+	if r.DroppedEvents != 10 {
+		t.Fatalf("dropped = %d, want 10", r.DroppedEvents)
+	}
+}
+
+func TestSpanDoubleEnd(t *testing.T) {
+	tr := NewTracer(8, 1)
+	sp := tr.Begin("once")
+	sp.End(nil)
+	sp.End(errors.New("second")) // must not commit a second record
+	if got := len(tr.Snapshot()); got != 1 {
+		t.Fatalf("ring has %d records after double End, want 1", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin("x")
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	// All span methods must be no-ops on nil.
+	sp.Phase("p", time.Millisecond)
+	sp.Event("e")
+	sp.Eventf("e %d", 1)
+	sp.End(nil)
+	if tr.Snapshot() != nil {
+		t.Fatal("nil tracer snapshot not nil")
+	}
+	if b, d := tr.Sampled(); b != 0 || d != 0 {
+		t.Fatal("nil tracer sampled counts not zero")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sp := tr.Begin("r")
+				sp.Phase("p", time.Microsecond)
+				sp.Event("e")
+				sp.End(nil)
+				if i%50 == 0 {
+					tr.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	begun, done := tr.Sampled()
+	if begun != done {
+		t.Fatalf("begun %d != done %d", begun, done)
+	}
+	if begun != 8*500/2 {
+		t.Fatalf("sampled %d, want %d", begun, 8*500/2)
+	}
+	if got := len(tr.Snapshot()); got != 64 {
+		t.Fatalf("ring holds %d, want 64", got)
+	}
+}

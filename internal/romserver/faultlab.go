@@ -33,6 +33,7 @@ import (
 
 	"codecomp"
 	"codecomp/internal/faultinj"
+	"codecomp/internal/obsv"
 )
 
 // Health state thresholds: an image degrades when its sliding-window
@@ -270,11 +271,12 @@ func (s *Server) safeBlock(img *image, block int) (data []byte, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			img.panicsRecovered.Add(1)
-			s.panicsRecovered.Add(1)
+			s.met.codecPanics.Inc()
 			err = fmt.Errorf("%w: block %d of %q: %v", ErrCodecPanic, block, img.name, r)
 		}
 	}()
 	img.decompressions.Add(1)
+	s.met.decompressions.Inc()
 	bp := blockScratch.Get().(*[]byte)
 	defer blockScratch.Put(bp)
 	start := time.Now()
@@ -313,7 +315,7 @@ func (s *Server) loadOnce(img *image, block int) ([]byte, error) {
 		return r.data, r.err
 	case <-timer.C:
 		img.timeouts.Add(1)
-		s.timeouts.Add(1)
+		s.met.decodeTimeouts.Inc()
 		return nil, fmt.Errorf("%w: block %d of %q after %v",
 			ErrDecompressTimeout, block, img.name, s.opts.LoadTimeout)
 	}
@@ -323,16 +325,23 @@ func (s *Server) loadOnce(img *image, block int) ([]byte, error) {
 // through (demand, prefetch, pinning and re-verify alike): bounded
 // attempts with jittered exponential backoff, integrity verification
 // against the sidecar before the bytes can reach the cache, and health
-// accounting of the final outcome.
-func (s *Server) loadVerified(img *image, block int) ([]byte, error) {
+// accounting of the final outcome. Each phase lands in its latency
+// histogram, and a sampled demand load carries sp (nil otherwise) to
+// record the same phases plus retry/corruption events into the trace.
+func (s *Server) loadVerified(img *image, block int, sp *obsv.Span) ([]byte, error) {
+	loadStart := time.Now()
+	defer func() { s.met.blockLoad.Observe(time.Since(loadStart)) }()
 	var lastErr error
 	backoff := s.opts.RetryBackoff
 	for attempt := 0; attempt < s.opts.LoadAttempts; attempt++ {
 		if attempt > 0 {
 			img.retries.Add(1)
-			s.retries.Add(1)
+			s.met.retries.Inc()
 			// Full jitter on an exponential base, capped at quit.
 			d := backoff + time.Duration(rand.Int63n(int64(backoff)+1))
+			if sp != nil {
+				sp.Eventf("retry %d after %v: %v", attempt, d, lastErr)
+			}
 			select {
 			case <-time.After(d):
 			case <-s.quit:
@@ -340,14 +349,26 @@ func (s *Server) loadVerified(img *image, block int) ([]byte, error) {
 			}
 			backoff *= 2
 		}
+		decodeStart := time.Now()
 		data, err := s.loadOnce(img, block)
+		decodeDur := time.Since(decodeStart)
+		s.met.decode.Observe(decodeDur)
+		sp.Phase("decode", decodeDur)
 		if err == nil {
-			if verr := img.sidecar.verify(block, data); verr != nil {
+			verifyStart := time.Now()
+			verr := img.sidecar.verify(block, data)
+			verifyDur := time.Since(verifyStart)
+			s.met.verify.Observe(verifyDur)
+			sp.Phase("verify", verifyDur)
+			if verr != nil {
 				// Detected corruption: count it, never serve or cache it.
 				// Retry — decompression is deterministic but the fault
 				// (RAM bit rot, injected flip) often is not.
 				img.corruptBlocks.Add(1)
-				s.corruptBlocks.Add(1)
+				s.met.corruptBlocks.Inc()
+				if sp != nil {
+					sp.Eventf("corruption detected: %v", verr)
+				}
 				lastErr = verr
 				continue
 			}
@@ -360,7 +381,7 @@ func (s *Server) loadVerified(img *image, block int) ([]byte, error) {
 		}
 	}
 	img.loadFailures.Add(1)
-	s.loadFailures.Add(1)
+	s.met.loadFailures.Inc()
 	s.recordHealth(img, block, true)
 	return nil, lastErr
 }
@@ -369,7 +390,7 @@ func (s *Server) loadVerified(img *image, block int) ([]byte, error) {
 // and counts state transitions.
 func (s *Server) recordHealth(img *image, block int, failed bool) {
 	if _, _, changed := img.health.record(block, failed); changed {
-		s.healthTransitions.Add(1)
+		s.met.healthTransitions.Inc()
 	}
 }
 
@@ -409,8 +430,8 @@ func (s *Server) reverifyPass() {
 				continue
 			}
 			img.reverifies.Add(1)
-			s.reverifies.Add(1)
-			s.loadVerified(img, b) //nolint:errcheck — outcome lands in health accounting
+			s.met.reverifies.Inc()
+			s.loadVerified(img, b, nil) //nolint:errcheck — outcome lands in health accounting
 			select {
 			case <-s.quit:
 				return
@@ -434,7 +455,17 @@ func (s *Server) SetFaults(name string, opts *faultinj.Options) error {
 		img.faults.Store(nil)
 		return nil
 	}
-	img.faults.Store(faultinj.New(img.codec, *opts))
+	// Mirror injected faults into the metrics registry, chaining any hook
+	// the caller supplied.
+	o := *opts
+	userHook := o.Hook
+	o.Hook = func(k faultinj.Kind) {
+		s.met.countFault(k)
+		if userHook != nil {
+			userHook(k)
+		}
+	}
+	img.faults.Store(faultinj.New(img.codec, o))
 	return nil
 }
 

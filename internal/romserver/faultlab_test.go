@@ -28,7 +28,7 @@ func fastFaultOpts() Options {
 // panicCodec panics on every Block call.
 type panicCodec struct{ blocks int }
 
-func (c *panicCodec) NumBlocks() int             { return c.blocks }
+func (c *panicCodec) NumBlocks() int              { return c.blocks }
 func (c *panicCodec) Block(i int) ([]byte, error) { panic(fmt.Sprintf("boom on block %d", i)) }
 func (c *panicCodec) Decompress() ([]byte, error) { panic("boom") }
 func (c *panicCodec) CompressedSize() int         { return c.blocks }

@@ -1,0 +1,181 @@
+// Observability wiring for the serving layer: every server-lifetime
+// counter lives in an obsv.Registry so one scrape of /metrics sees the
+// same numbers Stats() reports, plus the latency histograms (queue wait,
+// decode, verify, whole block load) that only the registry carries.
+// Labeled and unlabeled instruments are resolved once here, at server
+// construction; the hot path only ever touches pre-resolved atomics.
+package romserver
+
+import (
+	"codecomp/internal/faultinj"
+	"codecomp/internal/obsv"
+)
+
+// serverMetrics is the server's pre-resolved instrument set. The counters
+// are the source of truth for the server-lifetime rollups (Stats() reads
+// them back); the cache and image gauges are read-at-scrape funcs over
+// the subsystems' own counters, so nothing is double-accounted.
+type serverMetrics struct {
+	reg    *obsv.Registry
+	tracer *obsv.Tracer
+
+	// Load-path latency phases, demand and background alike.
+	queueWait *obsv.Histogram
+	decode    *obsv.Histogram
+	verify    *obsv.Histogram
+	blockLoad *obsv.Histogram
+
+	decompressions    *obsv.Counter
+	corruptBlocks     *obsv.Counter
+	retries           *obsv.Counter
+	codecPanics       *obsv.Counter
+	decodeTimeouts    *obsv.Counter
+	loadFailures      *obsv.Counter
+	reverifies        *obsv.Counter
+	healthTransitions *obsv.Counter
+
+	prefetchIssued    *obsv.Counter
+	prefetchDropped   *obsv.Counter
+	prefetchCompleted *obsv.Counter
+
+	faultBitFlips   *obsv.Counter
+	faultTransients *obsv.Counter
+	faultPermanents *obsv.Counter
+	faultPanics     *obsv.Counter
+}
+
+// newServerMetrics registers the serving layer's families on reg and
+// resolves every instrument the hot path needs.
+func newServerMetrics(reg *obsv.Registry, tracer *obsv.Tracer) *serverMetrics {
+	return &serverMetrics{
+		reg:    reg,
+		tracer: tracer,
+
+		queueWait: reg.Histogram("romserver_queue_wait_seconds",
+			"Time a demand block read waited in the worker-pool queue."),
+		decode: reg.Histogram("romserver_decode_seconds",
+			"Wall-clock time of one decompression attempt (including deadline and panic-recovery overhead)."),
+		verify: reg.Histogram("romserver_verify_seconds",
+			"Time verifying one decompressed block against the integrity sidecar."),
+		blockLoad: reg.Histogram("romserver_block_load_seconds",
+			"End-to-end time of one hardened block load: all attempts, backoff, verification."),
+
+		decompressions: reg.Counter("romserver_decompressions_total",
+			"Codec block decompressions actually executed (the work the cache exists to avoid)."),
+		corruptBlocks: reg.Counter("romserver_corrupt_blocks_total",
+			"Decompressed blocks rejected by the integrity sidecar (detected, never served, never cached)."),
+		retries: reg.Counter("romserver_retries_total",
+			"Extra load attempts after a retryable failure."),
+		codecPanics: reg.Counter("romserver_codec_panics_total",
+			"Codec panics recovered into errors by the hardened load path."),
+		decodeTimeouts: reg.Counter("romserver_decode_timeouts_total",
+			"Decompression attempts that exceeded the load deadline."),
+		loadFailures: reg.Counter("romserver_load_failures_total",
+			"Block loads that failed after all attempts."),
+		reverifies: reg.Counter("romserver_reverifies_total",
+			"Background re-verification loads of degraded or quarantined images."),
+		healthTransitions: reg.Counter("romserver_health_transitions_total",
+			"Image health state changes (healthy/degraded/quarantined, either direction)."),
+
+		prefetchIssued: reg.Counter("romserver_prefetch_issued_total",
+			"Prefetch tasks enqueued onto the worker pool."),
+		prefetchDropped: reg.Counter("romserver_prefetch_dropped_total",
+			"Prefetches skipped because the pool queue was saturated."),
+		prefetchCompleted: reg.Counter("romserver_prefetch_completed_total",
+			"Prefetched blocks that landed in the cache."),
+
+		faultBitFlips: reg.Counter("faultinj_bitflips_total",
+			"Injected output bit flips (chaos mode)."),
+		faultTransients: reg.Counter("faultinj_transient_errors_total",
+			"Injected retryable load failures (chaos mode)."),
+		faultPermanents: reg.Counter("faultinj_permanent_errors_total",
+			"Injected permanent load failures (chaos mode)."),
+		faultPanics: reg.Counter("faultinj_panics_total",
+			"Injected codec panics (chaos mode)."),
+	}
+}
+
+// registerServerGauges registers the read-at-scrape families that mirror
+// the cache's and server's own state. Separate from newServerMetrics
+// because the funcs close over the fully constructed *Server.
+func (s *Server) registerServerGauges() {
+	reg := s.met.reg
+	reg.CounterFunc("blockcache_hits_total",
+		"Demand reads served from the decompressed-block cache.",
+		func() float64 { return float64(s.cache.Stats().Hits) })
+	reg.CounterFunc("blockcache_misses_total",
+		"Demand reads that required a decompression.",
+		func() float64 { return float64(s.cache.Stats().Misses) })
+	reg.CounterFunc("blockcache_deduped_total",
+		"Concurrent reads coalesced onto one in-flight load by singleflight.",
+		func() float64 { return float64(s.cache.Stats().Deduped) })
+	reg.CounterFunc("blockcache_evictions_total",
+		"Cache entries evicted by LRU pressure.",
+		func() float64 { return float64(s.cache.Stats().Evictions) })
+	reg.CounterFunc("blockcache_prefetch_hits_total",
+		"Demand hits on prefetch-warmed blocks (the prefetches that paid off).",
+		func() float64 { return float64(s.cache.Stats().PrefetchHits) })
+	reg.CounterFunc("blockcache_prefetch_evicted_total",
+		"Prefetched blocks evicted before any demand hit (wasted prefetches).",
+		func() float64 { return float64(s.cache.Stats().PrefetchEvicted) })
+	reg.GaugeFunc("blockcache_entries",
+		"Blocks currently cached.",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	reg.GaugeFunc("blockcache_bytes",
+		"Decompressed bytes currently cached.",
+		func() float64 { return float64(s.cache.Stats().Bytes) })
+	reg.GaugeFunc("blockcache_pinned",
+		"Blocks held in the cache's protected (pinned) region.",
+		func() float64 { return float64(s.cache.Stats().Pinned) })
+
+	reg.GaugeFunc("romserver_images",
+		"Registered images.",
+		func() float64 {
+			s.mu.RLock()
+			n := len(s.images)
+			s.mu.RUnlock()
+			return float64(n)
+		})
+	reg.GaugeFunc("romserver_images_unready",
+		"Images currently quarantined (readiness is false while nonzero).",
+		func() float64 {
+			s.mu.RLock()
+			imgs := make([]*image, 0, len(s.images))
+			for _, img := range s.images {
+				imgs = append(imgs, img)
+			}
+			s.mu.RUnlock()
+			var n int
+			for _, img := range imgs {
+				if img.health.State() == Quarantined {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("romserver_queue_depth",
+		"Tasks currently waiting in the worker-pool queue.",
+		func() float64 { return float64(len(s.tasks)) })
+}
+
+// countFault mirrors one injected fault into the registry; installed as
+// the faultinj hook by SetFaults.
+func (m *serverMetrics) countFault(k faultinj.Kind) {
+	switch k {
+	case faultinj.KindBitFlip:
+		m.faultBitFlips.Inc()
+	case faultinj.KindTransient:
+		m.faultTransients.Inc()
+	case faultinj.KindPermanent:
+		m.faultPermanents.Inc()
+	case faultinj.KindPanic:
+		m.faultPanics.Inc()
+	}
+}
+
+// Registry returns the server's metrics registry (the one passed in
+// Options.Registry, or the private registry the server created).
+func (s *Server) Registry() *obsv.Registry { return s.met.reg }
+
+// Tracer returns the server's request tracer, nil when tracing is off.
+func (s *Server) Tracer() *obsv.Tracer { return s.met.tracer }

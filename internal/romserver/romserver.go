@@ -39,6 +39,7 @@ import (
 	"codecomp"
 	"codecomp/internal/blockcache"
 	"codecomp/internal/faultinj"
+	"codecomp/internal/obsv"
 	"codecomp/internal/policy"
 	"codecomp/internal/traceprof"
 )
@@ -108,6 +109,14 @@ type Options struct {
 	// ReverifyInterval is how often the background pass re-verifies
 	// degraded/quarantined images (default 5s; negative disables it).
 	ReverifyInterval time.Duration
+
+	// Registry receives the server's metrics (counters, gauges, latency
+	// histograms). Nil creates a private registry, exposed via Registry().
+	Registry *obsv.Registry
+	// Tracer, when set, samples per-block-load request traces (queue
+	// wait / decode / verify phases, retry and corruption events). Nil
+	// disables tracing.
+	Tracer *obsv.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -219,11 +228,15 @@ type prefState struct {
 	pins []int
 }
 
-// task is one unit of pool work; reply is nil for prefetches.
+// task is one unit of pool work; reply is nil for prefetches. enq and
+// span are set for demand fetches only: enq feeds the queue-wait
+// histogram, span carries the sampled request trace across the pool.
 type task struct {
 	img   *image
 	block int
 	reply chan result
+	enq   time.Time
+	span  *obsv.Span
 }
 
 type result struct {
@@ -252,23 +265,19 @@ type Server struct {
 	// nextGen hands out cache-key generations to registrations.
 	nextGen atomic.Uint64
 
-	prefetchIssued    atomic.Int64
-	prefetchDropped   atomic.Int64
-	prefetchCompleted atomic.Int64
-
-	// faultlab rollups (server-lifetime; they survive image removal).
-	corruptBlocks     atomic.Int64
-	retries           atomic.Int64
-	panicsRecovered   atomic.Int64
-	timeouts          atomic.Int64
-	loadFailures      atomic.Int64
-	reverifies        atomic.Int64
-	healthTransitions atomic.Int64
+	// met holds every server-lifetime instrument (prefetch and faultlab
+	// rollups, latency histograms); Stats() reads the counters back, so
+	// /metrics and the JSON stats can never disagree.
+	met *serverMetrics
 }
 
 // New starts a server and its worker pool.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
+	reg := opts.Registry
+	if reg == nil {
+		reg = obsv.NewRegistry()
+	}
 	s := &Server{
 		opts:    opts,
 		cache:   blockcache.New(opts.CacheBlocks, opts.CacheShards),
@@ -276,7 +285,9 @@ func New(opts Options) *Server {
 		tasks:   make(chan task, opts.QueueDepth),
 		quit:    make(chan struct{}),
 		drained: make(chan struct{}),
+		met:     newServerMetrics(reg, opts.Tracer),
 	}
+	s.registerServerGauges()
 	s.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		go s.worker()
@@ -332,6 +343,7 @@ type loader struct {
 	s     *Server
 	img   *image
 	block int
+	span  *obsv.Span
 	fn    func() ([]byte, error)
 }
 
@@ -347,29 +359,35 @@ func (l *loader) load() ([]byte, error) {
 	if l.img.health.State() == Quarantined {
 		return nil, fmt.Errorf("%w: %q", ErrQuarantined, l.img.name)
 	}
-	return l.s.loadVerified(l.img, l.block)
+	return l.s.loadVerified(l.img, l.block, l.span)
 }
 
 func (l *loader) release() {
-	l.s, l.img = nil, nil
+	l.s, l.img, l.span = nil, nil, nil
 	loaderPool.Put(l)
 }
 
 func (s *Server) handle(t task) {
 	key := t.img.key(t.block)
 	l := loaderPool.Get().(*loader)
-	l.s, l.img, l.block = s, t.img, t.block
+	l.s, l.img, l.block, l.span = s, t.img, t.block, t.span
 	if t.reply == nil {
 		// Speculative warm: tag the load so a later demand hit counts
 		// toward prefetch accuracy.
 		if _, _, err := s.cache.GetPrefetch(key, l.fn); err == nil {
-			s.prefetchCompleted.Add(1)
+			s.met.prefetchCompleted.Inc()
 		}
 		l.release()
 		return
 	}
+	wait := time.Since(t.enq)
+	s.met.queueWait.Observe(wait)
+	t.span.Phase("queue_wait", wait)
 	data, hit, err := s.cache.Get(key, l.fn)
 	l.release()
+	if hit {
+		t.span.Event("cache hit")
+	}
 	t.reply <- result{data: data, hit: hit, err: err}
 	if err == nil && !hit {
 		s.prefetch(t.img, t.block)
@@ -393,11 +411,11 @@ func (s *Server) prefetch(img *image, miss int) {
 		}
 		select {
 		case s.tasks <- task{img: img, block: b}:
-			s.prefetchIssued.Add(1)
+			s.met.prefetchIssued.Inc()
 		case <-s.quit:
 			return
 		default:
-			s.prefetchDropped.Add(1)
+			s.met.prefetchDropped.Inc()
 		}
 	}
 }
@@ -412,17 +430,25 @@ func (s *Server) fetch(img *image, block int) ([]byte, bool, error) {
 	if img.recorder != nil {
 		img.recorder.Record(block)
 	}
+	sp := s.met.tracer.Begin("block_load")
+	if sp != nil {
+		// Formatting only runs for sampled requests; unsampled ones carry
+		// a nil span all the way through for free.
+		sp.Eventf("img=%s block=%d", img.name, block)
+	}
 	reply := replyPool.Get().(chan result)
-	t := task{img: img, block: block, reply: reply}
+	t := task{img: img, block: block, reply: reply, enq: time.Now(), span: sp}
 	select {
 	case s.tasks <- t:
 	case <-s.quit:
 		replyPool.Put(reply)
+		sp.End(ErrClosed)
 		return nil, false, ErrClosed
 	}
 	select {
 	case r := <-reply:
 		replyPool.Put(reply)
+		sp.End(r.err)
 		return r.data, r.hit, r.err
 	case <-s.drained:
 		// Shutdown raced our enqueue; the drain loop may still have served
@@ -430,10 +456,12 @@ func (s *Server) fetch(img *image, block int) ([]byte, bool, error) {
 		select {
 		case r := <-reply:
 			replyPool.Put(reply)
+			sp.End(r.err)
 			return r.data, r.hit, r.err
 		default:
 			// The queued task may still send later; abandon the channel
 			// (it is buffered) instead of recycling it.
+			sp.End(ErrClosed)
 			return nil, false, ErrClosed
 		}
 	}
@@ -752,7 +780,7 @@ func (s *Server) SetPolicy(name string, spec PolicySpec) (PolicyInfo, error) {
 		key := img.key(b)
 		block := b
 		_, _, err := s.cache.Get(key, func() ([]byte, error) {
-			return s.loadVerified(img, block)
+			return s.loadVerified(img, block, nil)
 		})
 		if err != nil {
 			s.cache.UnpinImage(name)
@@ -889,20 +917,20 @@ func (s *Server) Stats() Stats {
 		Cache:         cs,
 		CacheHitRatio: cs.HitRatio(),
 		Prefetch: PrefetchStats{
-			Issued:    s.prefetchIssued.Load(),
-			Dropped:   s.prefetchDropped.Load(),
-			Completed: s.prefetchCompleted.Load(),
+			Issued:    s.met.prefetchIssued.Value(),
+			Dropped:   s.met.prefetchDropped.Value(),
+			Completed: s.met.prefetchCompleted.Value(),
 			Hits:      cs.PrefetchHits,
 			Wasted:    cs.PrefetchEvicted,
 		},
 		Faults: FaultStatsRollup{
-			CorruptBlocks:     s.corruptBlocks.Load(),
-			Retries:           s.retries.Load(),
-			PanicsRecovered:   s.panicsRecovered.Load(),
-			Timeouts:          s.timeouts.Load(),
-			LoadFailures:      s.loadFailures.Load(),
-			Reverifies:        s.reverifies.Load(),
-			HealthTransitions: s.healthTransitions.Load(),
+			CorruptBlocks:     s.met.corruptBlocks.Value(),
+			Retries:           s.met.retries.Value(),
+			PanicsRecovered:   s.met.codecPanics.Value(),
+			Timeouts:          s.met.decodeTimeouts.Value(),
+			LoadFailures:      s.met.loadFailures.Value(),
+			Reverifies:        s.met.reverifies.Value(),
+			HealthTransitions: s.met.healthTransitions.Value(),
 		},
 		Ready: true,
 	}
