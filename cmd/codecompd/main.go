@@ -71,6 +71,7 @@ import (
 	"syscall"
 	"time"
 
+	"codecomp/internal/cluster"
 	"codecomp/internal/faultinj"
 	"codecomp/internal/obsv"
 	"codecomp/internal/romserver"
@@ -94,6 +95,10 @@ type config struct {
 	enablePprof   bool
 	traceRing     int
 	traceSample   int
+	// dataDir, when set, write-through persists registered images and
+	// recovers them on boot (internal/cluster.Store) — a restarted
+	// daemon comes back owning its images without re-registration.
+	dataDir string
 }
 
 type daemon struct {
@@ -103,6 +108,12 @@ type daemon struct {
 	mux           *http.ServeMux
 	started       time.Time
 	faultsAllowed bool
+	// store persists images when -data-dir is set; nil otherwise.
+	store *cluster.Store
+	// api is the cluster-internal surface (peer cache-fill, cache-only
+	// peeks, peer-table pushes) that makes a standalone daemon a full
+	// cluster member.
+	api *cluster.InternalAPI
 
 	// HTTP-layer instruments; the per-route series are resolved at route
 	// registration, not per request.
@@ -113,7 +124,7 @@ type daemon struct {
 }
 
 // newDaemon builds the serving stack and its routed, instrumented mux.
-func newDaemon(cfg config) *daemon {
+func newDaemon(cfg config) (*daemon, error) {
 	lt := cfg.loadTimeout
 	if lt <= 0 {
 		lt = -1 // romserver: negative disables, zero means default
@@ -151,6 +162,27 @@ func newDaemon(cfg config) *daemon {
 		httpLatency: reg.HistogramVec("codecompd_http_request_seconds",
 			"HTTP request latency, by route.", "route"),
 	}
+	d.api = cluster.NewInternalAPI(d.rs, reg, 0)
+	if cfg.dataDir != "" {
+		st, err := cluster.OpenStore(cfg.dataDir)
+		if err != nil {
+			d.rs.Close()
+			return nil, err
+		}
+		d.store = st
+		imgs, errs := st.Load()
+		for _, e := range errs {
+			log.Printf("codecompd: store: %v", e)
+		}
+		for _, im := range imgs {
+			if _, err := d.rs.AddImage(im.Name, im.Payload); err != nil {
+				log.Printf("codecompd: recovering %q: %v", im.Name, err)
+			}
+		}
+		if len(imgs) > 0 {
+			log.Printf("codecompd: recovered %d image(s) from %s", len(imgs), cfg.dataDir)
+		}
+	}
 
 	mux := http.NewServeMux()
 	handle := func(pattern, route string, h http.HandlerFunc) {
@@ -173,6 +205,8 @@ func newDaemon(cfg config) *daemon {
 	handle("GET /readyz", "readyz", d.handleReadyz)
 	handle("GET /metrics", "metrics", d.handleMetrics)
 	handle("GET /debug/traces", "debug_traces", d.handleTraces)
+	handle("GET /internal/images/{name}/cached/{i}", "internal_cached", d.api.HandleCached)
+	handle("PUT /internal/peers", "internal_peers", d.api.HandlePeers)
 	if cfg.enablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -181,7 +215,7 @@ func newDaemon(cfg config) *daemon {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	d.mux = mux
-	return d
+	return d, nil
 }
 
 // statusWriter captures the response status for the error counter.
@@ -243,9 +277,10 @@ func main() {
 	enablePprof := flag.Bool("enable-pprof", false, "mount net/http/pprof under /debug/pprof/")
 	traceRing := flag.Int("trace-ring", 256, "how many completed block-load traces /debug/traces keeps")
 	traceSample := flag.Int("trace-sample", 16, "trace one block load in N (1 traces every load)")
+	dataDir := flag.String("data-dir", "", "persist registered images here and recover them on boot (empty disables)")
 	flag.Parse()
 
-	d := newDaemon(config{
+	d, err := newDaemon(config{
 		cacheBlocks:   *cacheBlocks,
 		cacheShards:   *cacheShards,
 		workers:       *workers,
@@ -260,7 +295,11 @@ func main() {
 		enablePprof:   *enablePprof,
 		traceRing:     *traceRing,
 		traceSample:   *traceSample,
+		dataDir:       *dataDir,
 	})
+	if err != nil {
+		log.Fatalf("codecompd: %v", err)
+	}
 
 	srv := &http.Server{
 		Addr:         *addr,
@@ -288,7 +327,7 @@ func main() {
 	if *enablePprof {
 		log.Printf("codecompd: pprof enabled on /debug/pprof/")
 	}
-	err := srv.ListenAndServe()
+	err = srv.ListenAndServe()
 	if !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("codecompd: %v", err)
 	}
@@ -350,6 +389,16 @@ func (d *daemon) handleUpload(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	if d.store != nil {
+		// Write-through: not durably registered until on disk; a failed
+		// save rolls the registration back so a restart never disagrees
+		// with what this response promised.
+		if err := d.store.Save(name, data); err != nil {
+			d.rs.RemoveImage(name) //nolint:errcheck — best-effort rollback
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+	}
 	log.Printf("codecompd: registered %q (%s, %d blocks, ratio %.4f)", name, info.Format, info.Blocks, info.Ratio)
 	writeJSON(w, http.StatusCreated, info)
 }
@@ -371,6 +420,11 @@ func (d *daemon) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if err := d.rs.RemoveImage(r.PathValue("name")); err != nil {
 		writeErr(w, err)
 		return
+	}
+	if d.store != nil {
+		if err := d.store.Remove(r.PathValue("name")); err != nil {
+			log.Printf("codecompd: %v", err)
+		}
 	}
 	w.WriteHeader(http.StatusNoContent)
 }

@@ -34,7 +34,10 @@ func testConfig() config {
 // image's block count.
 func startDaemon(t *testing.T, cfg config) (*daemon, *httptest.Server, int) {
 	t.Helper()
-	d := newDaemon(cfg)
+	d, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() { d.rs.Close() })
 	ts := httptest.NewServer(d.mux)
 	t.Cleanup(ts.Close)
@@ -238,7 +241,10 @@ func TestPprofGating(t *testing.T) {
 // registers and asserts docs/OPERATIONS.md documents it by name — the
 // metrics reference cannot silently rot.
 func TestOperationsDocCoversRegistry(t *testing.T) {
-	d := newDaemon(testConfig())
+	d, err := newDaemon(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer d.rs.Close()
 	doc, err := os.ReadFile("../../docs/OPERATIONS.md")
 	if err != nil {
@@ -253,5 +259,48 @@ func TestOperationsDocCoversRegistry(t *testing.T) {
 	if len(missing) > 0 {
 		t.Fatalf("docs/OPERATIONS.md does not document %d registered metrics:\n  %s",
 			len(missing), strings.Join(missing, "\n  "))
+	}
+}
+
+// TestDataDirPersistence boots a daemon with -data-dir, uploads an
+// image, tears the daemon down, and boots a second one over the same
+// directory: the image must come back readable with no re-upload, and
+// deletion must forget it on disk too.
+func TestDataDirPersistence(t *testing.T) {
+	cfg := testConfig()
+	cfg.dataDir = t.TempDir()
+	d1, ts1, _ := startDaemon(t, cfg)
+	ts1.Close()
+	d1.rs.Close()
+
+	d2, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.rs.Close()
+	ts2 := httptest.NewServer(d2.mux)
+	defer ts2.Close()
+
+	resp, err := http.Get(ts2.URL + "/images/prog/blocks/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("block read after restart: %d: %s", resp.StatusCode, body)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts2.URL+"/images/prog", nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %v %v", resp.Status, err)
+	}
+	d3, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.rs.Close()
+	if imgs := d3.rs.Images(); len(imgs) != 0 {
+		t.Fatalf("deleted image resurrected on restart: %v", imgs)
 	}
 }

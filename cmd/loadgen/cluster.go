@@ -1,0 +1,339 @@
+// The -cluster chaos drill: boot an in-process multi-node cluster
+// (internal/cluster harness — real listeners, real HTTP), replay the
+// block trace through the router, and prove the cluster's promises the
+// only way that counts — under failure:
+//
+//  1. Zero corrupt bytes: every 200 response is byte-compared against
+//     the original program text for the whole run, including while a
+//     node is down and while a new node joins.
+//  2. Kill/restart survival: a replica owner of the image is killed at
+//     ~1/3 of the replay and restarted at ~2/3; reads fail over and the
+//     router's health machine ejects and restores the member.
+//  3. Disk recovery: the restarted node must come back already owning
+//     its images (store recovery), so the router's reconcile pass
+//     re-uploads nothing.
+//  4. Hit ratio holds: the post-recovery measured hit ratio must stay
+//     within 2 points of a single-node baseline on the same trace.
+//  5. Rebalancing under load: a fresh node joins mid-replay (epoch
+//     bump, incremental image movement) with the byte-exactness
+//     invariant still standing.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"codecomp/internal/cluster"
+	"codecomp/internal/cluster/client"
+	"codecomp/internal/obsv"
+	"codecomp/internal/romserver"
+)
+
+// clusterDrillConfig parameterizes the -cluster drill.
+type clusterDrillConfig struct {
+	name        string
+	image       []byte
+	text        []byte
+	blockSize   int
+	reqs        []int
+	loops       int
+	concurrency int
+	nodes       int
+	replication int
+}
+
+// drillServerOptions is the per-node romserver tuning: a cache smaller
+// than the trace's working set, so replays actually miss — that is what
+// makes the hit-ratio comparison against the baseline meaningful and
+// gives peer cache-fill something to do. Sharding helps here: with
+// per-block read rotation each replica only needs to keep its share of
+// the working set hot, so the cluster can match or beat the baseline
+// with the same per-node cache.
+func drillServerOptions() romserver.Options {
+	return romserver.Options{CacheBlocks: 512, Workers: 4}
+}
+
+// replayResult is one verified replay's counters.
+type replayResult struct {
+	ok, fail, corrupt int64
+	elapsed           time.Duration
+}
+
+// verifiedReplay pushes loops×reqs block reads through cc with
+// `concurrency` workers, byte-verifying every 200 body against the
+// original text. lat, when non-nil, records per-request client latency.
+// onDone, when non-nil, is called after every finished request with the
+// running completion count — the chaos scheduler hangs off it.
+func verifiedReplay(cc *client.Client, cfg clusterDrillConfig, lat *obsv.Histogram, onDone func(int64)) replayResult {
+	expect := func(b int) []byte {
+		lo := b * cfg.blockSize
+		hi := lo + cfg.blockSize
+		if hi > len(cfg.text) {
+			hi = len(cfg.text)
+		}
+		return cfg.text[lo:hi]
+	}
+	var ok, fail, corrupt, done atomic.Int64
+	work := make(chan int, 4*cfg.concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range work {
+				t0 := time.Now()
+				data, _, err := cc.Block(cfg.name, b)
+				if lat != nil {
+					lat.Observe(time.Since(t0))
+				}
+				switch {
+				case err != nil:
+					fail.Add(1)
+				case !bytes.Equal(data, expect(b)):
+					corrupt.Add(1)
+					fmt.Printf("loadgen: cluster: CORRUPT BYTES for block %d\n", b)
+				default:
+					ok.Add(1)
+				}
+				if onDone != nil {
+					onDone(done.Add(1))
+				}
+			}
+		}()
+	}
+	for l := 0; l < cfg.loops; l++ {
+		for _, b := range cfg.reqs {
+			work <- b
+		}
+	}
+	close(work)
+	wg.Wait()
+	return replayResult{ok: ok.Load(), fail: fail.Load(), corrupt: corrupt.Load(), elapsed: time.Since(start)}
+}
+
+// measureHitRatio runs one verified replay bracketed by /cluster/stats
+// scrapes and returns the run's aggregate cache hit ratio across nodes.
+func measureHitRatio(ccr *client.Client, cfg clusterDrillConfig, lat *obsv.Histogram) (replayResult, float64, error) {
+	before, err := ccr.ClusterStats()
+	if err != nil {
+		return replayResult{}, 0, err
+	}
+	res := verifiedReplay(ccr, cfg, lat, nil)
+	after, err := ccr.ClusterStats()
+	if err != nil {
+		return res, 0, err
+	}
+	hits := after.CacheHits() - before.CacheHits()
+	misses := after.CacheMisses() - before.CacheMisses()
+	if hits+misses == 0 {
+		return res, 0, nil
+	}
+	return res, float64(hits) / float64(hits+misses), nil
+}
+
+// baselineHitRatio measures the same trace against a single-node rf=1
+// cluster — the reference the sharded cluster must stay within 2 points
+// of after recovery.
+func baselineHitRatio(cfg clusterDrillConfig) (float64, error) {
+	dir, err := os.MkdirTemp("", "loadgen-cluster-baseline-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	h, err := cluster.NewHarness(cluster.HarnessOptions{
+		Nodes:       1,
+		Replication: 1,
+		DataRoot:    dir,
+		Server:      drillServerOptions(),
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer h.Close()
+	ccr := client.New(h.RouterURL(), &http.Client{Timeout: 30 * time.Second})
+	if _, err := ccr.Upload(cfg.name, cfg.image); err != nil {
+		return 0, err
+	}
+	warm := cfg
+	warm.loops = 1
+	if res := verifiedReplay(ccr, warm, nil, nil); res.corrupt > 0 || res.fail > 0 {
+		return 0, fmt.Errorf("baseline warm replay: %d corrupt, %d failed", res.corrupt, res.fail)
+	}
+	_, ratio, err := measureHitRatio(ccr, cfg, nil)
+	return ratio, err
+}
+
+// runCluster executes the drill and returns the violation count.
+func runCluster(cfg clusterDrillConfig) int {
+	fmt.Printf("loadgen: cluster: %d nodes, rf=%d, %d reqs/loop x %d loops, %d clients\n",
+		cfg.nodes, cfg.replication, len(cfg.reqs), cfg.loops, cfg.concurrency)
+
+	violations := 0
+	check := func(okCond bool, what string) {
+		if okCond {
+			fmt.Printf("loadgen: cluster: ok   - %s\n", what)
+		} else {
+			fmt.Printf("loadgen: cluster: FAIL - %s\n", what)
+			violations++
+		}
+	}
+
+	h0, err := baselineHitRatio(cfg)
+	fatal(err)
+	fmt.Printf("loadgen: cluster: single-node baseline hit ratio %.2f%%\n", 100*h0)
+
+	dir, err := os.MkdirTemp("", "loadgen-cluster-*")
+	fatal(err)
+	defer os.RemoveAll(dir)
+	h, err := cluster.NewHarness(cluster.HarnessOptions{
+		Nodes:       cfg.nodes,
+		Replication: cfg.replication,
+		DataRoot:    dir,
+		Server:      drillServerOptions(),
+	})
+	fatal(err)
+	defer h.Close()
+	rt := h.Router()
+	ccr := client.New(h.RouterURL(), &http.Client{Timeout: 30 * time.Second})
+
+	info, err := ccr.Upload(cfg.name, cfg.image)
+	fatal(err)
+	owners := rt.Ring().Lookup(cfg.name)
+	fmt.Printf("loadgen: cluster: %q (%d blocks) placed on %v (epoch %d)\n",
+		cfg.name, info.Blocks, owners, rt.Ring().Epoch())
+
+	// Warm the replica caches so the chaos phase runs against a
+	// realistic steady state, not a cold start.
+	warm := cfg
+	warm.loops = 1
+	if res := verifiedReplay(ccr, warm, nil, nil); res.corrupt > 0 {
+		check(false, "zero corrupt bytes during warmup")
+	}
+
+	// Chaos replay: kill a replica owner of the image at ~1/3 done,
+	// restart it at ~2/3. The scheduler rides the request counter so the
+	// timing scales with trace length instead of wall clock.
+	victim := owners[0]
+	total := int64(cfg.loops * len(cfg.reqs))
+	killAt, restartAt := total/3, 2*total/3
+	reg := obsv.NewRegistry()
+	lat := reg.Histogram("loadgen_cluster_block_seconds", "Client-side block latency through the router during the chaos replay.")
+	var killed, restarted atomic.Bool
+	var chaosErr error
+	var chaosMu sync.Mutex
+	sched := func(done int64) {
+		if done >= killAt && killed.CompareAndSwap(false, true) {
+			fmt.Printf("loadgen: cluster: killing %s (%d/%d requests done)\n", victim, done, total)
+			if err := h.Kill(victim); err != nil {
+				chaosMu.Lock()
+				chaosErr = err
+				chaosMu.Unlock()
+			}
+		}
+		if done >= restartAt && restarted.CompareAndSwap(false, true) {
+			fmt.Printf("loadgen: cluster: restarting %s (%d/%d requests done)\n", victim, done, total)
+			if err := h.Restart(victim); err != nil {
+				chaosMu.Lock()
+				chaosErr = err
+				chaosMu.Unlock()
+			}
+		}
+	}
+	res := verifiedReplay(ccr, cfg, lat, sched)
+	fatal(chaosErr)
+	snap := lat.Snapshot()
+	fmt.Printf("loadgen: cluster: chaos replay: %d ok, %d failed, %d corrupt in %v; p50 %v p99 %v\n",
+		res.ok, res.fail, res.corrupt, res.elapsed.Round(time.Millisecond),
+		rnd(snap.Quantile(0.50)), rnd(snap.Quantile(0.99)))
+
+	check(res.corrupt == 0, "zero corrupt bytes served across kill and restart")
+	check(killed.Load() && restarted.Load(), "node was killed and restarted mid-replay")
+	// The router retries every replica before failing a read, so even
+	// the kill moment should not surface errors to clients.
+	check(res.fail == 0, "no client-visible failures (reads failed over)")
+	check(snap.Count > 0 && snap.Quantile(0.99) < 2*time.Second, "chaos replay p99 under 2s")
+
+	// Restore: the prober must bring the victim back into placement, and
+	// because its disk store recovered the images, reconcile must have
+	// nothing to re-upload.
+	restored := false
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		restored = true
+		for _, n := range rt.Nodes() {
+			if n.Name == victim && n.Ejected {
+				restored = false
+			}
+		}
+		if restored {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	check(restored, "restarted node restored into placement")
+	time.Sleep(500 * time.Millisecond) // let the reconcile pass finish
+	check(rt.ReconcileUploads() == 0, "restarted node recovered images from disk (0 reconcile re-uploads)")
+	holds := false
+	for _, hn := range h.Nodes() {
+		if hn.Name() == victim && hn.Node() != nil {
+			for _, im := range hn.Node().Server().Images() {
+				if im.Name == cfg.name {
+					holds = true
+				}
+			}
+		}
+	}
+	check(holds, "restarted node serves the image without re-registration")
+
+	// Post-recovery hit ratio vs the single-node baseline. One warm loop
+	// first: the victim came back with a cold cache through no fault of
+	// the placement layer.
+	if r := verifiedReplay(ccr, warm, nil, nil); r.corrupt > 0 {
+		check(false, "zero corrupt bytes during warm-back")
+	}
+	mres, h1, err := measureHitRatio(ccr, cfg, nil)
+	fatal(err)
+	fmt.Printf("loadgen: cluster: post-recovery hit ratio %.2f%% (baseline %.2f%%)\n", 100*h1, 100*h0)
+	check(mres.corrupt == 0 && mres.fail == 0, "measured replay clean")
+	check(h1 >= h0-0.02, "post-recovery hit ratio within 2 points of single-node baseline")
+
+	// Peer fill activity is reported, not asserted: whether replicas get
+	// to answer from hot cache depends on timing and eviction order.
+	var fills int64
+	for _, hn := range h.Nodes() {
+		if n := hn.Node(); n != nil {
+			fills += n.Registry().Counter("cluster_peer_fill_hits_total", "").Value()
+		}
+	}
+	fmt.Printf("loadgen: cluster: %d cache misses answered from replica hot caches\n", fills)
+
+	// Join a fresh node mid-replay: placement must rebalance under load
+	// with the byte-exactness invariant intact.
+	joinName := fmt.Sprintf("node-%d", cfg.nodes)
+	joinDone := make(chan error, 1)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		_, err := h.Join(joinName)
+		joinDone <- err
+	}()
+	jres := verifiedReplay(ccr, cfg, nil, nil)
+	fatal(<-joinDone)
+	fmt.Printf("loadgen: cluster: join replay: %d ok, %d failed, %d corrupt (epoch now %d)\n",
+		jres.ok, jres.fail, jres.corrupt, rt.Ring().Epoch())
+	check(jres.corrupt == 0, "zero corrupt bytes while a node joined mid-replay")
+	check(jres.fail == 0, "no client-visible failures during the join rebalance")
+	inRing := false
+	for _, n := range rt.Ring().Nodes() {
+		if n == joinName {
+			inRing = true
+		}
+	}
+	check(inRing, "joined node is in the ring")
+	return violations
+}

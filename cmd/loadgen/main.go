@@ -42,7 +42,6 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -53,9 +52,12 @@ import (
 	"time"
 
 	"codecomp"
+	"codecomp/internal/blockcache"
+	"codecomp/internal/cluster/client"
 	"codecomp/internal/memsys"
 	"codecomp/internal/obsv"
 	"codecomp/internal/policy"
+	"codecomp/internal/romserver"
 	"codecomp/internal/traceprof"
 )
 
@@ -82,6 +84,9 @@ func main() {
 	chaosTransient := flag.Float64("chaos-transient", 0.01, "chaos: per-decompression transient-error rate")
 	chaosPanic := flag.Int("chaos-panic-block", -1, "chaos: block whose decompression panics (-1 = auto-pick from the trace)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault injector RNG seed")
+	clusterMode := flag.Bool("cluster", false, "cluster chaos drill: boot an in-process multi-node cluster behind a router, replay through it while killing and restarting a node, assert byte-exactness, hit ratio and disk recovery")
+	clusterNodes := flag.Int("cluster-nodes", 3, "cluster: initial node count")
+	clusterRF := flag.Int("cluster-rf", 2, "cluster: replicas per image")
 	flag.Parse()
 
 	if *name == "" {
@@ -121,13 +126,33 @@ func main() {
 		return
 	}
 
-	client := &http.Client{Timeout: 30 * time.Second}
+	if *clusterMode {
+		violations := runCluster(clusterDrillConfig{
+			name:        *name,
+			image:       image,
+			text:        text,
+			blockSize:   *blockSize,
+			reqs:        reqs,
+			loops:       *loops,
+			concurrency: *concurrency,
+			nodes:       *clusterNodes,
+			replication: *clusterRF,
+		})
+		if violations > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: cluster: FAIL (%d invariant violations)\n", violations)
+			os.Exit(1)
+		}
+		fmt.Printf("loadgen: cluster: PASS — node killed and restarted mid-replay, zero corrupt bytes, hit ratio held, disk recovery worked\n")
+		return
+	}
+
+	cc := client.New(*addr, &http.Client{Timeout: 30 * time.Second})
 	if !*keep {
-		defer deleteImage(client, *addr, *name)
+		defer cc.Delete(*name) //nolint:errcheck — best-effort cleanup
 	}
 
 	if *chaos {
-		fatal(upload(client, *addr, *name, image))
+		fatal(uploadVerbose(cc, *name, image))
 		cfg := chaosConfig{
 			bitflip:    *chaosBitflip,
 			transient:  *chaosTransient,
@@ -138,8 +163,8 @@ func main() {
 		if cfg.panicBlock < 0 && len(reqs) > 0 {
 			cfg.panicBlock = reqs[len(reqs)/2]
 		}
-		violations := runChaos(client, *addr, *name, text, reqs, *loops, *concurrency, cfg)
-		deleteImage(client, *addr, *name)
+		violations := runChaos(cc, *name, text, reqs, *loops, *concurrency, cfg)
+		cc.Delete(*name) //nolint:errcheck — best-effort cleanup
 		if violations > 0 {
 			fmt.Fprintf(os.Stderr, "loadgen: chaos: FAIL (%d invariant violations)\n", violations)
 			os.Exit(1)
@@ -150,8 +175,8 @@ func main() {
 
 	if *polName == "" {
 		// Plain run against whatever policy the server already has.
-		fatal(upload(client, *addr, *name, image))
-		res, err := runOnce(client, *addr, *name, reqs, *loops, *concurrency)
+		fatal(uploadVerbose(cc, *name, image))
+		res, err := runOnce(cc, *name, reqs, *loops, *concurrency)
 		fatal(err)
 		res.print(*name)
 		if res.fail > 0 {
@@ -164,13 +189,13 @@ func main() {
 	// arm under sequential prefetch, the trained arm under -policy. The
 	// image is deleted and re-uploaded between arms so both start cold.
 	arm := func(p string) runResult {
-		deleteImage(client, *addr, *name)
-		fatal(upload(client, *addr, *name, image))
+		cc.Delete(*name) //nolint:errcheck — may not exist yet
+		fatal(uploadVerbose(cc, *name, image))
 		if p != "sequential" {
-			fatal(train(client, *addr, *name, tr))
+			fatal(train(cc, *name, tr))
 		}
-		fatal(putPolicy(client, *addr, *name, p, *topK, *pdepth, *pin))
-		res, err := runOnce(client, *addr, *name, reqs, *loops, *concurrency)
+		fatal(putPolicy(cc, *name, p, *topK, *pdepth, *pin))
+		res, err := runOnce(cc, *name, reqs, *loops, *concurrency)
 		fatal(err)
 		return res
 	}
@@ -197,14 +222,26 @@ func main() {
 // runResult is one replay's client-side counters plus the server-side
 // /metrics deltas it produced.
 type runResult struct {
-	ok, fail, bytesRead, clientHits        int64
-	elapsed                                time.Duration
-	cache                                  cacheStats
-	pfIssued, pfCompleted, pfDropped       int64
-	pfHits, pfWasted                       int64
-	imgReads, imgDecompressions, imgPinned int64
-	imgPolicy                              string
-	latency                                []latencyRow
+	ok, fail, bytesRead, clientHits  int64
+	elapsed                          time.Duration
+	cache                            blockcache.Stats
+	pfIssued, pfCompleted, pfDropped int64
+	pfHits, pfWasted                 int64
+	imgReads, imgDecompressions      int64
+	imgPinned                        int
+	imgPolicy                        string
+	latency                          []latencyRow
+}
+
+// subCache differences the counter fields of two cache snapshots (the
+// gauge-like fields are meaningless as deltas and stay zero).
+func subCache(a, b blockcache.Stats) blockcache.Stats {
+	return blockcache.Stats{
+		Hits:      a.Hits - b.Hits,
+		Misses:    a.Misses - b.Misses,
+		Deduped:   a.Deduped - b.Deduped,
+		Evictions: a.Evictions - b.Evictions,
+	}
 }
 
 // latencyRow is one histogram's delta over the run.
@@ -227,8 +264,8 @@ var latencySeries = []struct {
 }
 
 // promScrape fetches and parses the daemon's Prometheus exposition.
-func promScrape(client *http.Client, addr string) (obsv.Parsed, error) {
-	resp, err := client.Get(addr + "/metrics")
+func promScrape(cc *client.Client) (obsv.Parsed, error) {
+	resp, err := cc.HTTP.Get(cc.Base + "/metrics")
 	if err != nil {
 		return nil, err
 	}
@@ -261,13 +298,13 @@ func latencyDeltas(before, after obsv.Parsed) []latencyRow {
 	return rows
 }
 
-func runOnce(client *http.Client, addr, name string, reqs []int, loops, concurrency int) (runResult, error) {
+func runOnce(cc *client.Client, name string, reqs []int, loops, concurrency int) (runResult, error) {
 	var res runResult
-	before, err := metrics(client, addr)
+	before, err := cc.Stats()
 	if err != nil {
 		return res, err
 	}
-	promBefore, err := promScrape(client, addr)
+	promBefore, err := promScrape(cc)
 	if err != nil {
 		return res, err
 	}
@@ -281,13 +318,13 @@ func runOnce(client *http.Client, addr, name string, reqs []int, loops, concurre
 		go func() {
 			defer wg.Done()
 			for b := range work {
-				n, hit, err := fetchBlock(client, addr, name, b)
+				data, hit, err := cc.Block(name, b)
 				if err != nil {
 					failed.Add(1)
 					continue
 				}
 				done.Add(1)
-				bytesRead.Add(int64(n))
+				bytesRead.Add(int64(len(data)))
 				if hit {
 					clientHits.Add(1)
 				}
@@ -303,18 +340,18 @@ func runOnce(client *http.Client, addr, name string, reqs []int, loops, concurre
 	wg.Wait()
 	res.elapsed = time.Since(start)
 
-	after, err := metrics(client, addr)
+	after, err := cc.Stats()
 	if err != nil {
 		return res, err
 	}
-	promAfter, err := promScrape(client, addr)
+	promAfter, err := promScrape(cc)
 	if err != nil {
 		return res, err
 	}
 	res.latency = latencyDeltas(promBefore, promAfter)
 	res.ok, res.fail = done.Load(), failed.Load()
 	res.bytesRead, res.clientHits = bytesRead.Load(), clientHits.Load()
-	res.cache = after.Cache.sub(before.Cache)
+	res.cache = subCache(after.Cache, before.Cache)
 	res.pfIssued = after.Prefetch.Issued - before.Prefetch.Issued
 	res.pfCompleted = after.Prefetch.Completed - before.Prefetch.Completed
 	res.pfDropped = after.Prefetch.Dropped - before.Prefetch.Dropped
@@ -335,7 +372,7 @@ func (r runResult) print(name string) {
 		float64(r.ok)/r.elapsed.Seconds(), float64(r.bytesRead)/(1<<20)/r.elapsed.Seconds())
 	fmt.Printf("  client X-Cache   %.2f%% hit\n", pct(r.clientHits, r.ok))
 	fmt.Printf("  server cache     %d hits, %d misses, %d deduped, %d evictions -> %.2f%% hit ratio\n",
-		r.cache.Hits, r.cache.Misses, r.cache.Deduped, r.cache.Evictions, 100*r.cache.hitRatio())
+		r.cache.Hits, r.cache.Misses, r.cache.Deduped, r.cache.Evictions, 100*r.cache.HitRatio())
 	fmt.Printf("  server prefetch  %d issued, %d completed, %d dropped; %d hit (%.2f%% accuracy), %d wasted\n",
 		r.pfIssued, r.pfCompleted, r.pfDropped, r.pfHits, pct(r.pfHits, r.pfCompleted), r.pfWasted)
 	if r.imgPolicy != "" {
@@ -451,10 +488,10 @@ type chaosConfig struct {
 //  4. Degradation is observable: a non-healthy state shows up in /metrics
 //     while the faults are active.
 //  5. The image recovers to healthy after the faults are lifted.
-func runChaos(client *http.Client, addr, name string, text []byte, reqs []int, loops, concurrency int, cfg chaosConfig) int {
+func runChaos(cc *client.Client, name string, text []byte, reqs []int, loops, concurrency int, cfg chaosConfig) int {
 	fmt.Printf("loadgen: chaos: bitflip=%g transient=%g panic block=%d seed=%d\n",
 		cfg.bitflip, cfg.transient, cfg.panicBlock, cfg.seed)
-	if err := putFaults(client, addr, name, cfg); err != nil {
+	if err := putFaults(cc, name, cfg); err != nil {
 		fatal(err)
 	}
 
@@ -485,7 +522,7 @@ func runChaos(client *http.Client, addr, name string, text []byte, reqs []int, l
 			case <-stopMon:
 				return
 			case <-tick.C:
-				st, err := metrics(client, addr)
+				st, err := cc.Stats()
 				if err != nil {
 					pollErrs.Add(1)
 					continue
@@ -505,7 +542,7 @@ func runChaos(client *http.Client, addr, name string, text []byte, reqs []int, l
 	// populated deterministically, whatever the trace ordering does.
 	if cfg.panicBlock >= 0 {
 		for i := 0; i < 3; i++ {
-			fetchBlockVerify(client, addr, name, cfg.panicBlock, expect(cfg.panicBlock)) //nolint:errcheck
+			fetchBlockVerify(cc, name, cfg.panicBlock, expect(cfg.panicBlock)) //nolint:errcheck
 		}
 	}
 
@@ -525,7 +562,7 @@ func runChaos(client *http.Client, addr, name string, text []byte, reqs []int, l
 				want := expect(b)
 				served := false
 				for attempt := 0; attempt < 3; attempt++ {
-					mismatch, err := fetchBlockVerify(client, addr, name, b, want)
+					mismatch, err := fetchBlockVerify(cc, name, b, want)
 					if mismatch {
 						corrupt.Add(1)
 						fmt.Printf("loadgen: chaos: CORRUPT BYTES SERVED for block %d\n", b)
@@ -558,8 +595,8 @@ func runChaos(client *http.Client, addr, name string, text []byte, reqs []int, l
 	close(stopMon)
 	monWG.Wait()
 
-	st, stErr := metrics(client, addr)
-	var img imageStats
+	st, stErr := cc.Stats()
+	var img romserver.ImageStats
 	for _, is := range st.Images {
 		if is.Name == name {
 			img = is
@@ -587,7 +624,7 @@ func runChaos(client *http.Client, addr, name string, text []byte, reqs []int, l
 		}
 	}
 	check(corrupt.Load() == 0, "zero corrupt bytes served")
-	check(healthzAlive(client, addr), "daemon alive after the storm")
+	check(cc.Healthz() == nil, "daemon alive after the storm")
 	check(stErr == nil && img.CorruptBlocks > 0, "injected bit flips were detected (corrupt_blocks > 0)")
 	check(stErr == nil && img.PanicsRecovered > 0, "codec panics were contained (panics_recovered > 0)")
 	check(statesSeen["degraded"] || statesSeen["quarantined"], "degradation observable in /metrics")
@@ -595,12 +632,12 @@ func runChaos(client *http.Client, addr, name string, text []byte, reqs []int, l
 
 	// Lift the faults; the background re-verifier must bring the image
 	// back without any client traffic.
-	fatal(clearFaults(client, addr, name))
+	fatal(clearFaults(cc, name))
 	fmt.Printf("loadgen: chaos: faults lifted, waiting for recovery\n")
 	recovered := false
 	deadline := time.Now().Add(90 * time.Second)
 	for time.Now().Before(deadline) {
-		if st, err := metrics(client, addr); err == nil {
+		if st, err := cc.Stats(); err == nil {
 			for _, is := range st.Images {
 				if is.Name == name && is.Health == "healthy" && is.BadBlocks == 0 {
 					recovered = true
@@ -613,25 +650,17 @@ func runChaos(client *http.Client, addr, name string, text []byte, reqs []int, l
 		time.Sleep(250 * time.Millisecond)
 	}
 	check(recovered, "image re-verified back to healthy")
-	check(readyz(client, addr), "/readyz reports ready after recovery")
+	check(cc.Readyz() == nil, "/readyz reports ready after recovery")
 	return violations
 }
 
 // fetchBlockVerify fetches one block and compares it to want. mismatch is
 // true only when a 200 body differs from want — the one unforgivable
 // outcome.
-func fetchBlockVerify(client *http.Client, addr, name string, b int, want []byte) (mismatch bool, err error) {
-	resp, err := client.Get(fmt.Sprintf("%s/images/%s/blocks/%d", addr, name, b))
+func fetchBlockVerify(cc *client.Client, name string, b int, want []byte) (mismatch bool, err error) {
+	body, _, err := cc.Block(name, b)
 	if err != nil {
 		return false, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return false, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return false, fmt.Errorf("block %d: %s", b, resp.Status)
 	}
 	if !bytes.Equal(body, want) {
 		return true, fmt.Errorf("block %d: body mismatch (%d bytes)", b, len(body))
@@ -639,9 +668,9 @@ func fetchBlockVerify(client *http.Client, addr, name string, b int, want []byte
 	return false, nil
 }
 
-func putFaults(client *http.Client, addr, name string, cfg chaosConfig) error {
+func putFaults(cc *client.Client, name string, cfg chaosConfig) error {
 	url := fmt.Sprintf("%s/images/%s/faults?bitflip=%g&transient=%g&seed=%d",
-		addr, name, cfg.bitflip, cfg.transient, cfg.seed)
+		cc.Base, name, cfg.bitflip, cfg.transient, cfg.seed)
 	if cfg.panicBlock >= 0 {
 		url += fmt.Sprintf("&panic_blocks=%d", cfg.panicBlock)
 	}
@@ -649,7 +678,7 @@ func putFaults(client *http.Client, addr, name string, cfg chaosConfig) error {
 	if err != nil {
 		return err
 	}
-	resp, err := client.Do(req)
+	resp, err := cc.HTTP.Do(req)
 	if err != nil {
 		return err
 	}
@@ -664,12 +693,12 @@ func putFaults(client *http.Client, addr, name string, cfg chaosConfig) error {
 	return nil
 }
 
-func clearFaults(client *http.Client, addr, name string) error {
-	req, err := http.NewRequest(http.MethodDelete, addr+"/images/"+name+"/faults", nil)
+func clearFaults(cc *client.Client, name string) error {
+	req, err := http.NewRequest(http.MethodDelete, cc.Base+"/images/"+name+"/faults", nil)
 	if err != nil {
 		return err
 	}
-	resp, err := client.Do(req)
+	resp, err := cc.HTTP.Do(req)
 	if err != nil {
 		return err
 	}
@@ -679,26 +708,6 @@ func clearFaults(client *http.Client, addr, name string) error {
 		return fmt.Errorf("clear faults: %s", resp.Status)
 	}
 	return nil
-}
-
-func healthzAlive(client *http.Client, addr string) bool {
-	resp, err := client.Get(addr + "/healthz")
-	if err != nil {
-		return false
-	}
-	io.Copy(io.Discard, resp.Body) //nolint:errcheck
-	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
-}
-
-func readyz(client *http.Client, addr string) bool {
-	resp, err := client.Get(addr + "/readyz")
-	if err != nil {
-		return false
-	}
-	io.Copy(io.Discard, resp.Body) //nolint:errcheck
-	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
 }
 
 func writeTraceFile(path string, tr *traceprof.Trace) error {
@@ -737,34 +746,24 @@ func compress(text []byte, alg string, blockSize int) ([]byte, int, error) {
 	return nil, 0, fmt.Errorf("unknown algorithm %q (want samc, sadc or huff)", alg)
 }
 
-func upload(client *http.Client, addr, name string, image []byte) error {
-	resp, err := client.Post(addr+"/images?name="+name, "application/octet-stream", bytes.NewReader(image))
+// uploadVerbose registers the image via the shared client and echoes
+// the server's metadata the way loadgen always has.
+func uploadVerbose(cc *client.Client, name string, image []byte) error {
+	info, err := cc.Upload(name, image)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusCreated {
-		return fmt.Errorf("upload: %s: %s", resp.Status, bytes.TrimSpace(body))
-	}
-	fmt.Printf("loadgen: uploaded as %q: %s\n", name, bytes.TrimSpace(body))
+	fmt.Printf("loadgen: uploaded as %q: %s, %d blocks, ratio %.4f\n",
+		name, info.Format, info.Blocks, info.Ratio)
 	return nil
 }
 
-func deleteImage(client *http.Client, addr, name string) {
-	req, _ := http.NewRequest(http.MethodDelete, addr+"/images/"+name, nil)
-	if resp, err := client.Do(req); err == nil {
-		io.Copy(io.Discard, resp.Body) //nolint:errcheck
-		resp.Body.Close()
-	}
-}
-
-func train(client *http.Client, addr, name string, tr *traceprof.Trace) error {
+func train(cc *client.Client, name string, tr *traceprof.Trace) error {
 	var buf bytes.Buffer
 	if _, err := tr.WriteTo(&buf); err != nil {
 		return err
 	}
-	resp, err := client.Post(addr+"/images/"+name+"/train", "text/plain", &buf)
+	resp, err := cc.HTTP.Post(cc.Base+"/images/"+name+"/train", "text/plain", &buf)
 	if err != nil {
 		return err
 	}
@@ -776,8 +775,8 @@ func train(client *http.Client, addr, name string, tr *traceprof.Trace) error {
 	return nil
 }
 
-func putPolicy(client *http.Client, addr, name, pol string, topK, depth, pin int) error {
-	url := fmt.Sprintf("%s/images/%s/policy?policy=%s", addr, name, pol)
+func putPolicy(cc *client.Client, name, pol string, topK, depth, pin int) error {
+	url := fmt.Sprintf("%s/images/%s/policy?policy=%s", cc.Base, name, pol)
 	if topK > 0 {
 		url += fmt.Sprintf("&k=%d", topK)
 	}
@@ -791,7 +790,7 @@ func putPolicy(client *http.Client, addr, name, pol string, topK, depth, pin int
 	if err != nil {
 		return err
 	}
-	resp, err := client.Do(req)
+	resp, err := cc.HTTP.Do(req)
 	if err != nil {
 		return err
 	}
@@ -802,89 +801,6 @@ func putPolicy(client *http.Client, addr, name, pol string, topK, depth, pin int
 	}
 	fmt.Printf("loadgen: policy -> %s\n", bytes.TrimSpace(body))
 	return nil
-}
-
-func fetchBlock(client *http.Client, addr, name string, b int) (int, bool, error) {
-	resp, err := client.Get(fmt.Sprintf("%s/images/%s/blocks/%d", addr, name, b))
-	if err != nil {
-		return 0, false, err
-	}
-	defer resp.Body.Close()
-	n, err := io.Copy(io.Discard, resp.Body)
-	if err != nil {
-		return 0, false, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return 0, false, fmt.Errorf("block %d: %s", b, resp.Status)
-	}
-	return int(n), resp.Header.Get("X-Cache") == "hit", nil
-}
-
-// cacheStats mirrors the /metrics JSON (a subset of romserver.Stats; kept
-// separate so loadgen stays a pure HTTP client of the daemon).
-type cacheStats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Deduped   int64 `json:"deduped"`
-	Evictions int64 `json:"evictions"`
-}
-
-func (c cacheStats) sub(o cacheStats) cacheStats {
-	return cacheStats{c.Hits - o.Hits, c.Misses - o.Misses, c.Deduped - o.Deduped, c.Evictions - o.Evictions}
-}
-
-func (c cacheStats) hitRatio() float64 {
-	t := c.Hits + c.Misses + c.Deduped
-	if t == 0 {
-		return 0
-	}
-	return float64(c.Hits) / float64(t)
-}
-
-type serverStats struct {
-	Cache    cacheStats `json:"cache"`
-	Prefetch struct {
-		Issued    int64 `json:"issued"`
-		Dropped   int64 `json:"dropped"`
-		Completed int64 `json:"completed"`
-		Hits      int64 `json:"hits"`
-		Wasted    int64 `json:"wasted"`
-	} `json:"prefetch"`
-	Images []imageStats `json:"images"`
-}
-
-type imageStats struct {
-	Name           string `json:"name"`
-	BlockReads     int64  `json:"block_reads"`
-	Decompressions int64  `json:"decompressions"`
-	Policy         string `json:"policy"`
-	Pinned         int64  `json:"pinned"`
-	// Faultlab fields (see romserver.ImageStats).
-	Health          string `json:"health"`
-	CorruptBlocks   int64  `json:"corrupt_blocks"`
-	PanicsRecovered int64  `json:"panics_recovered"`
-	Retries         int64  `json:"retries"`
-	BadBlocks       int64  `json:"bad_blocks"`
-}
-
-func metrics(client *http.Client, addr string) (serverStats, error) {
-	var st serverStats
-	req, err := http.NewRequest(http.MethodGet, addr+"/metrics", nil)
-	if err != nil {
-		return st, err
-	}
-	// The daemon's default exposition is Prometheus text; ask for the
-	// legacy JSON stats explicitly.
-	req.Header.Set("Accept", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		return st, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return st, fmt.Errorf("/metrics: %s", resp.Status)
-	}
-	return st, json.NewDecoder(resp.Body).Decode(&st)
 }
 
 func pct(a, b int64) float64 {

@@ -405,6 +405,23 @@ func (c *Cache) Contains(key Key) bool {
 	return ok
 }
 
+// Peek returns the cached value for key without running a loader and
+// without touching LRU order, the prefetched tag or the hit/miss
+// counters. Peer cache-fill uses it: a replica answering another node's
+// fill probe must not distort its own demand accounting — the bytes are
+// the other node's read, not a local one.
+func (c *Cache) Peek(key Key) ([]byte, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	var val []byte
+	if ok {
+		val = e.val
+	}
+	s.mu.Unlock()
+	return val, ok
+}
+
 // InvalidateImage drops every cached block of the named image, pinned or
 // not (after an image is replaced or removed). In-flight loads are not
 // interrupted; their results land in the cache and are at worst one stale

@@ -1,0 +1,448 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"codecomp"
+	"codecomp/internal/cluster/client"
+	"codecomp/internal/romserver"
+)
+
+// testBlockSize is the block size every test image is compressed with,
+// so byte-exactness checks can slice the original text.
+const testBlockSize = 32
+
+// testImage compresses a synthetic MIPS text and returns the marshaled
+// SAMC payload plus the original text for byte-exactness checks.
+func testImage(t testing.TB) (payload, text []byte) {
+	t.Helper()
+	prog := codecomp.GenerateMIPS(codecomp.MustProfile("tomcatv"))
+	text = prog.Text()
+	img, err := codecomp.CompressSAMC(text, codecomp.SAMCOptions{BlockSize: testBlockSize, Connected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img.Marshal(), text
+}
+
+// discardLogf silences node/router logs in tests.
+func discardLogf(string, ...any) {}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", d, what)
+}
+
+// verifyImage reads every block of name through cli and asserts the
+// reassembled bytes equal text.
+func verifyImage(t *testing.T, cli *client.Client, name string, text []byte, blocks, blockSize int) {
+	t.Helper()
+	for i := 0; i < blocks; i++ {
+		data, _, err := cli.Block(name, i)
+		if err != nil {
+			t.Fatalf("block %d of %q: %v", i, name, err)
+		}
+		lo := i * blockSize
+		hi := lo + blockSize
+		if hi > len(text) {
+			hi = len(text)
+		}
+		if !bytes.Equal(data, text[lo:hi]) {
+			t.Fatalf("block %d of %q: got %d bytes, want text[%d:%d] — corrupt proxy read", i, name, len(data), lo, hi)
+		}
+	}
+}
+
+// TestNodePersistenceAcrossRestart kills a node (Close + new process
+// state) and asserts the disk store brings its images back byte-exact,
+// with zero help from any router.
+func TestNodePersistenceAcrossRestart(t *testing.T) {
+	payload, text := testImage(t)
+	dir := t.TempDir()
+
+	n1, err := NewNode(NodeOptions{Name: "n1", DataDir: dir, Logf: discardLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(n1.Handler())
+	cli := client.New(srv.URL, nil)
+	info, err := cli.Upload("prog", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if err := n1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	n2, err := NewNode(NodeOptions{Name: "n1", DataDir: dir, Logf: discardLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	if got := n2.Registry().Counter("cluster_store_recovered_images_total", "").Value(); got != 1 {
+		t.Fatalf("recovered counter = %d, want 1", got)
+	}
+	srv2 := httptest.NewServer(n2.Handler())
+	defer srv2.Close()
+	cli2 := client.New(srv2.URL, nil)
+	infos, err := cli2.Images()
+	if err != nil || len(infos) != 1 || infos[0].Name != "prog" {
+		t.Fatalf("after restart Images = %v, %v", infos, err)
+	}
+	verifyImage(t, cli2, "prog", text, info.Blocks, testBlockSize)
+
+	// Deleting must also forget on disk.
+	if err := cli2.Delete("prog"); err != nil {
+		t.Fatal(err)
+	}
+	if imgs, _ := n2.st.Load(); len(imgs) != 0 {
+		t.Fatalf("store still holds %d image(s) after delete", len(imgs))
+	}
+}
+
+// TestPeerCacheFill warms a block on one node and asserts a replica's
+// miss is satisfied from that hot cache through the internal API,
+// byte-exact, with the fill counters moving.
+func TestPeerCacheFill(t *testing.T) {
+	payload, _ := testImage(t)
+
+	mk := func(name string) (*Node, *httptest.Server, *client.Client) {
+		// Prefetch off: the test counts individual peeks/fills, and a
+		// demand read warming neighboring blocks would shift the counts.
+		n, err := NewNode(NodeOptions{
+			Name: name, DataDir: t.TempDir(), Logf: discardLogf,
+			Server: romserver.Options{PrefetchDepth: -1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(n.Handler())
+		return n, srv, client.New(srv.URL, nil)
+	}
+	a, asrv, acli := mk("a")
+	defer a.Close()
+	defer asrv.Close()
+	b, bsrv, bcli := mk("b")
+	defer b.Close()
+	defer bsrv.Close()
+
+	for _, cli := range []*client.Client{acli, bcli} {
+		if _, err := cli.Upload("prog", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm block 0 on b, then point a's peer table at b.
+	want, _, err := bcli.Block("prog", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acli.SetPeers(map[string][]string{"prog": {bsrv.URL}}); err != nil {
+		t.Fatal(err)
+	}
+
+	got, _, err := acli.Block("prog", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("peer-filled block differs from the peer's bytes")
+	}
+	if hits := a.Registry().Counter("cluster_peer_fill_hits_total", "").Value(); hits != 1 {
+		t.Fatalf("cluster_peer_fill_hits_total = %d, want 1", hits)
+	}
+	if fills := a.Registry().Counter("romserver_peer_fills_total", "").Value(); fills != 1 {
+		t.Fatalf("romserver_peer_fills_total = %d, want 1 (fill not verified into cache?)", fills)
+	}
+	if peeks := b.Registry().Counter("cluster_cached_peek_hits_total", "").Value(); peeks != 1 {
+		t.Fatalf("peer's cluster_cached_peek_hits_total = %d, want 1", peeks)
+	}
+
+	// A block b has NOT cached must come back as a clean miss (204), not
+	// an error, and a must fall back to local decompression.
+	errsBefore := a.Registry().Counter("cluster_peer_fill_errors_total", "").Value()
+	if _, _, err := acli.Block("prog", 1); err != nil {
+		t.Fatal(err)
+	}
+	if errsAfter := a.Registry().Counter("cluster_peer_fill_errors_total", "").Value(); errsAfter != errsBefore {
+		t.Fatalf("clean peer miss counted as fill error (%d -> %d)", errsBefore, errsAfter)
+	}
+}
+
+// TestRouterFailoverEjectionRestore runs the crash story end to end
+// against a real harness: kill a replica mid-traffic (reads keep
+// succeeding byte-exact), the health window ejects it, restart restores
+// it, and — because the store recovered its disk — reconcile re-uploads
+// nothing.
+func TestRouterFailoverEjectionRestore(t *testing.T) {
+	payload, text := testImage(t)
+	h, err := NewHarness(HarnessOptions{
+		Nodes:       3,
+		DataRoot:    t.TempDir(),
+		Replication: 2,
+		Router:      RouterOptions{ProbeInterval: -1}, // tests drive ProbeOnce
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	rt := h.Router()
+
+	info, err := rt.Register("prog", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := rt.Ring().Lookup("prog")
+	if len(owners) != 2 {
+		t.Fatalf("owners = %v, want 2 replicas", owners)
+	}
+	epochBefore := rt.Ring().Epoch()
+	rcli := client.New(h.RouterURL(), nil)
+	verifyImage(t, rcli, "prog", text, info.Blocks, testBlockSize)
+
+	// Crash the primary. Every read must still succeed byte-exact — the
+	// router fails over to the surviving replica synchronously.
+	victim := owners[0]
+	if err := h.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	verifyImage(t, rcli, "prog", text, info.Blocks, testBlockSize)
+	if got := rt.Ring().Epoch(); got != epochBefore {
+		t.Fatalf("epoch moved %d -> %d on a crash; crashes are not membership changes", epochBefore, got)
+	}
+
+	// Probes eject the dead member.
+	waitFor(t, 5*time.Second, "ejection of "+victim, func() bool {
+		rt.ProbeOnce()
+		for _, ns := range rt.Nodes() {
+			if ns.Name == victim {
+				return ns.Ejected
+			}
+		}
+		return false
+	})
+
+	// Restart; probes restore it; reconcile finds the disk store already
+	// recovered everything.
+	if err := h.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "restore of "+victim, func() bool {
+		rt.ProbeOnce()
+		for _, ns := range rt.Nodes() {
+			if ns.Name == victim {
+				return !ns.Ejected
+			}
+		}
+		return false
+	})
+	hn, err := h.lookup(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "restarted node to hold prog", func() bool {
+		n := hn.Node()
+		if n == nil {
+			return false
+		}
+		return len(n.Server().Images()) == 1
+	})
+	if got := rt.ReconcileUploads(); got != 0 {
+		t.Fatalf("reconcile re-uploaded %d image(s); disk recovery should have made that 0", got)
+	}
+	verifyImage(t, rcli, "prog", text, info.Blocks, testBlockSize)
+}
+
+// TestRouterJoinLeaveRebalance exercises admin membership changes:
+// every join/leave bumps the epoch, copies land on exactly the ring's
+// owners, and reads stay byte-exact throughout.
+func TestRouterJoinLeaveRebalance(t *testing.T) {
+	payload, text := testImage(t)
+	h, err := NewHarness(HarnessOptions{
+		Nodes:       2,
+		DataRoot:    t.TempDir(),
+		Replication: 2,
+		Router:      RouterOptions{ProbeInterval: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	rt := h.Router()
+
+	info, err := rt.Register("prog", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcli := client.New(h.RouterURL(), nil)
+	e0 := rt.Ring().Epoch()
+
+	// holders returns which running harness nodes hold prog locally.
+	holders := func() map[string]bool {
+		out := make(map[string]bool)
+		for _, hn := range h.Nodes() {
+			if n := hn.Node(); n != nil && len(n.Server().Images()) > 0 {
+				out[hn.Name()] = true
+			}
+		}
+		return out
+	}
+	if got := holders(); len(got) != 2 {
+		t.Fatalf("before join, holders = %v, want both nodes", got)
+	}
+
+	if _, err := h.Join("node-2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Ring().Epoch(); got != e0+1 {
+		t.Fatalf("epoch after join = %d, want %d", got, e0+1)
+	}
+	if got := len(rt.Ring().Nodes()); got != 3 {
+		t.Fatalf("ring has %d nodes after join, want 3", got)
+	}
+	verifyImage(t, rcli, "prog", text, info.Blocks, testBlockSize)
+
+	// Placement must now match the ring exactly: owners hold the image,
+	// the third node does not (rebalance cleanup dropped any stale copy).
+	owners := rt.Ring().Lookup("prog")
+	want := map[string]bool{owners[0]: true, owners[1]: true}
+	waitFor(t, 5*time.Second, "holdings to match ring owners", func() bool {
+		got := holders()
+		if len(got) != len(want) {
+			return false
+		}
+		for n := range want {
+			if !got[n] {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Leave one owner: epoch bumps again, the image re-replicates onto
+	// the survivors, reads never break.
+	if err := rt.RemoveNode(owners[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Ring().Epoch(); got != e0+2 {
+		t.Fatalf("epoch after leave = %d, want %d", got, e0+2)
+	}
+	verifyImage(t, rcli, "prog", text, info.Blocks, testBlockSize)
+	newOwners := rt.Ring().Lookup("prog")
+	if len(newOwners) != 2 {
+		t.Fatalf("owners after leave = %v, want 2", newOwners)
+	}
+	for _, o := range newOwners {
+		if o == owners[0] {
+			t.Fatalf("departed node %s still owns prog", o)
+		}
+	}
+}
+
+// TestRouterHTTPAPI drives the router purely over HTTP with the shared
+// client — the same surface loadgen and production callers use.
+func TestRouterHTTPAPI(t *testing.T) {
+	payload, text := testImage(t)
+	h, err := NewHarness(HarnessOptions{
+		Nodes:    3,
+		DataRoot: t.TempDir(),
+		Router:   RouterOptions{ProbeInterval: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	cli := client.New(h.RouterURL(), nil)
+
+	info, err := cli.Upload("prog", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "prog" || info.Blocks == 0 {
+		t.Fatalf("upload info = %+v", info)
+	}
+	infos, err := cli.Images()
+	if err != nil || len(infos) != 1 {
+		t.Fatalf("Images = %v, %v", infos, err)
+	}
+	if _, err := cli.Image("prog"); err != nil {
+		t.Fatal(err)
+	}
+	verifyImage(t, cli, "prog", text, info.Blocks, testBlockSize)
+
+	cs, err := cli.ClusterStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Nodes) != 3 || len(cs.Ejected) != 0 {
+		t.Fatalf("ClusterStats = %d nodes, ejected %v", len(cs.Nodes), cs.Ejected)
+	}
+	if err := cli.Healthz(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Readyz(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cli.Delete("prog"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Image("prog"); err == nil {
+		t.Fatal("Image succeeded after delete")
+	}
+	var se *client.StatusError
+	if _, _, err := cli.Block("prog", 0); err == nil || !errors.As(err, &se) || se.Code != 404 {
+		t.Fatalf("deleted block read error = %v, want a 404 StatusError", err)
+	}
+}
+
+// TestOperationsDocCoversClusterRegistries walks every metric family a
+// live node and a live router register and asserts docs/OPERATIONS.md
+// documents it by name — same contract the daemon's registry already
+// has, extended to the cluster tier.
+func TestOperationsDocCoversClusterRegistries(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("operator runbook missing: %v", err)
+	}
+	n, err := NewNode(NodeOptions{Name: "doc", DataDir: t.TempDir(), Logf: discardLogf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	rt := NewRouter(RouterOptions{ProbeInterval: -1, Logf: discardLogf})
+	defer rt.Close()
+
+	var missing []string
+	seen := make(map[string]bool)
+	for _, f := range n.Registry().Families() {
+		if !seen[f.Name] && !strings.Contains(string(doc), f.Name) {
+			missing = append(missing, "node: "+f.Name)
+		}
+		seen[f.Name] = true
+	}
+	for _, f := range rt.Registry().Families() {
+		if !seen[f.Name] && !strings.Contains(string(doc), f.Name) {
+			missing = append(missing, "router: "+f.Name)
+		}
+		seen[f.Name] = true
+	}
+	if len(missing) > 0 {
+		t.Fatalf("docs/OPERATIONS.md does not document %d cluster metrics:\n  %s",
+			len(missing), strings.Join(missing, "\n  "))
+	}
+}

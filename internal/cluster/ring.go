@@ -1,0 +1,170 @@
+// Consistent-hash ring with virtual nodes, replication and epochs.
+//
+// Placement must be three things at once: balanced (each node owns
+// roughly its fair share of the key space), stable (adding or removing
+// one node moves only the keys that node gains or loses, not a global
+// reshuffle), and deterministic across processes (a router restart, or
+// two routers, must compute identical placements — so the hash is FNV-1a
+// over bytes, never anything seeded per-process). Virtual nodes provide
+// the balance: each physical node is hashed onto the circle VNodes
+// times, and a key is owned by the first distinct nodes clockwise from
+// its own hash.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Default ring parameters; see RingOptions in router.go for overrides.
+const (
+	// DefaultVNodes is how many points each node occupies on the ring.
+	DefaultVNodes = 128
+	// DefaultReplication is how many distinct nodes own each key.
+	DefaultReplication = 2
+)
+
+// Ring is one immutable placement epoch: a sorted circle of virtual-node
+// hashes and the physical node each belongs to. Build with BuildRing;
+// share freely — all methods are read-only.
+type Ring struct {
+	epoch    uint64
+	rf       int
+	nodes    []string // sorted physical node names
+	hashes   []uint64 // sorted vnode positions
+	owner    []int    // owner[i] = index into nodes for hashes[i]
+	perVNode int
+}
+
+// fnv1a is FNV-1a over s (and a trailing extension ext — used to derive
+// vnode positions without allocating "name#i" strings). FNV is stable
+// across processes and architectures, which is the whole point: two
+// routers built from the same member list compute the same placement.
+func fnv1a(s string, ext uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	for i := 0; i < 8; i++ {
+		h ^= (ext >> (8 * i)) & 0xff
+		h *= prime
+	}
+	return mix64(h)
+}
+
+// mix64 is a murmur3-style avalanche finalizer. Raw FNV-1a points
+// cluster badly on the 64-bit circle (its last multiply barely stirs
+// the high bits that ring ordering sorts by), which skews vnode
+// ownership by 2x and more; the finalizer restores uniformity while
+// staying just as deterministic across processes.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// BuildRing constructs the placement for one set of nodes. epoch is the
+// generation stamp the router assigns (monotonically increasing across
+// membership changes); vnodes and rf fall back to the defaults when
+// <= 0. rf is clamped to the node count. Node order does not matter —
+// the ring sorts, so any process building from the same membership set
+// gets an identical ring.
+func BuildRing(epoch uint64, nodes []string, vnodes, rf int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	if rf <= 0 {
+		rf = DefaultReplication
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	if rf > len(sorted) {
+		rf = len(sorted)
+	}
+	r := &Ring{
+		epoch:    epoch,
+		rf:       rf,
+		nodes:    sorted,
+		hashes:   make([]uint64, 0, len(sorted)*vnodes),
+		owner:    make([]int, 0, len(sorted)*vnodes),
+		perVNode: vnodes,
+	}
+	type point struct {
+		h uint64
+		n int
+	}
+	pts := make([]point, 0, len(sorted)*vnodes)
+	for ni, name := range sorted {
+		for v := 0; v < vnodes; v++ {
+			pts = append(pts, point{fnv1a(name, uint64(v)), ni})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].h != pts[j].h {
+			return pts[i].h < pts[j].h
+		}
+		// Hash ties (vanishingly rare) break by node index so the ring
+		// stays deterministic regardless of input order.
+		return pts[i].n < pts[j].n
+	})
+	for _, p := range pts {
+		r.hashes = append(r.hashes, p.h)
+		r.owner = append(r.owner, p.n)
+	}
+	return r
+}
+
+// Epoch returns the ring's generation stamp.
+func (r *Ring) Epoch() uint64 { return r.epoch }
+
+// Replication returns the effective replication factor.
+func (r *Ring) Replication() int { return r.rf }
+
+// Nodes returns the member names, sorted. The caller must not modify
+// the returned slice.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Lookup returns the key's replica set: up to Replication distinct
+// nodes, clockwise from the key's hash, primary first. Empty when the
+// ring has no nodes.
+func (r *Ring) Lookup(key string) []string {
+	return r.LookupN(key, r.rf)
+}
+
+// LookupN is Lookup with an explicit replica count (clamped to the node
+// count).
+func (r *Ring) LookupN(key string, n int) []string {
+	if len(r.hashes) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := fnv1a(key, 0)
+	i := sort.Search(len(r.hashes), func(j int) bool { return r.hashes[j] >= h })
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for scanned := 0; scanned < len(r.hashes) && len(out) < n; scanned++ {
+		p := (i + scanned) % len(r.hashes)
+		ni := r.owner[p]
+		if seen[ni] {
+			continue
+		}
+		seen[ni] = true
+		out = append(out, r.nodes[ni])
+	}
+	return out
+}
+
+// String describes the ring for logs: epoch, members, parameters.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring{epoch=%d rf=%d vnodes=%d nodes=%v}", r.epoch, r.rf, r.perVNode, r.nodes)
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keys returns n distinct synthetic image names.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("image-%d", i)
+	}
+	return out
+}
+
+// TestRingBalance places 50k keys on a 5-node ring with 200 vnodes each
+// (1k points total) and asserts every node's primary-ownership share is
+// within ±15% of fair — the balance virtual nodes exist to provide.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"alpha", "bravo", "charlie", "delta", "echo"}
+	r := BuildRing(1, nodes, 200, 1)
+	counts := make(map[string]int)
+	const n = 50000
+	for _, k := range keys(n) {
+		owners := r.Lookup(k)
+		if len(owners) != 1 {
+			t.Fatalf("Lookup(%q) = %v, want 1 owner", k, owners)
+		}
+		counts[owners[0]]++
+	}
+	mean := float64(n) / float64(len(nodes))
+	for _, node := range nodes {
+		share := float64(counts[node])
+		if share < 0.85*mean || share > 1.15*mean {
+			t.Errorf("node %s owns %d keys, outside ±15%% of mean %.0f", node, counts[node], mean)
+		}
+	}
+}
+
+// TestRingMovementOnJoin asserts the consistent-hashing contract: going
+// from N to N+1 nodes moves at most ~1/(N+1) of primary placements
+// (with slack for vnode granularity), and the moved keys all moved TO
+// the new node.
+func TestRingMovementOnJoin(t *testing.T) {
+	before := BuildRing(1, []string{"n0", "n1", "n2", "n3", "n4"}, 128, 1)
+	after := BuildRing(2, []string{"n0", "n1", "n2", "n3", "n4", "n5"}, 128, 1)
+	ks := keys(20000)
+	moved, movedElsewhere := 0, 0
+	for _, k := range ks {
+		b, a := before.Lookup(k)[0], after.Lookup(k)[0]
+		if b != a {
+			moved++
+			if a != "n5" {
+				movedElsewhere++
+			}
+		}
+	}
+	// Fair share for the 6th node is 1/6 ≈ 16.7%; allow 2/6 as the
+	// issue's ceiling for vnode-granularity wobble.
+	if frac := float64(moved) / float64(len(ks)); frac > 2.0/6.0 {
+		t.Errorf("join moved %.1f%% of keys, want <= %.1f%%", 100*frac, 100*2.0/6.0)
+	}
+	if movedElsewhere != 0 {
+		t.Errorf("%d keys moved between surviving nodes; consistent hashing moves keys only to the joiner", movedElsewhere)
+	}
+
+	// Leave must be symmetric: removing n5 restores the old placement.
+	restored := BuildRing(3, []string{"n0", "n1", "n2", "n3", "n4"}, 128, 1)
+	for _, k := range ks[:2000] {
+		if restored.Lookup(k)[0] != before.Lookup(k)[0] {
+			t.Fatalf("placement of %q did not return to its pre-join owner after leave", k)
+		}
+	}
+}
+
+// TestRingDeterminism asserts two independently built rings agree, that
+// member order at build time is irrelevant, and — via a golden sample —
+// that placement is stable across processes and releases. If the golden
+// entries ever change, every deployed router disagrees with every other
+// until all are upgraded; that is a placement migration, not a refactor.
+func TestRingDeterminism(t *testing.T) {
+	a := BuildRing(1, []string{"n0", "n1", "n2"}, 128, 2)
+	b := BuildRing(1, []string{"n2", "n0", "n1"}, 128, 2)
+	for _, k := range keys(1000) {
+		ka, kb := a.Lookup(k), b.Lookup(k)
+		if len(ka) != 2 || len(kb) != 2 || ka[0] != kb[0] || ka[1] != kb[1] {
+			t.Fatalf("Lookup(%q): %v vs %v — ring depends on build order", k, ka, kb)
+		}
+	}
+	golden := map[string][]string{
+		"image-0":  {"n1", "n0"},
+		"image-1":  {"n2", "n0"},
+		"gcc-samc": {"n1", "n0"},
+	}
+	for k, want := range golden {
+		got := a.Lookup(k)
+		if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+			t.Errorf("golden placement of %q = %v, want %v (FNV placement changed — cross-process determinism broken)", k, got, want)
+		}
+	}
+}
+
+// TestRingEdgeCases covers the degenerate shapes the router can hand
+// the ring during membership churn.
+func TestRingEdgeCases(t *testing.T) {
+	empty := BuildRing(0, nil, 0, 0)
+	if got := empty.Lookup("x"); got != nil {
+		t.Fatalf("empty ring Lookup = %v, want nil", got)
+	}
+	single := BuildRing(1, []string{"only"}, 0, 3)
+	if got := single.Lookup("x"); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("single-node ring Lookup = %v", got)
+	}
+	if single.Replication() != 1 {
+		t.Fatalf("rf not clamped to node count: %d", single.Replication())
+	}
+	r := BuildRing(7, []string{"a", "b", "c"}, 16, 2)
+	if r.Epoch() != 7 {
+		t.Fatalf("epoch = %d, want 7", r.Epoch())
+	}
+	if got := r.LookupN("x", 99); len(got) != 3 {
+		t.Fatalf("LookupN clamp: got %d owners, want 3", len(got))
+	}
+	seen := map[string]bool{}
+	for _, n := range r.LookupN("x", 3) {
+		if seen[n] {
+			t.Fatalf("LookupN returned duplicate node %s", n)
+		}
+		seen[n] = true
+	}
+}

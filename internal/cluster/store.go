@@ -1,0 +1,175 @@
+// Write-through disk persistence for registered images. A codecompd
+// process is all RAM: registration unmarshals a compressed image into
+// the registry and a restart loses it. A cluster cannot afford that — a
+// node restarting after a kill must come back owning exactly the images
+// it owned, without the router re-uploading anything. The Store keeps,
+// per image, the marshaled compressed payload plus a small JSON manifest
+// (name, size, CRC32-C of the payload), written atomically
+// (tmp + rename) so a crash mid-write leaves either the old image or
+// none, never a torn one. On boot Load walks the directory, verifies
+// every payload against its manifest checksum, and hands back the images
+// for re-registration into the romserver registry (which rebuilds the
+// block-integrity sidecar from the payload as usual).
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// storeCRC is the payload checksum table (Castagnoli, like the block
+// sidecar).
+var storeCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Manifest is the on-disk metadata for one persisted image.
+type Manifest struct {
+	// Name is the image's registry name.
+	Name string `json:"name"`
+	// Size is the marshaled payload length in bytes.
+	Size int64 `json:"size"`
+	// CRC32C is the Castagnoli checksum of the payload file.
+	CRC32C uint32 `json:"crc32c"`
+}
+
+// StoredImage is one image recovered from disk by Load.
+type StoredImage struct {
+	// Name is the image's registry name.
+	Name string
+	// Payload is the marshaled compressed image, ready for AddImage.
+	Payload []byte
+}
+
+// Store persists marshaled images under one directory. The zero value
+// is not usable; construct with OpenStore. Methods are safe for
+// concurrent use only to the extent the filesystem is — the node
+// serializes Save/Remove per image name through its own registration
+// path.
+type Store struct {
+	dir string
+}
+
+// OpenStore creates the directory (if needed) and returns a store over
+// it.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cluster: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// base returns the filename stem for an image name. Names are
+// hex-encoded: registry names exclude '/' and whitespace but nothing
+// else, and "..", case-colliding names or 200-byte unicode names must
+// all map to safe, distinct, portable filenames.
+func (st *Store) base(name string) string {
+	return fmt.Sprintf("%x", name)
+}
+
+// Save write-through persists one image: payload first, then manifest,
+// each atomically. An existing image of the same name is replaced.
+func (st *Store) Save(name string, payload []byte) error {
+	base := st.base(name)
+	if err := writeAtomic(filepath.Join(st.dir, base+".img"), payload); err != nil {
+		return fmt.Errorf("cluster: store save %q: %w", name, err)
+	}
+	m := Manifest{Name: name, Size: int64(len(payload)), CRC32C: crc32.Checksum(payload, storeCRC)}
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeAtomic(filepath.Join(st.dir, base+".json"), buf); err != nil {
+		return fmt.Errorf("cluster: store save %q: %w", name, err)
+	}
+	return nil
+}
+
+// Remove deletes one image's payload and manifest. Removing an image
+// that is not stored is not an error.
+func (st *Store) Remove(name string) error {
+	base := st.base(name)
+	var first error
+	for _, f := range []string{base + ".json", base + ".img"} {
+		if err := os.Remove(filepath.Join(st.dir, f)); err != nil && !os.IsNotExist(err) && first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return fmt.Errorf("cluster: store remove %q: %w", name, first)
+	}
+	return nil
+}
+
+// Load recovers every stored image, sorted by name. A payload whose
+// size or checksum disagrees with its manifest is skipped and reported
+// in the second return — the caller decides whether a partially
+// recovered store is fatal (the node logs and serves what it has; a
+// replica re-registers the rest).
+func (st *Store) Load() ([]StoredImage, []error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, []error{fmt.Errorf("cluster: store load: %w", err)}
+	}
+	var imgs []StoredImage
+	var errs []error
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		mbuf, err := os.ReadFile(filepath.Join(st.dir, e.Name()))
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		var m Manifest
+		if err := json.Unmarshal(mbuf, &m); err != nil {
+			errs = append(errs, fmt.Errorf("cluster: store manifest %s: %w", e.Name(), err))
+			continue
+		}
+		payload, err := os.ReadFile(filepath.Join(st.dir, strings.TrimSuffix(e.Name(), ".json")+".img"))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("cluster: store image %q: %w", m.Name, err))
+			continue
+		}
+		if int64(len(payload)) != m.Size || crc32.Checksum(payload, storeCRC) != m.CRC32C {
+			errs = append(errs, fmt.Errorf("cluster: store image %q: payload does not match manifest (corrupt or torn write)", m.Name))
+			continue
+		}
+		imgs = append(imgs, StoredImage{Name: m.Name, Payload: payload})
+	}
+	sort.Slice(imgs, func(i, j int) bool { return imgs[i].Name < imgs[j].Name })
+	return imgs, errs
+}
+
+// writeAtomic writes data to path via a same-directory temp file and
+// rename, so readers only ever observe complete files.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

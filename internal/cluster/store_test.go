@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStoreSaveLoadRemove(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save("beta", []byte("payload-b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save("alpha", []byte("payload-a")); err != nil {
+		t.Fatal(err)
+	}
+
+	imgs, errs := st.Load()
+	if len(errs) != 0 {
+		t.Fatalf("Load errors: %v", errs)
+	}
+	if len(imgs) != 2 || imgs[0].Name != "alpha" || imgs[1].Name != "beta" {
+		t.Fatalf("Load = %+v, want alpha,beta sorted", imgs)
+	}
+	if string(imgs[0].Payload) != "payload-a" {
+		t.Fatalf("alpha payload = %q", imgs[0].Payload)
+	}
+
+	// Replacing overwrites in place.
+	if err := st.Save("alpha", []byte("payload-a2")); err != nil {
+		t.Fatal(err)
+	}
+	imgs, _ = st.Load()
+	if string(imgs[0].Payload) != "payload-a2" {
+		t.Fatalf("replaced alpha payload = %q", imgs[0].Payload)
+	}
+
+	if err := st.Remove("beta"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Remove("beta"); err != nil {
+		t.Fatalf("Remove of absent image should be nil, got %v", err)
+	}
+	imgs, _ = st.Load()
+	if len(imgs) != 1 || imgs[0].Name != "alpha" {
+		t.Fatalf("after Remove: %+v", imgs)
+	}
+}
+
+// TestStoreRejectsCorruptPayload flips a byte in a stored payload and
+// asserts Load skips it with an error instead of handing back bytes
+// that disagree with the manifest checksum.
+func TestStoreRejectsCorruptPayload(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save("good", []byte("unharmed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save("bad", []byte("about to be flipped")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, st.base("bad")+".img")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0x40
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	imgs, errs := st.Load()
+	if len(imgs) != 1 || imgs[0].Name != "good" {
+		t.Fatalf("Load = %+v, want only the intact image", imgs)
+	}
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "does not match manifest") {
+		t.Fatalf("Load errs = %v, want one checksum mismatch", errs)
+	}
+}
+
+// TestStoreFilenamesAreSafe exercises names that would be path traversal
+// or collisions if the store used raw names as filenames.
+func TestStoreFilenamesAreSafe(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"..", "a", "A", "образ-№1"}
+	for _, n := range names {
+		if err := st.Save(n, []byte("x:"+n)); err != nil {
+			t.Fatalf("Save(%q): %v", n, err)
+		}
+	}
+	imgs, errs := st.Load()
+	if len(errs) != 0 {
+		t.Fatalf("Load errors: %v", errs)
+	}
+	if len(imgs) != len(names) {
+		t.Fatalf("Load recovered %d images, want %d (filename collision?)", len(imgs), len(names))
+	}
+	for _, im := range imgs {
+		if string(im.Payload) != "x:"+im.Name {
+			t.Fatalf("image %q has payload %q", im.Name, im.Payload)
+		}
+	}
+	// Nothing escaped the store directory.
+	if _, err := os.Stat(filepath.Join(filepath.Dir(dir), "..img")); err == nil {
+		t.Fatal("'..' image escaped the store directory")
+	}
+}

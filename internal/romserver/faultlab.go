@@ -328,9 +328,34 @@ func (s *Server) loadOnce(img *image, block int) ([]byte, error) {
 // accounting of the final outcome. Each phase lands in its latency
 // histogram, and a sampled demand load carries sp (nil otherwise) to
 // record the same phases plus retry/corruption events into the trace.
-func (s *Server) loadVerified(img *image, block int, sp *obsv.Span) ([]byte, error) {
+//
+// When allowFill is true and a fill hook is installed (peer cache-fill),
+// the hook is consulted first: verified fill bytes are returned without
+// touching the local codec, a fill that fails verification is counted
+// and discarded, and the load falls through to local decompression. The
+// background re-verifier passes allowFill=false — its whole point is to
+// prove the *local* image decompresses cleanly.
+func (s *Server) loadVerified(img *image, block int, sp *obsv.Span, allowFill bool) ([]byte, error) {
 	loadStart := time.Now()
 	defer func() { s.met.blockLoad.Observe(time.Since(loadStart)) }()
+	if allowFill {
+		if fp := s.fill.Load(); fp != nil {
+			if data, ok := (*fp)(img.name, block); ok {
+				if verr := img.sidecar.verify(block, data); verr == nil {
+					s.met.peerFills.Inc()
+					if sp != nil {
+						sp.Event("peer fill")
+					}
+					s.recordHealth(img, block, false)
+					return data, nil
+				}
+				s.met.peerFillRejects.Inc()
+				if sp != nil {
+					sp.Event("peer fill rejected by sidecar")
+				}
+			}
+		}
+	}
 	var lastErr error
 	backoff := s.opts.RetryBackoff
 	for attempt := 0; attempt < s.opts.LoadAttempts; attempt++ {
@@ -429,14 +454,18 @@ func (s *Server) reverifyPass() {
 			if b < 0 || b >= img.blocks {
 				continue
 			}
-			img.reverifies.Add(1)
-			s.met.reverifies.Inc()
-			s.loadVerified(img, b, nil) //nolint:errcheck — outcome lands in health accounting
+			// Check for shutdown BEFORE committing to a load: a re-verify
+			// load can spend attempts × (deadline + backoff) on a sick
+			// image, and Close waits for this goroutine. Checking first
+			// bounds the shutdown wait to at most one in-flight load.
 			select {
 			case <-s.quit:
 				return
 			default:
 			}
+			img.reverifies.Add(1)
+			s.met.reverifies.Inc()
+			s.loadVerified(img, b, nil, false) //nolint:errcheck — outcome lands in health accounting
 		}
 	}
 }
@@ -481,6 +510,41 @@ func (s *Server) FaultStats(name string) (*faultinj.Stats, error) {
 		return &st, nil
 	}
 	return nil, nil
+}
+
+// HealthTracker is the image health state machine exposed for reuse by
+// other subsystems that need the same sliding-window escalation —
+// internal/cluster drives one per node to decide ring ejection, so a
+// node and an image degrade and recover by exactly the same rules
+// (healthy → degraded on sustained failures or any unresolved failure,
+// quarantined at a 50% window failure rate, walked back by successes).
+type HealthTracker struct {
+	h *imageHealth
+}
+
+// NewHealthTracker returns a tracker over a sliding window of the given
+// size (the Options.HealthWindow default when size <= 0).
+func NewHealthTracker(size int) *HealthTracker {
+	if size <= 0 {
+		size = Options{}.withDefaults().HealthWindow
+	}
+	return &HealthTracker{h: newImageHealth(size)}
+}
+
+// Record pushes one outcome into the window and reports whether the
+// state changed, and to what.
+func (t *HealthTracker) Record(failed bool) (to HealthState, changed bool) {
+	_, to, changed = t.h.record(0, failed)
+	return to, changed
+}
+
+// State returns the current health state.
+func (t *HealthTracker) State() HealthState { return t.h.State() }
+
+// FailureRate returns the failing fraction of the observed window.
+func (t *HealthTracker) FailureRate() float64 {
+	_, _, rate, _ := t.h.snapshot()
+	return rate
 }
 
 // HealthInfo is one image's health for /healthz-style reporting.

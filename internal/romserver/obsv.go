@@ -38,6 +38,9 @@ type serverMetrics struct {
 	prefetchDropped   *obsv.Counter
 	prefetchCompleted *obsv.Counter
 
+	peerFills       *obsv.Counter
+	peerFillRejects *obsv.Counter
+
 	faultBitFlips   *obsv.Counter
 	faultTransients *obsv.Counter
 	faultPermanents *obsv.Counter
@@ -83,6 +86,11 @@ func newServerMetrics(reg *obsv.Registry, tracer *obsv.Tracer) *serverMetrics {
 			"Prefetches skipped because the pool queue was saturated."),
 		prefetchCompleted: reg.Counter("romserver_prefetch_completed_total",
 			"Prefetched blocks that landed in the cache."),
+
+		peerFills: reg.Counter("romserver_peer_fills_total",
+			"Cache misses served by the fill hook (a replica's hot cache) after sidecar verification, skipping local decompression."),
+		peerFillRejects: reg.Counter("romserver_peer_fill_rejects_total",
+			"Fill-hook responses rejected by the integrity sidecar (discarded; the load fell through to local decompression)."),
 
 		faultBitFlips: reg.Counter("faultinj_bitflips_total",
 			"Injected output bit flips (chaos mode)."),

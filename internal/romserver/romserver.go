@@ -245,10 +245,22 @@ type result struct {
 	err  error
 }
 
+// FillFunc is an alternative block source consulted on a cache miss
+// before local decompression — the cluster layer installs one that asks
+// replica nodes' hot caches (peer cache-fill). The returned bytes are
+// verified against the integrity sidecar exactly like a decompression:
+// a corrupt fill is rejected, counted, and the load falls through to the
+// local codec, so a misbehaving peer can never be served.
+type FillFunc func(image string, block int) ([]byte, bool)
+
 // Server is the concurrent compressed-ROM block service.
 type Server struct {
 	opts  Options
 	cache *blockcache.Cache
+
+	// fill, when set, is consulted on every miss before decompressing
+	// locally (see FillFunc). Atomic so it can be installed after New.
+	fill atomic.Pointer[FillFunc]
 
 	mu     sync.RWMutex
 	images map[string]*image
@@ -359,7 +371,7 @@ func (l *loader) load() ([]byte, error) {
 	if l.img.health.State() == Quarantined {
 		return nil, fmt.Errorf("%w: %q", ErrQuarantined, l.img.name)
 	}
-	return l.s.loadVerified(l.img, l.block, l.span)
+	return l.s.loadVerified(l.img, l.block, l.span, true)
 }
 
 func (l *loader) release() {
@@ -606,6 +618,35 @@ func (s *Server) Block(name string, i int) ([]byte, bool, error) {
 	return s.fetch(img, i)
 }
 
+// SetFillHook installs (or, with nil, removes) the alternative block
+// source consulted on cache misses before local decompression. The
+// cluster layer points it at replica nodes' hot caches; see FillFunc for
+// the verification contract.
+func (s *Server) SetFillHook(f FillFunc) {
+	if f == nil {
+		s.fill.Store(nil)
+		return
+	}
+	s.fill.Store(&f)
+}
+
+// CachedBlock returns the block's decompressed bytes only if they are in
+// the cache right now — it never decompresses, never touches LRU order
+// and never counts toward the demand hit/miss accounting. This is the
+// node-side answer to a peer's cache-fill probe: cheap to ask, and a miss
+// costs the asker nothing but the round trip.
+func (s *Server) CachedBlock(name string, i int) ([]byte, bool, error) {
+	img, err := s.lookup(name)
+	if err != nil {
+		return nil, false, err
+	}
+	if i < 0 || i >= img.blocks {
+		return nil, false, fmt.Errorf("%w: %d of %q [0,%d)", ErrOutOfRange, i, name, img.blocks)
+	}
+	data, ok := s.cache.Peek(img.key(i))
+	return data, ok, nil
+}
+
 // Range returns the concatenated decompressed bytes of blocks [first,last].
 func (s *Server) Range(name string, first, last int) ([]byte, error) {
 	img, err := s.lookup(name)
@@ -780,7 +821,7 @@ func (s *Server) SetPolicy(name string, spec PolicySpec) (PolicyInfo, error) {
 		key := img.key(b)
 		block := b
 		_, _, err := s.cache.Get(key, func() ([]byte, error) {
-			return s.loadVerified(img, block, nil)
+			return s.loadVerified(img, block, nil, true)
 		})
 		if err != nil {
 			s.cache.UnpinImage(name)
