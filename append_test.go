@@ -10,8 +10,8 @@ import (
 )
 
 // TestAppendBlockEquivalence pins the append-style fast decode path to the
-// original per-block decoders: for every synth profile, both ISAs and all
-// three block codecs, AppendBlock must produce bit-identical output to
+// original per-block decoders: for every synth profile, both ISAs and
+// every block codec, AppendBlock must produce bit-identical output to
 // Block while leaving the caller's prefix untouched. Runs the quick
 // 4-profile subset by default; FULL_SUITE=1 covers all 18 SPEC95 profiles.
 func TestAppendBlockEquivalence(t *testing.T) {
@@ -42,6 +42,10 @@ func TestAppendBlockEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			ransImg, err := codecomp.CompressRANS(mips, codecomp.RANSOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
 
 			prefix := []byte("prefix")
 			for _, c := range []struct {
@@ -52,6 +56,7 @@ func TestAppendBlockEquivalence(t *testing.T) {
 				{"SADC/MIPS", sadcMIPS},
 				{"SADC/x86", sadcX86},
 				{"Huffman", huffImg},
+				{"RANS", ransImg},
 			} {
 				// One buffer reused across every block: the append path must
 				// behave with recycled capacity, not just fresh slices.

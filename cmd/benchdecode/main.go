@@ -40,7 +40,11 @@ type result struct {
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
-	Samples     int     `json:"samples"`
+	// Ratio is the codec's compression ratio on the benchmark corpus,
+	// exported via b.ReportMetric — present only for the benchmarks that
+	// report it (the rANS-vs-SAMC acceptance gate needs both sides).
+	Ratio   float64 `json:"ratio,omitempty"`
+	Samples int     `json:"samples"`
 }
 
 // speedup is one codec's fast-vs-reference ratio, both sides measured in
@@ -73,9 +77,10 @@ var suite = []struct {
 	{"codecomp/internal/samc", "^(BenchmarkDecompressBlock|BenchmarkDecompressBlockReference|BenchmarkAppendBlock)$"},
 	{"codecomp/internal/sadc", "^(BenchmarkDecompressBlock|BenchmarkDecompressBlockReference|BenchmarkAppendBlock)$"},
 	{"codecomp/internal/kozuch", "^(BenchmarkDecompressBlock|BenchmarkDecompressBlockReference|BenchmarkAppendBlock)$"},
+	{"codecomp/internal/rans", "^(BenchmarkDecompressBlock|BenchmarkDecompressBlockReference|BenchmarkAppendBlock)$"},
 	{"codecomp/internal/huffman", "^(BenchmarkDecode|BenchmarkDecodeSerial)$"},
 	{"codecomp/internal/romserver", "^BenchmarkRomserverMiss$"},
-	{"codecomp", "^(BenchmarkDecompressSAMC|BenchmarkDecompressSADC|BenchmarkDecompressHuffman)$"},
+	{"codecomp", "^(BenchmarkDecompressSAMC|BenchmarkDecompressSADC|BenchmarkDecompressHuffman|BenchmarkDecompressRANS)$"},
 }
 
 // pairs names the fast/reference benchmark pair behind each speedup entry.
@@ -83,6 +88,7 @@ var pairs = map[string][2]string{
 	"samc":    {"samc/DecompressBlock", "samc/DecompressBlockReference"},
 	"sadc":    {"sadc/DecompressBlock", "sadc/DecompressBlockReference"},
 	"kozuch":  {"kozuch/DecompressBlock", "kozuch/DecompressBlockReference"},
+	"rans":    {"rans/DecompressBlock", "rans/DecompressBlockReference"},
 	"huffman": {"huffman/Decode", "huffman/DecodeSerial"},
 }
 
@@ -177,6 +183,7 @@ func measure(count int) (*report, error) {
 			MBPerSec:    median(append([]float64(nil), metrics["MB/s"]...)),
 			AllocsPerOp: median(append([]float64(nil), metrics["allocs/op"]...)),
 			BytesPerOp:  median(append([]float64(nil), metrics["B/op"]...)),
+			Ratio:       median(append([]float64(nil), metrics["ratio"]...)),
 			Samples:     len(metrics["ns/op"]),
 		}
 	}
@@ -224,6 +231,32 @@ func check(fresh, baseline *report, tolerance float64) error {
 		}
 		fmt.Printf("%-8s speedup %.2fx (baseline %.2fx, floor %.2fx) %s\n",
 			codec, got.Speedup, base.Speedup, floor, status)
+	}
+	// rANS acceptance gates: on the same corpus as the SAMC baseline the
+	// interleaved codec must compress within 5% of SAMC's ratio and decode
+	// at least 4x its MB/s — the software analogue of the paper's
+	// nibble-parallel decoder has to buy speed without giving back density.
+	ransB, okRans := fresh.Benchmarks["codecomp/DecompressRANS"]
+	samcB, okSamc := fresh.Benchmarks["codecomp/DecompressSAMC"]
+	if !okRans || !okSamc || ransB.Ratio == 0 || samcB.Ratio == 0 || samcB.MBPerSec == 0 {
+		failures = append(failures, "rANS-vs-SAMC gate: DecompressRANS/DecompressSAMC ratio or MB/s missing from fresh run")
+	} else {
+		status := "ok"
+		if ransB.Ratio > samcB.Ratio*1.05 {
+			status = "REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("rans ratio %.4f exceeds 1.05x samc ratio %.4f", ransB.Ratio, samcB.Ratio))
+		}
+		fmt.Printf("%-8s ratio %.4f (samc %.4f, ceiling %.4f) %s\n",
+			"rans", ransB.Ratio, samcB.Ratio, samcB.Ratio*1.05, status)
+		status = "ok"
+		if ransB.MBPerSec < samcB.MBPerSec*4 {
+			status = "REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("rans decode %.2f MB/s below 4x samc %.2f MB/s", ransB.MBPerSec, samcB.MBPerSec))
+		}
+		fmt.Printf("%-8s decode %.2f MB/s (samc %.2f MB/s, floor %.2f) %s\n",
+			"rans", ransB.MBPerSec, samcB.MBPerSec, samcB.MBPerSec*4, status)
 	}
 	if miss, ok := fresh.Benchmarks["romserver/RomserverMiss"]; ok {
 		status := "ok"

@@ -7,7 +7,8 @@
 //	codecomp -alg sadc -isa x86 -in prog.bin -verify
 //	codecomp -alg lzw  -in prog.bin
 //
-// The block-addressable formats (samc, sadc, huff) serialize to ROM images:
+// The block-addressable formats (samc, sadc, huff, rans) serialize to ROM
+// images:
 // -save writes one, and -decompress reads one back (auto-detecting the
 // format from its magic) and emits the original text. -verify checks the
 // full round trip in memory; -out writes the decompressed text.
@@ -25,20 +26,22 @@ import (
 	"codecomp/internal/deflate"
 	"codecomp/internal/kozuch"
 	"codecomp/internal/lzw"
+	"codecomp/internal/rans"
 	"codecomp/internal/sadc"
 	"codecomp/internal/samc"
 )
 
 func main() {
-	alg := flag.String("alg", "samc", "algorithm: samc, sadc, huff, lzw, gzip")
+	alg := flag.String("alg", "samc", "algorithm: samc, sadc, huff, rans, lzw, gzip")
 	isa := flag.String("isa", "mips", "isa for samc/sadc: mips or x86")
 	in := flag.String("in", "", "input binary (required)")
 	out := flag.String("out", "", "write decompressed output here (implies -verify)")
 	blockSize := flag.Int("block", 32, "cache block size in bytes")
 	connected := flag.Bool("connected", true, "SAMC: connect adjacent Markov trees")
 	quantize := flag.Bool("quantize", false, "SAMC: power-of-1/2 probabilities")
+	streams := flag.Int("streams", 0, "rANS: interleaved decoder states (1, 2, 4 or 8; 0 = default)")
 	verify := flag.Bool("verify", false, "decompress and compare against the input")
-	save := flag.String("save", "", "write the serialized compressed image here (samc/sadc/huff)")
+	save := flag.String("save", "", "write the serialized compressed image here (samc/sadc/huff/rans)")
 	load := flag.String("decompress", "", "decompress a serialized image (format auto-detected) instead of compressing")
 	flag.Parse()
 
@@ -106,6 +109,16 @@ func main() {
 		fatal(err)
 		fmt.Printf("byte-Huffman: %d blocks, payload %d B, table %d B, ratio %.4f\n",
 			c.NumBlocks(), c.PayloadBytes(), c.TableBytes(), c.Ratio())
+		image = c.Marshal()
+		if *verify {
+			decompressed, err = c.Decompress()
+			fatal(err)
+		}
+	case "rans":
+		c, err := rans.Compress(text, rans.Options{BlockSize: *blockSize, Streams: *streams})
+		fatal(err)
+		fmt.Printf("rANS: %d blocks, %d-way interleaved, payload %d B, model %d B, total %d B, ratio %.4f\n",
+			c.NumBlocks(), c.Streams, c.PayloadBytes(), c.TableBytes(), c.CompressedSize(), c.Ratio())
 		image = c.Marshal()
 		if *verify {
 			decompressed, err = c.Decompress()

@@ -10,6 +10,8 @@
 //	GET  /images                 list registered images
 //	GET  /images/{name}          one image's metadata
 //	GET  /images/{name}/blocks/{i}  one decompressed block (X-Cache: hit|miss)
+//	GET  /images/{name}/blocks?range=i-j  blocks [i,j] via the batched
+//	                             decode path (X-Range-* amortization stats)
 //	GET  /images/{name}/text     the whole decompressed program
 //	DELETE /images/{name}        deregister an image
 //	GET  /healthz                liveness (always 200 while the process serves)
@@ -193,6 +195,7 @@ func newDaemon(cfg config) (*daemon, error) {
 	handle("GET /images/{name}", "image", d.handleImage)
 	handle("DELETE /images/{name}", "delete", d.handleDelete)
 	handle("GET /images/{name}/blocks/{i}", "block", d.handleBlock)
+	handle("GET /images/{name}/blocks", "range", d.handleRange)
 	handle("GET /images/{name}/text", "text", d.handleText)
 	handle("POST /images/{name}/train", "train", d.maxBody(cfg.maxImage, d.handleTrain))
 	handle("GET /images/{name}/profile", "profile", d.handleProfile)
@@ -447,6 +450,46 @@ func (d *daemon) handleBlock(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Cache", "miss")
 	}
 	w.Write(data) //nolint:errcheck
+}
+
+// handleRange serves GET /images/{name}/blocks?range=i-j through the
+// batched decode path: one worker-pool ticket per contiguous miss-run
+// instead of one per block. The amortization stats travel back as
+// X-Range-* headers so callers (loadgen's range arm, ops curl) can see
+// how the read was served without parsing a JSON envelope around the
+// binary payload.
+func (d *daemon) handleRange(w http.ResponseWriter, r *http.Request) {
+	first, last, ok := parseRange(r.URL.Query().Get("range"))
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "range must be i-j with 0 <= i <= j"})
+		return
+	}
+	data, st, err := d.rs.RangeBatched(r.PathValue("name"), first, last)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Header().Set("X-Range-Blocks", strconv.Itoa(st.Blocks))
+	w.Header().Set("X-Range-Cached", strconv.Itoa(st.CachedBlocks))
+	w.Header().Set("X-Range-Dispatches", strconv.Itoa(st.Dispatches))
+	w.Header().Set("X-Range-Decoded", strconv.Itoa(st.DecodedBlocks))
+	w.Write(data) //nolint:errcheck
+}
+
+// parseRange parses "i-j" into an inclusive block interval.
+func parseRange(s string) (first, last int, ok bool) {
+	dash := strings.IndexByte(s, '-')
+	if dash <= 0 {
+		return 0, 0, false
+	}
+	first, err1 := strconv.Atoi(s[:dash])
+	last, err2 := strconv.Atoi(s[dash+1:])
+	if err1 != nil || err2 != nil || first < 0 || first > last {
+		return 0, 0, false
+	}
+	return first, last, true
 }
 
 func (d *daemon) handleText(w http.ResponseWriter, r *http.Request) {

@@ -304,3 +304,95 @@ func TestDataDirPersistence(t *testing.T) {
 		t.Fatalf("deleted image resurrected on restart: %v", imgs)
 	}
 }
+
+// TestRangeEndpoint drives GET /images/{name}/blocks?range=i-j: the body
+// must be the exact decompressed byte range, the X-Range-* headers must
+// show the batched path amortizing dispatches below one-per-block, and
+// malformed or out-of-range requests must fail cleanly.
+func TestRangeEndpoint(t *testing.T) {
+	cfg := testConfig()
+	cfg.prefetch = -1 // keep the cached-block count deterministic
+	_, ts, blocks := startDaemon(t, cfg)
+	text := codecomp.GenerateMIPS(codecomp.MustProfile("tomcatv")).Text()
+
+	// Warm two scattered blocks so the range has both cached blocks and
+	// more than one miss-run to coalesce.
+	for _, i := range []int{3, 6} {
+		if resp, _ := get(t, fmt.Sprintf("%s/images/prog/blocks/%d", ts.URL, i), nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm block %d: %d", i, resp.StatusCode)
+		}
+	}
+
+	resp, body := get(t, ts.URL+"/images/prog/blocks?range=1-10", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("range read: %d: %s", resp.StatusCode, body)
+	}
+	if want := text[1*32 : 11*32]; string(body) != string(want) {
+		t.Fatalf("range body mismatch: %d bytes, want %d", len(body), len(want))
+	}
+	if got := resp.Header.Get("X-Range-Blocks"); got != "10" {
+		t.Fatalf("X-Range-Blocks = %q, want 10", got)
+	}
+	if got := resp.Header.Get("X-Range-Cached"); got != "2" {
+		t.Fatalf("X-Range-Cached = %q, want 2 (warmed blocks 3 and 6)", got)
+	}
+	// Miss-runs [1,2], [4,5], [7,10] → three dispatches for ten blocks.
+	if got := resp.Header.Get("X-Range-Dispatches"); got != "3" {
+		t.Fatalf("X-Range-Dispatches = %q, want 3", got)
+	}
+	if got := resp.Header.Get("X-Range-Decoded"); got != "8" {
+		t.Fatalf("X-Range-Decoded = %q, want 8", got)
+	}
+
+	// Fully warm re-read: zero dispatches.
+	resp, _ = get(t, ts.URL+"/images/prog/blocks?range=1-10", nil)
+	if got := resp.Header.Get("X-Range-Dispatches"); got != "0" {
+		t.Fatalf("warm X-Range-Dispatches = %q, want 0", got)
+	}
+
+	for _, bad := range []string{"", "5-2", "x-3", "-1-4", "3", "1-"} {
+		resp, _ := get(t, ts.URL+"/images/prog/blocks?range="+bad, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("range=%q: %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	// Past-the-end maps to 404 like an out-of-range block index does.
+	if resp, _ := get(t, fmt.Sprintf("%s/images/prog/blocks?range=0-%d", ts.URL, blocks), nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("out-of-range read: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/images/nope/blocks?range=0-1", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown image: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRangeEndpointRANS uploads a rANS image over HTTP and reads it back
+// through the batched range path — the full upload→detect→decode loop
+// for the new codec.
+func TestRangeEndpointRANS(t *testing.T) {
+	_, ts, _ := startDaemon(t, testConfig())
+	text := codecomp.GenerateMIPS(codecomp.MustProfile("tomcatv")).Text()
+	img, err := codecomp.CompressRANS(text, codecomp.RANSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/images?name=rprog", "application/octet-stream",
+		strings.NewReader(string(img.Marshal())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info romserver.ImageInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || info.Format != codecomp.FormatRANS {
+		t.Fatalf("rANS upload: %d %+v", resp.StatusCode, info)
+	}
+	r2, body := get(t, fmt.Sprintf("%s/images/rprog/blocks?range=0-%d", ts.URL, info.Blocks-1), nil)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("rANS range: %d: %s", r2.StatusCode, body)
+	}
+	if string(body) != string(text) {
+		t.Fatalf("rANS range body: %d bytes, want %d", len(body), len(text))
+	}
+}

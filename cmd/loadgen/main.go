@@ -64,7 +64,7 @@ import (
 func main() {
 	addr := flag.String("addr", "http://localhost:8077", "codecompd base URL")
 	profile := flag.String("profile", "gcc", "synthetic SPEC95 profile to generate")
-	alg := flag.String("alg", "samc", "compression algorithm: samc, sadc, huff")
+	alg := flag.String("alg", "samc", "compression algorithm: samc, sadc, huff, rans")
 	name := flag.String("name", "", "image name on the server (default <profile>-<alg>)")
 	traceLen := flag.Int("trace", 200000, "instruction fetches per trace loop")
 	loops := flag.Int("loops", 2, "times the trace is replayed (loop >1 exercises the warm cache)")
@@ -79,6 +79,7 @@ func main() {
 	tracefile := flag.String("tracefile", "", "also write the generated block trace here in codecomp-trace format")
 	offline := flag.Bool("offline", false, "skip the server: score sequential/markov/hotset through the memsys policy evaluator")
 	simCache := flag.Int("sim-cache", 0, "offline cache capacity in blocks (0 = working set / 3)")
+	rangeSpan := flag.Int("range", 0, "replay through GET /blocks?range=i-j with spans of this many blocks (0 = per-block reads); the report compares pool dispatches against per-block cost")
 	chaos := flag.Bool("chaos", false, "fault drill: inject faults server-side, verify every served byte, assert detection and recovery")
 	chaosBitflip := flag.Float64("chaos-bitflip", 0.02, "chaos: per-decompression bit-flip rate")
 	chaosTransient := flag.Float64("chaos-transient", 0.01, "chaos: per-decompression transient-error rate")
@@ -170,6 +171,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("loadgen: chaos: PASS — faults injected, detected, never served; image recovered\n")
+		return
+	}
+
+	if *rangeSpan > 0 {
+		fatal(uploadVerbose(cc, *name, image))
+		violations := runRange(cc, *name, text, reqs, *loops, *concurrency, *rangeSpan, blocks, *blockSize)
+		if violations > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: range: FAIL (%d invariant violations)\n", violations)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -477,6 +488,75 @@ type chaosConfig struct {
 	blockSize          int
 }
 
+// runRange replays the block-request stream through the batched range
+// endpoint: every request becomes a span of `span` consecutive blocks,
+// every response body is verified against the original text, and the
+// report compares the worker-pool dispatches the server actually used
+// (summed from the X-Range-Dispatches headers) against the one ticket
+// per block the same stream would have cost through GET /blocks/{i}.
+func runRange(cc *client.Client, name string, text []byte, reqs []int, loops, concurrency, span, blocks, blockSize int) int {
+	var ok, failed, mismatches atomic.Int64
+	var blocksRead, dispatches, cached, decoded atomic.Int64
+	work := make(chan int, 4*concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range work {
+				last := b + span - 1
+				if last >= blocks {
+					last = blocks - 1
+				}
+				body, st, err := cc.Range(name, b, last)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				lo, hi := b*blockSize, (last+1)*blockSize
+				if hi > len(text) {
+					hi = len(text)
+				}
+				if !bytes.Equal(body, text[lo:hi]) {
+					mismatches.Add(1)
+					fmt.Printf("loadgen: range: MISMATCH for blocks [%d,%d]\n", b, last)
+					continue
+				}
+				ok.Add(1)
+				blocksRead.Add(int64(st.Blocks))
+				dispatches.Add(int64(st.Dispatches))
+				cached.Add(int64(st.CachedBlocks))
+				decoded.Add(int64(st.DecodedBlocks))
+			}
+		}()
+	}
+	for l := 0; l < loops; l++ {
+		for _, b := range reqs {
+			work <- b
+		}
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("loadgen: range: %d spans ok, %d failed, %d mismatched in %v\n",
+		ok.Load(), failed.Load(), mismatches.Load(), elapsed.Round(time.Millisecond))
+	fmt.Printf("loadgen: range: %d block reads served by %d pool dispatches (%d cached, %d decoded) — %.1f%% of per-block dispatch cost\n",
+		blocksRead.Load(), dispatches.Load(), cached.Load(), decoded.Load(),
+		pct(dispatches.Load(), blocksRead.Load()))
+
+	violations := 0
+	if mismatches.Load() > 0 || failed.Load() > 0 {
+		violations++
+	}
+	if span > 1 && dispatches.Load() >= blocksRead.Load() {
+		fmt.Printf("loadgen: range: FAIL - batched reads used no fewer dispatches than per-block reads\n")
+		violations++
+	}
+	return violations
+}
+
 // runChaos executes the fault drill and returns the number of invariant
 // violations. The invariants, in order of importance:
 //
@@ -650,6 +730,66 @@ func runChaos(cc *client.Client, name string, text []byte, reqs []int, loops, co
 		time.Sleep(250 * time.Millisecond)
 	}
 	check(recovered, "image re-verified back to healthy")
+
+	// Phase 2: batched range reads under fire. Re-arm the bit-flip and
+	// transient faults (no panic block — that one only ever quarantines)
+	// and sweep the whole image through GET /blocks?range=i-j. The
+	// invariants mirror the per-block storm: a refused span is tolerated,
+	// a corrupt byte served is not, spans must still succeed, and the
+	// successful spans must amortize pool dispatches below one per block.
+	fatal(putFaults(cc, name, chaosConfig{
+		bitflip:   cfg.bitflip,
+		transient: cfg.transient,
+		seed:      cfg.seed + 1,
+		blockSize: cfg.blockSize,
+	}))
+	nblocks := (len(text) + cfg.blockSize - 1) / cfg.blockSize
+	var rangeBlocks, rangeDispatches, rangeDecoded, rangeOK int64
+	rangeExact := true
+	for first := 0; first < nblocks; first += 16 {
+		lastB := first + 15
+		if lastB >= nblocks {
+			lastB = nblocks - 1
+		}
+		var body []byte
+		var st romserver.RangeStats
+		var rerr error
+		for attempt := 0; attempt < 3; attempt++ {
+			if body, st, rerr = cc.Range(name, first, lastB); rerr == nil {
+				break
+			}
+		}
+		if rerr != nil {
+			continue // refused, not corrupted — the tolerated failure mode
+		}
+		hi := (lastB + 1) * cfg.blockSize
+		if hi > len(text) {
+			hi = len(text)
+		}
+		if !bytes.Equal(body, text[first*cfg.blockSize:hi]) {
+			rangeExact = false
+			fmt.Printf("loadgen: chaos: CORRUPT BYTES SERVED for range [%d,%d]\n", first, lastB)
+			continue
+		}
+		rangeOK++
+		rangeBlocks += int64(st.Blocks)
+		rangeDispatches += int64(st.Dispatches)
+		rangeDecoded += int64(st.DecodedBlocks)
+	}
+	fmt.Printf("loadgen: chaos: range sweep: %d spans ok, %d blocks via %d dispatches (%d decoded under faults)\n",
+		rangeOK, rangeBlocks, rangeDispatches, rangeDecoded)
+	check(rangeExact && rangeOK > 0, "batched range reads byte-exact under faults")
+	check(rangeBlocks > 0 && rangeDispatches < rangeBlocks, "range reads amortized pool dispatches below per-block cost")
+	fatal(clearFaults(cc, name))
+	// The sweep's detected corruptions may have re-degraded the image;
+	// give the re-verifier a moment before the final readiness probe.
+	deadline = time.Now().Add(90 * time.Second)
+	for time.Now().Before(deadline) {
+		if cc.Readyz() == nil {
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
 	check(cc.Readyz() == nil, "/readyz reports ready after recovery")
 	return violations
 }
@@ -742,8 +882,14 @@ func compress(text []byte, alg string, blockSize int) ([]byte, int, error) {
 			return nil, 0, err
 		}
 		return c.Marshal(), c.NumBlocks(), nil
+	case "rans":
+		c, err := codecomp.CompressRANS(text, codecomp.RANSOptions{BlockSize: blockSize})
+		if err != nil {
+			return nil, 0, err
+		}
+		return c.Marshal(), c.NumBlocks(), nil
 	}
-	return nil, 0, fmt.Errorf("unknown algorithm %q (want samc, sadc or huff)", alg)
+	return nil, 0, fmt.Errorf("unknown algorithm %q (want samc, sadc, huff or rans)", alg)
 }
 
 // uploadVerbose registers the image via the shared client and echoes

@@ -37,6 +37,7 @@ import (
 	"codecomp/internal/lzw"
 	"codecomp/internal/markov"
 	"codecomp/internal/memsys"
+	"codecomp/internal/rans"
 	"codecomp/internal/sadc"
 	"codecomp/internal/samc"
 	"codecomp/internal/streams"
@@ -101,6 +102,21 @@ type HuffmanImage = kozuch.Compressed
 // the given block size (0 → 32).
 func CompressHuffman(text []byte, blockSize int) (*HuffmanImage, error) {
 	return kozuch.Compress(text, blockSize)
+}
+
+// rANS re-exports.
+type (
+	// RANSOptions configures interleaved-rANS compression (block size,
+	// interleaving factor).
+	RANSOptions = rans.Options
+	// RANSImage is an interleaved-rANS compressed program.
+	RANSImage = rans.Compressed
+)
+
+// CompressRANS compresses text with the block-addressable interleaved rANS
+// codec (the nibble-parallel decoder analogue; see internal/rans).
+func CompressRANS(text []byte, opts RANSOptions) (*RANSImage, error) {
+	return rans.Compress(text, opts)
 }
 
 // LZW (UNIX compress) file-level baseline.
@@ -248,16 +264,22 @@ func UnmarshalSADC(data []byte) (*SADCImage, error) { return sadc.Unmarshal(data
 // output.
 func UnmarshalHuffman(data []byte) (*HuffmanImage, error) { return kozuch.Unmarshal(data) }
 
+// UnmarshalRANS reconstructs an interleaved-rANS image from its Marshal
+// output.
+func UnmarshalRANS(data []byte) (*RANSImage, error) { return rans.Unmarshal(data) }
+
 // Serialized-image format names, as reported by DetectFormat.
 const (
 	FormatSAMC    = "samc"
 	FormatSADC    = "sadc"
 	FormatHuffman = "huffman"
+	FormatRANS    = "rans"
 )
 
 // DetectFormat inspects a serialized image's magic and returns its format
-// name (FormatSAMC, FormatSADC or FormatHuffman), or "" if the data does not
-// begin with a known magic. It never inspects more than the first 4 bytes.
+// name (FormatSAMC, FormatSADC, FormatHuffman or FormatRANS), or "" if the
+// data does not begin with a known magic. It never inspects more than the
+// first 4 bytes.
 func DetectFormat(data []byte) string {
 	if len(data) < 4 {
 		return ""
@@ -269,12 +291,15 @@ func DetectFormat(data []byte) string {
 		return FormatSADC
 	case "KZHF":
 		return FormatHuffman
+	case "RANS":
+		return FormatRANS
 	}
 	return ""
 }
 
 // UnmarshalAny reconstructs a block-addressable image of any format,
-// auto-detecting SAMC, SADC and byte-Huffman ROM images by their magic.
+// auto-detecting SAMC, SADC, byte-Huffman and rANS ROM images by their
+// magic.
 // It is the programmatic form of `codecomp -decompress` and the entry point
 // the romserver registry uses for uploaded images. Raw LZW/deflate
 // containers carry no magic and are not block-addressable, so they are
@@ -287,8 +312,10 @@ func UnmarshalAny(data []byte) (BlockCodec, error) {
 		return sadc.Unmarshal(data)
 	case FormatHuffman:
 		return kozuch.Unmarshal(data)
+	case FormatRANS:
+		return rans.Unmarshal(data)
 	}
-	return nil, fmt.Errorf("codecomp: unrecognized image format (no SAMC/SADC/KZHF magic)")
+	return nil, fmt.Errorf("codecomp: unrecognized image format (no SAMC/SADC/KZHF/RANS magic)")
 }
 
 // BlockAppender is the optional fast-path extension of BlockCodec: decode
@@ -320,8 +347,10 @@ var (
 	_ BlockCodec = (*SAMCImage)(nil)
 	_ BlockCodec = (*SADCImage)(nil)
 	_ BlockCodec = (*HuffmanImage)(nil)
+	_ BlockCodec = (*RANSImage)(nil)
 
 	_ BlockAppender = (*SAMCImage)(nil)
 	_ BlockAppender = (*SADCImage)(nil)
 	_ BlockAppender = (*HuffmanImage)(nil)
+	_ BlockAppender = (*RANSImage)(nil)
 )

@@ -131,7 +131,11 @@ func FuzzUnmarshalAny(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	for _, img := range [][]byte{samcImg.Marshal(), sadcImg.Marshal(), huffImg.Marshal()} {
+	ransImg, err := codecomp.CompressRANS(text, codecomp.RANSOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, img := range [][]byte{samcImg.Marshal(), sadcImg.Marshal(), huffImg.Marshal(), ransImg.Marshal()} {
 		f.Add(img)
 		f.Add(img[:len(img)/2]) // truncated
 		f.Add(img[:16])         // header only
@@ -146,6 +150,7 @@ func FuzzUnmarshalAny(f *testing.F) {
 	f.Add([]byte("SAMC"))
 	f.Add([]byte("SADC\x01"))
 	f.Add([]byte("KZHF\xff\xff\xff\xff"))
+	f.Add([]byte("RANS\x01\x00\x00\x00\x00"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c, err := codecomp.UnmarshalAny(data)
 		if err != nil {
@@ -162,7 +167,7 @@ func FuzzUnmarshalAny(f *testing.F) {
 
 // FuzzUnmarshalAnyBitFlip models a single-event upset in stored ROM: for
 // every format, ANY single-bit flip anywhere in a marshaled image must be
-// rejected by UnmarshalAny — cleanly, with an error. All three container
+// rejected by UnmarshalAny — cleanly, with an error. All four container
 // formats carry a whole-payload CRC32 plus magic/version checks, so a
 // flipped image that unmarshals successfully is a serializer integrity
 // hole, not fuzz noise.
@@ -180,7 +185,11 @@ func FuzzUnmarshalAnyBitFlip(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	images := [][]byte{samcImg.Marshal(), sadcImg.Marshal(), huffImg.Marshal()}
+	ransImg, err := codecomp.CompressRANS(text, codecomp.RANSOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	images := [][]byte{samcImg.Marshal(), sadcImg.Marshal(), huffImg.Marshal(), ransImg.Marshal()}
 	for i := range images {
 		// Seed bit positions across the header, the CRC field itself and
 		// the payload of each format.

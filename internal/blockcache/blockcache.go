@@ -422,6 +422,20 @@ func (c *Cache) Peek(key Key) ([]byte, bool) {
 	return val, ok
 }
 
+// Put inserts a value for key without running a loader and without
+// touching the demand hit/miss or prefetch counters — the write-side
+// analogue of Peek. Batched range decodes use it: every block a range
+// dispatch decodes is inserted so later demand reads hit, but the insert
+// itself is not a demand miss and must not skew hit-ratio or
+// prefetch-accuracy accounting. Normal LRU insertion and eviction apply;
+// inserting over an existing entry keeps the newest value.
+func (c *Cache) Put(key Key, val []byte) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	s.insert(c, key, val, false)
+	s.mu.Unlock()
+}
+
 // InvalidateImage drops every cached block of the named image, pinned or
 // not (after an image is replaced or removed). In-flight loads are not
 // interrupted; their results land in the cache and are at worst one stale

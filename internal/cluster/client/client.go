@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"codecomp/internal/romserver"
@@ -206,6 +207,34 @@ func (c *Client) Block(name string, i int) (data []byte, hit bool, err error) {
 		return nil, false, statusErr(fmt.Sprintf("block %d of %s", i, name), resp.StatusCode, body)
 	}
 	return body, resp.Header.Get("X-Cache") == "hit", nil
+}
+
+// Range fetches blocks [first,last] through the server's batched decode
+// path (GET /images/{name}/blocks?range=first-last) and reports how the
+// read was served, parsed back from the X-Range-* headers.
+func (c *Client) Range(name string, first, last int) ([]byte, romserver.RangeStats, error) {
+	var st romserver.RangeStats
+	req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/images/%s/blocks?range=%d-%d", c.Base, name, first, last), nil)
+	if err != nil {
+		return nil, st, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, st, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, st, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, st, statusErr(fmt.Sprintf("range %d-%d of %s", first, last, name), resp.StatusCode, body)
+	}
+	st.Blocks, _ = strconv.Atoi(resp.Header.Get("X-Range-Blocks"))
+	st.CachedBlocks, _ = strconv.Atoi(resp.Header.Get("X-Range-Cached"))
+	st.Dispatches, _ = strconv.Atoi(resp.Header.Get("X-Range-Dispatches"))
+	st.DecodedBlocks, _ = strconv.Atoi(resp.Header.Get("X-Range-Decoded"))
+	return body, st, nil
 }
 
 // CachedBlock asks the cluster-internal cache-only endpoint for one

@@ -1,0 +1,48 @@
+package rans
+
+import "testing"
+
+func benchImage(b *testing.B) *Compressed {
+	b.Helper()
+	c, err := Compress(mipsText(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkDecompressBlock(b *testing.B) {
+	c := benchImage(b)
+	b.SetBytes(int64(c.BlockSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Block(i % c.NumBlocks()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompressBlockReference(b *testing.B) {
+	c := benchImage(b)
+	b.SetBytes(int64(c.BlockSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.blockReference(i % c.NumBlocks()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendBlock(b *testing.B) {
+	c := benchImage(b)
+	dst := make([]byte, 0, c.BlockSize)
+	b.SetBytes(int64(c.BlockSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = c.AppendBlock(dst[:0], i%c.NumBlocks())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

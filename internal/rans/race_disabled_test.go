@@ -1,0 +1,5 @@
+//go:build !race
+
+package rans
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package rans
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation allocates, making AllocsPerRun meaningless under -race.
+const raceEnabled = true

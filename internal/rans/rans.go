@@ -1,0 +1,659 @@
+// Package rans implements a block-addressable interleaved rANS (range
+// asymmetric numeral system) codec over 4-bit symbols — the software
+// analogue of the paper's Figure-5 nibble-parallel decompressor, and the
+// "dense but fast" tier the access-pattern roadmap item calls for: SAMC's
+// compression class at table-lookup decode speeds.
+//
+// Model. Instruction nibbles are coded with a semiadaptive (frozen at
+// compress time) frequency model conditioned on (nibble position within the
+// 4-byte instruction word, previous nibble): 8×16 = 128 contexts of 16
+// symbols each, quantized to a power-of-two total so decode needs no
+// division. This addresses Kozuch & Wolfe's weakness the paper points out —
+// coding all four bytes of a RISC word with one table — at a table cost of
+// ~2 KB per image instead of the 100+ KB a byte-level order-1 model would
+// need.
+//
+// Interleaving. Each cache block is encoded independently (states and
+// context reset at the boundary, so blocks decompress in isolation) with N
+// interleaved rANS states: symbol j is carried by state j mod N, all states
+// renormalize nibble-at-a-time into one shared bitstream. Because state
+// j+1's arithmetic does not depend on state j's result, the decode loop
+// keeps N independent dependency chains in flight per iteration — in
+// hardware these are the paper's parallel nibble decoders; in software they
+// give the superscalar core independent work between renorm refills.
+//
+// Renormalization invariants (checked by the reference decoder in tests):
+//
+//	M = L = 256 (8-bit frequencies), b = 16 (nibble renorm)
+//	states live in [L, b·L) = [256, 4096) at every symbol boundary
+//	encoder, before pushing symbol s with frequency f: while x ≥ 16·f,
+//	  emit nibble x&15, x >>= 4   (post-push state lands back in [L, b·L))
+//	decoder, after popping a symbol: while x < L, x = x<<4 | next nibble
+//
+// M = 256 keeps the flat decode table at 128 KB (128 contexts × 256 slots
+// × 4 bytes) so it stays cache-resident on the decode critical path; the
+// quantization loss against a 10-bit model is under a point of ratio and
+// is bought back by the narrower 12-bit state flush.
+//
+// A block's payload is its N final encoder states, 12 bits each, followed
+// by the renorm nibbles in decode order, zero-padded to a byte boundary.
+package rans
+
+import (
+	"fmt"
+	"math/bits"
+
+	"codecomp/internal/bitio"
+)
+
+const (
+	scaleBits = 8              // log2 of the frequency-table total
+	m         = 1 << scaleBits // quantized frequency total per context
+	low       = m              // renormalization lower bound L
+	stateBits = scaleBits + 4  // log2(b·L): bits to store one final state
+	stateMax  = 1 << stateBits // exclusive upper bound b·L
+
+	// Decode-table entries pack sym<<symShift | freq<<scaleBits | start.
+	// A frequency can equal m itself (single-symbol context), so its field
+	// is scaleBits+1 wide; the serialized model uses the same width.
+	freqFieldBits = scaleBits + 1
+	freqMask      = 1<<freqFieldBits - 1
+	symShift      = scaleBits + freqFieldBits
+	numCtx        = 128 // (nibble position & 7) << 4 | previous nibble
+	numSym        = 16  // nibble alphabet
+
+	// DefaultBlockSize is the codec's native decode granularity. rANS pays
+	// N·stateBits bits of state flush per block, so its blocks default to
+	// 128 bytes — four 32-byte cache lines — to keep that overhead under 5%.
+	DefaultBlockSize = 128
+	// DefaultStreams is the default interleaving factor N.
+	DefaultStreams = 4
+)
+
+// Options configures Compress.
+type Options struct {
+	// BlockSize is the decode granularity in bytes (0 → DefaultBlockSize).
+	// Must be a multiple of 4 so the position context stays word-aligned.
+	BlockSize int
+	// Streams is the interleaving factor N (0 → DefaultStreams). Must be
+	// 1, 2, 4 or 8.
+	Streams int
+}
+
+// Compressed is an interleaved-rANS compressed image. Once built it is
+// never mutated, so any number of goroutines may decompress blocks
+// concurrently (the BlockCodec contract the serving layer relies on).
+type Compressed struct {
+	// Freq holds the quantized per-context nibble frequencies; each row
+	// sums to exactly m. Cum is its exclusive prefix sum.
+	Freq [numCtx][numSym]uint16
+	Cum  [numCtx][numSym + 1]uint16
+	// Blocks holds each block's serialized payload (states + nibbles).
+	Blocks    [][]byte
+	BlockSize int
+	OrigSize  int
+	// Streams is the interleaving factor N the image was encoded with.
+	Streams int
+
+	// dec is the flat slot→(symbol, freq, start) decode table, indexed by
+	// ctx<<scaleBits | slot. Entries pack sym<<symShift | freq<<scaleBits | start.
+	dec []uint32
+}
+
+func (o *Options) normalize() error {
+	if o.BlockSize == 0 {
+		o.BlockSize = DefaultBlockSize
+	}
+	if o.Streams == 0 {
+		o.Streams = DefaultStreams
+	}
+	if o.BlockSize < 4 || o.BlockSize > 1<<16-1 || o.BlockSize%4 != 0 {
+		return fmt.Errorf("rans: block size %d not a multiple of 4 in [4,65535]", o.BlockSize)
+	}
+	switch o.Streams {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("rans: streams %d not in {1,2,4,8}", o.Streams)
+	}
+	return nil
+}
+
+// ctxOf is the model context of nibble j within a block, given the previous
+// nibble (0 at a block start). j counts nibbles: 8 per instruction word.
+func ctxOf(j int, prev uint32) uint32 {
+	return uint32(j&7)<<4 | prev
+}
+
+// Compress builds the per-image frequency model and encodes every block
+// with opts.Streams interleaved states.
+func Compress(text []byte, opts Options) (*Compressed, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	c := &Compressed{
+		BlockSize: opts.BlockSize,
+		OrigSize:  len(text),
+		Streams:   opts.Streams,
+	}
+
+	// Pass 1: gather nibble counts per context, with the context chain
+	// reset at every block boundary exactly as the decoder will see it.
+	var counts [numCtx][numSym]uint64
+	for off := 0; off < len(text); off += c.BlockSize {
+		end := min(off+c.BlockSize, len(text))
+		prev := uint32(0)
+		for j, i := 0, off; i < end; i++ {
+			hi, lo := uint32(text[i]>>4), uint32(text[i]&15)
+			counts[ctxOf(j, prev)][hi]++
+			prev = hi
+			counts[ctxOf(j+1, prev)][lo]++
+			prev = lo
+			j += 2
+		}
+	}
+	for ctx := range counts {
+		quantize(&counts[ctx], &c.Freq[ctx])
+	}
+	c.buildCum()
+	c.buildDecodeTable()
+
+	// Pass 2: encode each block back to front through the shared model.
+	mask := uint32(c.Streams - 1)
+	w := bitio.NewWriter(c.BlockSize)
+	var nibs, ctxs []uint32 // per-block scratch, reused
+	var stack []byte        // renorm nibbles in emit (reverse) order
+	for off := 0; off < len(text); off += c.BlockSize {
+		end := min(off+c.BlockSize, len(text))
+		nibs, ctxs = nibs[:0], ctxs[:0]
+		prev := uint32(0)
+		for i := off; i < end; i++ {
+			for _, nib := range [2]uint32{uint32(text[i] >> 4), uint32(text[i] & 15)} {
+				ctxs = append(ctxs, ctxOf(len(nibs), prev))
+				nibs = append(nibs, nib)
+				prev = nib
+			}
+		}
+		var states [8]uint32
+		for k := 0; k < c.Streams; k++ {
+			states[k] = low
+		}
+		stack = stack[:0]
+		for j := len(nibs) - 1; j >= 0; j-- {
+			f := uint32(c.Freq[ctxs[j]][nibs[j]])
+			x := states[uint32(j)&mask]
+			for x >= f<<4 {
+				stack = append(stack, byte(x&15))
+				x >>= 4
+			}
+			states[uint32(j)&mask] = (x/f)<<scaleBits + uint32(c.Cum[ctxs[j]][nibs[j]]) + x%f
+		}
+		w.Reset()
+		for k := 0; k < c.Streams; k++ {
+			w.WriteBits(uint64(states[k]), stateBits)
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			w.WriteBits(uint64(stack[i]), 4)
+		}
+		c.Blocks = append(c.Blocks, w.AppendBytes(make([]byte, 0, w.Len())))
+	}
+	return c, nil
+}
+
+// quantize scales one context's raw counts to integer frequencies summing
+// exactly to m, giving every present symbol at least 1. Contexts that never
+// occur get a uniform table so a decoder over corrupt (but CRC-passing)
+// input still has a total-m table to walk.
+func quantize(counts *[numSym]uint64, freq *[numSym]uint16) {
+	var total uint64
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		for s := range freq {
+			freq[s] = m / numSym
+		}
+		return
+	}
+	sum := 0
+	for s, n := range counts {
+		if n == 0 {
+			freq[s] = 0
+			continue
+		}
+		q := int(n * m / total)
+		if q == 0 {
+			q = 1
+		}
+		freq[s] = uint16(q)
+		sum += q
+	}
+	// Largest-remainder style fixup: push the difference onto the most
+	// frequent symbols, never dropping a present symbol below 1.
+	for sum != m {
+		best, bestN := -1, uint64(0)
+		for s, n := range counts {
+			if n == 0 {
+				continue
+			}
+			if sum < m {
+				if n > bestN {
+					best, bestN = s, n
+				}
+			} else if freq[s] > 1 && n > bestN {
+				best, bestN = s, n
+			}
+		}
+		if best < 0 { // sum > m but everything is already at 1: impossible
+			panic("rans: quantize cannot reach total")
+		}
+		if sum < m {
+			d := m - sum
+			freq[best] += uint16(d)
+			sum += d
+		} else {
+			d := sum - m
+			if int(freq[best])-1 < d {
+				d = int(freq[best]) - 1
+			}
+			freq[best] -= uint16(d)
+			sum -= d
+		}
+	}
+}
+
+func (c *Compressed) buildCum() {
+	for ctx := range c.Freq {
+		acc := uint16(0)
+		for s, f := range c.Freq[ctx] {
+			c.Cum[ctx][s] = acc
+			acc += f
+		}
+		c.Cum[ctx][numSym] = acc
+	}
+}
+
+// buildDecodeTable expands the frequency model into the flat slot table the
+// fast decode loop indexes: one entry per (context, slot in [0,m)).
+func (c *Compressed) buildDecodeTable() {
+	c.dec = make([]uint32, numCtx<<scaleBits)
+	for ctx := range c.Freq {
+		base := ctx << scaleBits
+		for s := 0; s < numSym; s++ {
+			f, start := uint32(c.Freq[ctx][s]), uint32(c.Cum[ctx][s])
+			e := uint32(s)<<symShift | f<<scaleBits | start
+			for slot := start; slot < start+f; slot++ {
+				c.dec[base+int(slot)] = e
+			}
+		}
+	}
+}
+
+// validate checks the invariants Unmarshal relies on before trusting a
+// parsed model, and rebuilds the derived tables.
+func (c *Compressed) validate() error {
+	if c.BlockSize < 4 || c.BlockSize > 1<<16-1 || c.BlockSize%4 != 0 {
+		return fmt.Errorf("rans: block size %d not a multiple of 4 in [4,65535]", c.BlockSize)
+	}
+	switch c.Streams {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("rans: streams %d not in {1,2,4,8}", c.Streams)
+	}
+	for ctx := range c.Freq {
+		sum := 0
+		for _, f := range c.Freq[ctx] {
+			sum += int(f)
+		}
+		if sum != m {
+			return fmt.Errorf("rans: context %d frequencies sum to %d, want %d", ctx, sum, m)
+		}
+	}
+	want := 0
+	if c.OrigSize > 0 {
+		want = (c.OrigSize + c.BlockSize - 1) / c.BlockSize
+	}
+	if len(c.Blocks) != want {
+		return fmt.Errorf("rans: %d blocks for %d bytes at block size %d, want %d",
+			len(c.Blocks), c.OrigSize, c.BlockSize, want)
+	}
+	c.buildCum()
+	c.buildDecodeTable()
+	return nil
+}
+
+// NumBlocks returns the block count.
+func (c *Compressed) NumBlocks() int { return len(c.Blocks) }
+
+// blockOrigLen is block i's uncompressed byte count (the last block may be
+// short).
+func (c *Compressed) blockOrigLen(i int) int {
+	n := c.BlockSize
+	if (i+1)*c.BlockSize > c.OrigSize {
+		n = c.OrigSize - i*c.BlockSize
+	}
+	return n
+}
+
+// Block decompresses one block into a fresh buffer.
+func (c *Compressed) Block(i int) ([]byte, error) {
+	if i < 0 || i >= len(c.Blocks) {
+		return nil, fmt.Errorf("rans: block %d out of range [0,%d)", i, len(c.Blocks))
+	}
+	return c.AppendBlock(make([]byte, 0, c.blockOrigLen(i)), i)
+}
+
+// AppendBlock decompresses block i and appends its bytes to dst: the fused
+// fast path. The flat decode table, a manually managed 64-bit bit
+// reservoir (the inlined form of bitio.Reader's refill buffer) and the
+// interleaved states held in registers make a steady-state decode allocate
+// nothing beyond dst's growth.
+func (c *Compressed) AppendBlock(dst []byte, i int) ([]byte, error) {
+	if i < 0 || i >= len(c.Blocks) {
+		return nil, fmt.Errorf("rans: block %d out of range [0,%d)", i, len(c.Blocks))
+	}
+	if c.Streams == 4 {
+		return c.append4(dst, i)
+	}
+	dec := c.dec
+	if len(dec) != numCtx<<scaleBits {
+		return nil, fmt.Errorf("rans: decode table not built")
+	}
+	data := c.Blocks[i]
+	// Bit reservoir: the next nbits bits of the stream, left-aligned.
+	var bitbuf uint64
+	var nbits uint
+	idx := 0
+	var states [8]uint32
+	for k := 0; k < c.Streams; k++ {
+		for nbits <= 56 && idx < len(data) {
+			bitbuf |= uint64(data[idx]) << (56 - nbits)
+			nbits += 8
+			idx++
+		}
+		if nbits < stateBits {
+			return nil, fmt.Errorf("rans: block %d truncated before state %d", i, k)
+		}
+		v := uint32(bitbuf >> (64 - stateBits))
+		bitbuf <<= stateBits
+		nbits -= stateBits
+		if v < low {
+			return nil, fmt.Errorf("rans: block %d state %d = %d below renorm bound", i, k, v)
+		}
+		states[k] = v
+	}
+	mask := uint32(c.Streams - 1)
+	prev := uint32(0)
+	n := c.blockOrigLen(i)
+	j := uint32(0)
+	for k := 0; k < n; k++ {
+		var b uint32
+		for half := 0; half < 2; half++ {
+			x := states[j&mask]
+			slot := x & (m - 1)
+			e := dec[(j&7)<<stateBits|prev<<scaleBits|slot]
+			x = (e>>scaleBits&freqMask)*(x>>scaleBits) + slot - e&(m-1)
+			if x < low {
+				// Renormalize: top up the reservoir, then pull exactly the
+				// nibbles that lift the state back into [L, b·L).
+				if nbits < 12 {
+					for nbits <= 56 && idx < len(data) {
+						bitbuf |= uint64(data[idx]) << (56 - nbits)
+						nbits += 8
+						idx++
+					}
+				}
+				need := ((stateBits - uint(bits.Len32(x))) >> 2) << 2
+				if nbits < need {
+					return nil, fmt.Errorf("rans: block %d truncated at symbol %d", i, j)
+				}
+				x = x<<need | uint32(bitbuf>>(64-need))
+				bitbuf <<= need
+				nbits -= need
+			}
+			states[j&mask] = x
+			prev = e >> symShift & 15
+			b = b<<4 | prev
+			j++
+		}
+		dst = append(dst, byte(b))
+	}
+	return dst, nil
+}
+
+// append4 is AppendBlock specialized for the default N=4 interleaving: the
+// four states live in named registers (no dynamically indexed spill), the
+// loop decodes one 4-symbol rotation — two output bytes — per iteration,
+// the reservoir refills a word at a time, and renormalization is branchless
+// (a state already in range computes a zero-nibble read).
+func (c *Compressed) append4(dst []byte, i int) ([]byte, error) {
+	dec := c.dec
+	if len(dec) != numCtx<<scaleBits {
+		return nil, fmt.Errorf("rans: decode table not built")
+	}
+	data := c.Blocks[i]
+	var bitbuf uint64
+	var nbits uint
+	idx := 0
+	for nbits <= 32 && idx+4 <= len(data) {
+		bitbuf |= uint64(uint32(data[idx])<<24|uint32(data[idx+1])<<16|uint32(data[idx+2])<<8|uint32(data[idx+3])) << (32 - nbits)
+		nbits += 32
+		idx += 4
+	}
+	for nbits <= 56 && idx < len(data) {
+		bitbuf |= uint64(data[idx]) << (56 - nbits)
+		nbits += 8
+		idx++
+	}
+	if nbits < 4*stateBits {
+		return nil, fmt.Errorf("rans: block %d truncated before states", i)
+	}
+	var s [4]uint32
+	for k := range s {
+		s[k] = uint32(bitbuf >> (64 - stateBits))
+		bitbuf <<= stateBits
+		nbits -= stateBits
+		if s[k] < low {
+			return nil, fmt.Errorf("rans: block %d state %d = %d below renorm bound", i, k, s[k])
+		}
+	}
+	s0, s1, s2, s3 := s[0], s[1], s[2], s[3]
+	prev := uint32(0)
+	total := 2 * c.blockOrigLen(i)
+	j := 0
+	for ; j+4 <= total; j += 4 {
+		// One reservoir check covers the whole rotation: a decoded state is
+		// ≥ 1, so each symbol refills at most stateBits−4 = 8 bits and four
+		// symbols never pull more than 32. If the stream can no longer
+		// supply 32 bits (its legitimate padded end, or truncation) the
+		// guarded tail loop below finishes — or faults — symbol by symbol.
+		if nbits < 32 {
+			for nbits <= 32 && idx+4 <= len(data) {
+				bitbuf |= uint64(uint32(data[idx])<<24|uint32(data[idx+1])<<16|uint32(data[idx+2])<<8|uint32(data[idx+3])) << (32 - nbits)
+				nbits += 32
+				idx += 4
+			}
+			for nbits <= 56 && idx < len(data) {
+				bitbuf |= uint64(data[idx]) << (56 - nbits)
+				nbits += 8
+				idx++
+			}
+			if nbits < 32 {
+				break
+			}
+		}
+		pos := uint32(j & 7) // 0 or 4: hi nibble of an even or odd word half
+
+		slot := s0 & (m - 1)
+		e := dec[(pos<<stateBits|prev<<scaleBits|slot)&(numCtx<<scaleBits-1)]
+		x := (e>>scaleBits&freqMask)*(s0>>scaleBits) + slot - e&(m-1)
+		need := ((stateBits - uint(bits.Len32(x))) >> 2) << 2
+		s0 = x<<need | uint32(bitbuf>>(64-need))
+		bitbuf <<= need
+		nbits -= need
+		prev = e >> symShift & 15
+		b0 := prev << 4
+
+		slot = s1 & (m - 1)
+		e = dec[((pos+1)<<stateBits|prev<<scaleBits|slot)&(numCtx<<scaleBits-1)]
+		x = (e>>scaleBits&freqMask)*(s1>>scaleBits) + slot - e&(m-1)
+		need = ((stateBits - uint(bits.Len32(x))) >> 2) << 2
+		s1 = x<<need | uint32(bitbuf>>(64-need))
+		bitbuf <<= need
+		nbits -= need
+		prev = e >> symShift & 15
+		b0 |= prev
+
+		slot = s2 & (m - 1)
+		e = dec[((pos+2)<<stateBits|prev<<scaleBits|slot)&(numCtx<<scaleBits-1)]
+		x = (e>>scaleBits&freqMask)*(s2>>scaleBits) + slot - e&(m-1)
+		need = ((stateBits - uint(bits.Len32(x))) >> 2) << 2
+		s2 = x<<need | uint32(bitbuf>>(64-need))
+		bitbuf <<= need
+		nbits -= need
+		prev = e >> symShift & 15
+		b1 := prev << 4
+
+		slot = s3 & (m - 1)
+		e = dec[((pos+3)<<stateBits|prev<<scaleBits|slot)&(numCtx<<scaleBits-1)]
+		x = (e>>scaleBits&freqMask)*(s3>>scaleBits) + slot - e&(m-1)
+		need = ((stateBits - uint(bits.Len32(x))) >> 2) << 2
+		s3 = x<<need | uint32(bitbuf>>(64-need))
+		bitbuf <<= need
+		nbits -= need
+		prev = e >> symShift & 15
+		b1 |= prev
+
+		dst = append(dst, byte(b0), byte(b1))
+	}
+	// Tail: the last rotations once the reservoir can't guarantee 32 bits,
+	// plus the odd byte (two nibbles) a short last block can leave over.
+	s[0], s[1], s[2], s[3] = s0, s1, s2, s3
+	var b uint32
+	for ; j < total; j++ {
+		x := s[j&3]
+		slot := x & (m - 1)
+		e := dec[(uint32(j&7)<<stateBits|prev<<scaleBits|slot)&(numCtx<<scaleBits-1)]
+		x = (e>>scaleBits&freqMask)*(x>>scaleBits) + slot - e&(m-1)
+		if x < low {
+			if nbits < 12 {
+				for nbits <= 56 && idx < len(data) {
+					bitbuf |= uint64(data[idx]) << (56 - nbits)
+					nbits += 8
+					idx++
+				}
+			}
+			need := ((stateBits - uint(bits.Len32(x))) >> 2) << 2
+			if nbits < need {
+				return nil, fmt.Errorf("rans: block %d truncated at symbol %d", i, j)
+			}
+			x = x<<need | uint32(bitbuf>>(64-need))
+			bitbuf <<= need
+			nbits -= need
+		}
+		s[j&3] = x
+		prev = e >> symShift & 15
+		b = b<<4 | prev
+		if j&1 == 1 {
+			dst = append(dst, byte(b))
+			b = 0
+		}
+	}
+	return dst, nil
+}
+
+// blockReference is the scalar reference decoder: one state advanced at a
+// time with the frequency and cumulative tables walked directly, no flat
+// slot table. It is the differential oracle for the interleaved fast path
+// (TestInterleavedMatchesReference) and the benchmark baseline.
+func (c *Compressed) blockReference(i int) ([]byte, error) {
+	if i < 0 || i >= len(c.Blocks) {
+		return nil, fmt.Errorf("rans: block %d out of range [0,%d)", i, len(c.Blocks))
+	}
+	rd := bitio.NewReader(c.Blocks[i])
+	states := make([]uint32, c.Streams)
+	for k := range states {
+		v, err := rd.ReadBits(stateBits)
+		if err != nil {
+			return nil, fmt.Errorf("rans: block %d truncated before state %d", i, k)
+		}
+		if v < low {
+			return nil, fmt.Errorf("rans: block %d state %d = %d below renorm bound", i, k, v)
+		}
+		states[k] = uint32(v)
+	}
+	out := make([]byte, 0, c.blockOrigLen(i))
+	prev := uint32(0)
+	for j := 0; j < 2*c.blockOrigLen(i); j++ {
+		ctx := ctxOf(j, prev)
+		x := states[j%c.Streams]
+		slot := uint16(x & (m - 1))
+		// Linear CDF walk: the readable inverse of the encoder's push.
+		sym := 0
+		for !(c.Cum[ctx][sym] <= slot && slot < c.Cum[ctx][sym+1]) {
+			sym++
+		}
+		x = uint32(c.Freq[ctx][sym])*(x>>scaleBits) + uint32(slot) - uint32(c.Cum[ctx][sym])
+		for x < low {
+			nib, err := rd.ReadBits(4)
+			if err != nil {
+				return nil, fmt.Errorf("rans: block %d truncated at symbol %d", i, j)
+			}
+			x = x<<4 | uint32(nib)
+		}
+		states[j%c.Streams] = x
+		prev = uint32(sym)
+		if j&1 == 0 {
+			out = append(out, byte(sym<<4))
+		} else {
+			out[len(out)-1] |= byte(sym)
+		}
+	}
+	return out, nil
+}
+
+// Decompress reconstructs the whole program.
+func (c *Compressed) Decompress() ([]byte, error) {
+	out := make([]byte, 0, c.OrigSize)
+	var err error
+	for i := range c.Blocks {
+		out, err = c.AppendBlock(out, i)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// PayloadBytes is the total encoded block payload (states + renorm
+// streams).
+func (c *Compressed) PayloadBytes() int {
+	n := 0
+	for _, b := range c.Blocks {
+		n += len(b)
+	}
+	return n
+}
+
+// TableBytes is the stored frequency model: 15 explicit (scaleBits+1)-bit
+// per context (the 16th is implied by the fixed total).
+func (c *Compressed) TableBytes() int { return (numCtx*(numSym-1)*freqFieldBits + 7) / 8 }
+
+// CompressedSize is payload plus model, the same accounting as the other
+// block codecs (the per-block offset table is the memory organization's
+// LAT and is excluded, as in the paper).
+func (c *Compressed) CompressedSize() int { return c.PayloadBytes() + c.TableBytes() }
+
+// Ratio is compressed/original size.
+func (c *Compressed) Ratio() float64 {
+	if c.OrigSize == 0 {
+		return 1
+	}
+	return float64(c.CompressedSize()) / float64(c.OrigSize)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -38,6 +38,13 @@ type serverMetrics struct {
 	prefetchDropped   *obsv.Counter
 	prefetchCompleted *obsv.Counter
 
+	// Batched range-read path.
+	rangeReads         *obsv.Counter
+	rangeDispatches    *obsv.Counter
+	rangeCachedBlocks  *obsv.Counter
+	rangeDecodedBlocks *obsv.Counter
+	rangeRead          *obsv.Histogram
+
 	peerFills       *obsv.Counter
 	peerFillRejects *obsv.Counter
 
@@ -86,6 +93,17 @@ func newServerMetrics(reg *obsv.Registry, tracer *obsv.Tracer) *serverMetrics {
 			"Prefetches skipped because the pool queue was saturated."),
 		prefetchCompleted: reg.Counter("romserver_prefetch_completed_total",
 			"Prefetched blocks that landed in the cache."),
+
+		rangeReads: reg.Counter("romserver_range_reads_total",
+			"Batched range reads served (GET /images/{name}/blocks?range=i-j)."),
+		rangeDispatches: reg.Counter("romserver_range_dispatches_total",
+			"Worker-pool tickets used by batched range reads — one per contiguous miss-run, not one per block."),
+		rangeCachedBlocks: reg.Counter("romserver_range_cached_blocks_total",
+			"Range-read blocks served straight from the cache (Peek: no LRU promotion, no demand hit/miss impact)."),
+		rangeDecodedBlocks: reg.Counter("romserver_range_decoded_blocks_total",
+			"Range-read blocks decoded by batched dispatches and inserted into the cache."),
+		rangeRead: reg.Histogram("romserver_range_read_seconds",
+			"End-to-end time of one batched range read: dispatch, decode and reassembly."),
 
 		peerFills: reg.Counter("romserver_peer_fills_total",
 			"Cache misses served by the fill hook (a replica's hot cache) after sidecar verification, skipping local decompression."),
