@@ -76,6 +76,7 @@ import (
 	"codecomp/internal/cluster"
 	"codecomp/internal/faultinj"
 	"codecomp/internal/obsv"
+	"codecomp/internal/overload"
 	"codecomp/internal/romserver"
 	"codecomp/internal/traceprof"
 )
@@ -101,6 +102,10 @@ type config struct {
 	// recovers them on boot (internal/cluster.Store) — a restarted
 	// daemon comes back owning its images without re-registration.
 	dataDir string
+	// overload enables the admission/brownout layer (internal/overload):
+	// deadline-aware admission in front of the pool queue, retry budgets,
+	// and heat-aware brownout shedding.
+	overload bool
 }
 
 type daemon struct {
@@ -137,6 +142,10 @@ func newDaemon(cfg config) (*daemon, error) {
 	}
 	reg := obsv.NewRegistry()
 	tracer := obsv.NewTracer(cfg.traceRing, cfg.traceSample)
+	var ovl *overload.Config
+	if cfg.overload {
+		ovl = &overload.Config{}
+	}
 	d := &daemon{
 		rs: romserver.New(romserver.Options{
 			CacheBlocks:      cfg.cacheBlocks,
@@ -150,6 +159,7 @@ func newDaemon(cfg config) (*daemon, error) {
 			ReverifyInterval: rv,
 			Registry:         reg,
 			Tracer:           tracer,
+			Overload:         ovl,
 		}),
 		reg:           reg,
 		tracer:        tracer,
@@ -281,6 +291,7 @@ func main() {
 	traceRing := flag.Int("trace-ring", 256, "how many completed block-load traces /debug/traces keeps")
 	traceSample := flag.Int("trace-sample", 16, "trace one block load in N (1 traces every load)")
 	dataDir := flag.String("data-dir", "", "persist registered images here and recover them on boot (empty disables)")
+	enableOverload := flag.Bool("overload", true, "adaptive admission control, retry budgets and brownout shedding (internal/overload)")
 	flag.Parse()
 
 	d, err := newDaemon(config{
@@ -299,6 +310,7 @@ func main() {
 		traceRing:     *traceRing,
 		traceSample:   *traceSample,
 		dataDir:       *dataDir,
+		overload:      *enableOverload,
 	})
 	if err != nil {
 		log.Fatalf("codecompd: %v", err)
@@ -353,9 +365,33 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck — client went away
 }
 
+// writeErr maps serving errors onto HTTP statuses. Overload outcomes
+// are deliberately distinct so clients and dashboards can tell them
+// apart: 429 + Retry-After means admission control rejected the request
+// up front (back off and retry), 503 + Retry-After means brownout shed
+// a cold miss (the server is alive but protecting its hot set; 503
+// without Retry-After remains quarantine/closed), and 504 means the
+// request's own propagated deadline expired (retrying with the same
+// deadline will fail again).
 func writeErr(w http.ResponseWriter, err error) {
+	var rej *overload.RejectError
+	if errors.As(err, &rej) {
+		status := http.StatusTooManyRequests
+		if rej.Reason == overload.ReasonBrownout {
+			status = http.StatusServiceUnavailable
+		}
+		secs := int(rej.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+		return
+	}
 	status := http.StatusInternalServerError
 	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		status = http.StatusGatewayTimeout
 	case errors.Is(err, romserver.ErrNotFound), errors.Is(err, romserver.ErrOutOfRange):
 		status = http.StatusNotFound
 	case errors.Is(err, romserver.ErrClosed), errors.Is(err, romserver.ErrQuarantined):
@@ -438,7 +474,13 @@ func (d *daemon) handleBlock(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "block index must be an integer"})
 		return
 	}
-	data, hit, err := d.rs.Block(r.PathValue("name"), i)
+	ctx, cancel, err := overload.WithDeadlineHeader(r.Context(), r.Header.Get(overload.DeadlineHeader))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	defer cancel()
+	data, hit, err := d.rs.BlockContext(ctx, r.PathValue("name"), i)
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,9 +10,11 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"codecomp"
 	"codecomp/internal/obsv"
+	"codecomp/internal/overload"
 	"codecomp/internal/romserver"
 )
 
@@ -394,5 +397,57 @@ func TestRangeEndpointRANS(t *testing.T) {
 	}
 	if string(body) != string(text) {
 		t.Fatalf("rANS range body: %d bytes, want %d", len(body), len(text))
+	}
+}
+
+// TestWriteErrOverloadMapping pins the daemon's overload status mapping:
+// admission rejects are 429 + Retry-After, brownout sheds are 503 +
+// Retry-After, propagated-deadline expiry is 504, and an invalid
+// X-Deadline-Ms header is the caller's fault (400).
+func TestWriteErrOverloadMapping(t *testing.T) {
+	cases := []struct {
+		name       string
+		err        error
+		status     int
+		retryAfter bool
+	}{
+		{"admission deadline", &overload.RejectError{Reason: overload.ReasonDeadline, RetryAfter: 2 * time.Second}, http.StatusTooManyRequests, true},
+		{"admission queue full", &overload.RejectError{Reason: overload.ReasonQueueFull, RetryAfter: time.Second}, http.StatusTooManyRequests, true},
+		{"brownout shed", &overload.RejectError{Reason: overload.ReasonBrownout, RetryAfter: 3 * time.Second}, http.StatusServiceUnavailable, true},
+		{"deadline expired", context.DeadlineExceeded, http.StatusGatewayTimeout, false},
+		{"canceled", context.Canceled, http.StatusGatewayTimeout, false},
+		{"quarantined", romserver.ErrQuarantined, http.StatusServiceUnavailable, false},
+		{"timeout", romserver.ErrDecompressTimeout, http.StatusGatewayTimeout, false},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		writeErr(rec, tc.err)
+		if rec.Code != tc.status {
+			t.Errorf("%s: status = %d, want %d", tc.name, rec.Code, tc.status)
+		}
+		if got := rec.Header().Get("Retry-After") != ""; got != tc.retryAfter {
+			t.Errorf("%s: Retry-After present = %v, want %v", tc.name, got, tc.retryAfter)
+		}
+	}
+}
+
+// TestBlockDeadlineHeader drives the header end to end over HTTP: a
+// generous propagated deadline serves normally, a malformed one is 400.
+func TestBlockDeadlineHeader(t *testing.T) {
+	cfg := testConfig()
+	cfg.overload = true
+	_, ts, _ := startDaemon(t, cfg)
+
+	resp, _ := get(t, ts.URL+"/images/prog/blocks/0", map[string]string{"X-Deadline-Ms": "5000"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deadline-header read: %d", resp.StatusCode)
+	}
+	resp, body := get(t, ts.URL+"/images/prog/blocks/0", map[string]string{"X-Deadline-Ms": "soon"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed deadline header: %d: %s", resp.StatusCode, body)
+	}
+	resp, _ = get(t, ts.URL+"/images/prog/blocks/0", map[string]string{"X-Deadline-Ms": "-5"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative deadline header: %d", resp.StatusCode)
 	}
 }

@@ -56,6 +56,7 @@ import (
 	"codecomp/internal/cluster/client"
 	"codecomp/internal/memsys"
 	"codecomp/internal/obsv"
+	"codecomp/internal/overload"
 	"codecomp/internal/policy"
 	"codecomp/internal/romserver"
 	"codecomp/internal/traceprof"
@@ -88,7 +89,24 @@ func main() {
 	clusterMode := flag.Bool("cluster", false, "cluster chaos drill: boot an in-process multi-node cluster behind a router, replay through it while killing and restarting a node, assert byte-exactness, hit ratio and disk recovery")
 	clusterNodes := flag.Int("cluster-nodes", 3, "cluster: initial node count")
 	clusterRF := flag.Int("cluster-rf", 2, "cluster: replicas per image")
+	overloadMode := flag.Bool("overload", false, "overload drill: boot an in-process node with admission control, measure its capacity, storm it open-loop at 4x and assert byte-exactness, bounded p99, goodput, retry containment, brownout escalation and recovery")
+	qps := flag.Float64("qps", 0, "open-loop offered load in req/s against -addr; goodput vs offered load is reported (0 = closed-loop modes)")
+	reqDeadline := flag.Duration("deadline", 500*time.Millisecond, "open-loop/overload: per-request deadline, propagated to the server via "+overload.DeadlineHeader)
+	stormDur := flag.Duration("duration", 3*time.Second, "open-loop/overload: how long the load runs")
 	flag.Parse()
+
+	if *overloadMode {
+		violations := runOverloadDrill(overloadDrillConfig{
+			deadline: *reqDeadline,
+			duration: *stormDur,
+		})
+		if violations > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: overload: FAIL (%d invariant violations)\n", violations)
+			os.Exit(1)
+		}
+		fmt.Printf("loadgen: overload: PASS — stormed at 4x capacity, rejected early, goodput held, retries contained, brownout escalated and recovered\n")
+		return
+	}
 
 	if *name == "" {
 		*name = fmt.Sprintf("%s-%s", *profile, *alg)
@@ -179,6 +197,35 @@ func main() {
 		violations := runRange(cc, *name, text, reqs, *loops, *concurrency, *rangeSpan, blocks, *blockSize)
 		if violations > 0 {
 			fmt.Fprintf(os.Stderr, "loadgen: range: FAIL (%d invariant violations)\n", violations)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *qps > 0 {
+		// Open-loop run: offered load is fixed by a timer, not by how fast
+		// the server answers, so saturation shows up as rejected/expired
+		// outcomes instead of silently slowed clients.
+		fatal(uploadVerbose(cc, *name, image))
+		var idx atomic.Int64
+		res := runOpenLoop(openLoopClient(*addr, 30*time.Second), *name, openLoopConfig{
+			qps:      *qps,
+			deadline: *reqDeadline,
+			duration: *stormDur,
+			next: func() int {
+				return reqs[int(idx.Add(1))%len(reqs)]
+			},
+			verify: func(b int, data []byte) bool {
+				lo := b * *blockSize
+				hi := lo + *blockSize
+				if hi > len(text) {
+					hi = len(text)
+				}
+				return bytes.Equal(data, text[lo:hi])
+			},
+		})
+		res.print()
+		if res.corrupt > 0 || res.ok == 0 {
 			os.Exit(1)
 		}
 		return

@@ -250,6 +250,34 @@ func (c *Cache) GetPrefetch(key Key, load func() ([]byte, error)) ([]byte, bool,
 	return c.get(key, load, true)
 }
 
+// GetCached is the demand hit path of Get without the loader: it
+// returns the block only if it is already resident, refreshing recency
+// and counting a hit (and a prefetch hit, if the entry was speculative)
+// exactly like Get would. An absent block returns ok=false without
+// touching the miss counters — no load happens, and misses are promised
+// to correspond to load attempts. The romserver brownout path uses it
+// to keep serving cached traffic without spending a pool worker.
+func (c *Cache) GetCached(key Key) (val []byte, ok bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	e, found := s.entries[key]
+	if !found {
+		s.mu.Unlock()
+		return nil, false
+	}
+	if e.prev != nil {
+		s.moveToFront(e)
+	}
+	if e.prefetched {
+		e.prefetched = false
+		c.prefetchHits.Add(1)
+	}
+	val = e.val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return val, true
+}
+
 func (c *Cache) get(key Key, load func() ([]byte, error), prefetch bool) ([]byte, bool, error) {
 	s := c.shardFor(key)
 	s.mu.Lock()

@@ -10,6 +10,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,6 +19,7 @@ import (
 	"strconv"
 	"time"
 
+	"codecomp/internal/overload"
 	"codecomp/internal/romserver"
 )
 
@@ -36,6 +38,10 @@ type StatusError struct {
 	Code int
 	// Body is the trimmed response body.
 	Body string
+	// RetryAfter is the server's Retry-After hint (zero when absent):
+	// set on overload rejections (429, brownout 503) so callers can back
+	// off for the server's estimate instead of guessing.
+	RetryAfter time.Duration
 }
 
 // Error renders the status failure.
@@ -190,9 +196,21 @@ func (c *Client) Image(name string) (romserver.ImageInfo, error) {
 // X-Cache header ("hit" on a cache hit; through the router this is the
 // serving replica's cache verdict).
 func (c *Client) Block(name string, i int) (data []byte, hit bool, err error) {
-	req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/images/%s/blocks/%d", c.Base, name, i), nil)
+	return c.BlockContext(context.Background(), name, i)
+}
+
+// BlockContext is Block with end-to-end deadline propagation: the
+// request is bound to ctx, and ctx's remaining deadline rides the
+// X-Deadline-Ms header so the far side's admission control can reject
+// doomed work before it queues. A non-2xx answer is a *StatusError;
+// overload rejections carry the server's Retry-After hint in it.
+func (c *Client) BlockContext(ctx context.Context, name string, i int) (data []byte, hit bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/images/%s/blocks/%d", c.Base, name, i), nil)
 	if err != nil {
 		return nil, false, err
+	}
+	if v := overload.HeaderValue(ctx); v != "" {
+		req.Header.Set(overload.DeadlineHeader, v)
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
@@ -204,7 +222,15 @@ func (c *Client) Block(name string, i int) (data []byte, hit bool, err error) {
 		return nil, false, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, false, statusErr(fmt.Sprintf("block %d of %s", i, name), resp.StatusCode, body)
+		se := &StatusError{
+			What: fmt.Sprintf("block %d of %s", i, name),
+			Code: resp.StatusCode,
+			Body: string(bytes.TrimSpace(body)),
+		}
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return nil, false, se
 	}
 	return body, resp.Header.Get("X-Cache") == "hit", nil
 }

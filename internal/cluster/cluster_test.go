@@ -446,3 +446,39 @@ func TestOperationsDocCoversClusterRegistries(t *testing.T) {
 			len(missing), strings.Join(missing, "\n  "))
 	}
 }
+
+// TestRouterOverloadBackoff pins the health-accounting contract for
+// overload signals: a member answering 429s or brownout 503s (503 with
+// Retry-After) is alive — no amount of them may eject it — but it
+// enters an overload backoff window so hedges stop piling onto it. A
+// 503 without Retry-After keeps its old meaning (quarantined/dead-ish)
+// and still ejects.
+func TestRouterOverloadBackoff(t *testing.T) {
+	rt := NewRouter(RouterOptions{ProbeInterval: -1, Logf: discardLogf})
+	defer rt.Close()
+	if err := rt.AddNode("n1", "http://127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	rt.memMu.RLock()
+	m := rt.members["n1"]
+	rt.memMu.RUnlock()
+
+	for i := 0; i < 64; i++ {
+		rt.recordOutcome(m, &client.StatusError{Code: 429, RetryAfter: 2 * time.Second})
+		rt.recordOutcome(m, &client.StatusError{Code: 503, RetryAfter: time.Second})
+	}
+	if m.ejected.Load() {
+		t.Fatal("overload answers (429/503+Retry-After) ejected the member; browned-out nodes are alive")
+	}
+	if !m.overloaded() {
+		t.Fatal("overload answers did not start the member's hedge backoff window")
+	}
+
+	// Quarantine-style 503s (no Retry-After) are real failures.
+	for i := 0; i < 64; i++ {
+		rt.recordOutcome(m, &client.StatusError{Code: 503})
+	}
+	if !m.ejected.Load() {
+		t.Fatal("sustained plain 503s did not eject the member")
+	}
+}

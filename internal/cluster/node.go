@@ -5,6 +5,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,6 +19,7 @@ import (
 
 	"codecomp/internal/cluster/client"
 	"codecomp/internal/obsv"
+	"codecomp/internal/overload"
 	"codecomp/internal/romserver"
 )
 
@@ -379,7 +381,13 @@ func (n *Node) handleBlock(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "block index must be an integer"})
 		return
 	}
-	data, hit, err := n.rs.Block(r.PathValue("name"), i)
+	ctx, cancel, err := overload.WithDeadlineHeader(r.Context(), r.Header.Get(overload.DeadlineHeader))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	defer cancel()
+	data, hit, err := n.rs.BlockContext(ctx, r.PathValue("name"), i)
 	if err != nil {
 		writeNodeErr(w, err)
 		return
@@ -394,10 +402,27 @@ func (n *Node) handleBlock(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeNodeErr maps romserver errors onto HTTP statuses the same way
-// cmd/codecompd does.
+// cmd/codecompd does: overload rejections are 429 (admission) or 503
+// (brownout) with Retry-After, a propagated-deadline expiry is 504.
 func writeNodeErr(w http.ResponseWriter, err error) {
+	var rej *overload.RejectError
+	if errors.As(err, &rej) {
+		status := http.StatusTooManyRequests
+		if rej.Reason == overload.ReasonBrownout {
+			status = http.StatusServiceUnavailable
+		}
+		secs := int(rej.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+		return
+	}
 	status := http.StatusInternalServerError
 	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		status = http.StatusGatewayTimeout
 	case errors.Is(err, romserver.ErrNotFound), errors.Is(err, romserver.ErrOutOfRange):
 		status = http.StatusNotFound
 	case errors.Is(err, romserver.ErrClosed), errors.Is(err, romserver.ErrQuarantined):

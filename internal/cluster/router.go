@@ -9,6 +9,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ import (
 
 	"codecomp/internal/cluster/client"
 	"codecomp/internal/obsv"
+	"codecomp/internal/overload"
 	"codecomp/internal/romserver"
 )
 
@@ -52,6 +54,12 @@ type RouterOptions struct {
 	// (default 16 — small, so a killed node is ejected within a few
 	// requests).
 	HealthWindow int
+	// HedgeBudgetRatio is the retry-budget token fraction each block
+	// fetch deposits; hedges spend one token each, so hedge amplification
+	// is capped at ~1+ratio (default 0.1).
+	HedgeBudgetRatio float64
+	// HedgeBudgetBurst is the hedge budget's bucket capacity (default 8).
+	HedgeBudgetBurst float64
 	// Registry receives router metrics; nil creates a private one.
 	Registry *obsv.Registry
 	// HTTP is the proxy-side http.Client; nil uses a 10s-timeout client.
@@ -71,6 +79,17 @@ type member struct {
 	// stats is the prober's last successful stats snapshot, feeding the
 	// cluster_* aggregate gauges without a scrape-time fan-out.
 	stats atomic.Pointer[romserver.Stats]
+	// overloadUntil is the UnixNano instant until which the member is
+	// treated as overloaded (it answered 429 or a brownout 503 with
+	// Retry-After): alive for health accounting, but not worth hedging
+	// into.
+	overloadUntil atomic.Int64
+}
+
+// overloaded reports whether the member is inside an overload backoff
+// window signalled by a recent 429/503+Retry-After answer.
+func (m *member) overloaded() bool {
+	return time.Now().UnixNano() < m.overloadUntil.Load()
 }
 
 // Router proxies the serving API across cluster members. Construct
@@ -108,6 +127,10 @@ type Router struct {
 	hedgeVal  time.Duration
 	closeOnce sync.Once
 
+	// budget caps hedge amplification: every block fetch deposits
+	// HedgeBudgetRatio tokens, every hedge spends one.
+	budget *overload.RetryBudget
+
 	requests         *obsv.CounterVec
 	errorsTotal      *obsv.CounterVec
 	requestSeconds   *obsv.HistogramVec
@@ -115,6 +138,8 @@ type Router struct {
 	upstreamFailures *obsv.Counter
 	hedges           *obsv.Counter
 	hedgeWins        *obsv.Counter
+	hedgesDenied     *obsv.Counter
+	hedgesSuppressed *obsv.Counter
 	ejections        *obsv.Counter
 	restores         *obsv.Counter
 	rebalanceMoved   *obsv.Counter
@@ -161,6 +186,12 @@ func NewRouter(opts RouterOptions) *Router {
 	if opts.HealthWindow <= 0 {
 		opts.HealthWindow = 16
 	}
+	if opts.HedgeBudgetRatio <= 0 {
+		opts.HedgeBudgetRatio = 0.1
+	}
+	if opts.HedgeBudgetBurst <= 0 {
+		opts.HedgeBudgetBurst = 8
+	}
 	if opts.HTTP == nil {
 		opts.HTTP = &http.Client{Timeout: 10 * time.Second}
 	}
@@ -178,6 +209,7 @@ func NewRouter(opts RouterOptions) *Router {
 		catalog: make(map[string]catalogEntry),
 		members: make(map[string]*member),
 		quit:    make(chan struct{}),
+		budget:  overload.NewRetryBudget(opts.HedgeBudgetRatio, opts.HedgeBudgetBurst),
 	}
 	rt.ring.Store(BuildRing(0, nil, opts.VNodes, opts.Replication))
 
@@ -195,6 +227,10 @@ func NewRouter(opts RouterOptions) *Router {
 		"Hedge requests launched because the primary exceeded the p99-derived delay.")
 	rt.hedgeWins = reg.Counter("router_hedge_wins_total",
 		"Hedged requests where the hedge, not the primary, delivered the response.")
+	rt.hedgesDenied = reg.Counter("router_hedges_denied_total",
+		"Hedges refused by the token-bucket hedge budget (speculative load capped under fault storms).")
+	rt.hedgesSuppressed = reg.Counter("router_hedges_suppressed_total",
+		"Hedges skipped because the candidate replica recently signalled overload (429/503 + Retry-After).")
 	rt.ejections = reg.Counter("router_node_ejections_total",
 		"Members removed from placement after their request-outcome window crossed the quarantine threshold.")
 	rt.restores = reg.Counter("router_node_restores_total",
@@ -205,6 +241,9 @@ func NewRouter(opts RouterOptions) *Router {
 		"Images re-uploaded to a restored member that lost them across its restart; stays 0 when disk recovery works.")
 	rt.probeFailures = reg.Counter("router_probe_failures_total",
 		"Health probes that failed.")
+	reg.GaugeFunc("router_retry_budget_tokens",
+		"Hedge-budget tokens currently available.",
+		func() float64 { return rt.budget.Tokens() })
 	reg.GaugeFunc("router_ring_epoch",
 		"Current placement generation; increments on every membership change.",
 		func() float64 { return float64(rt.Ring().Epoch()) })
@@ -571,12 +610,27 @@ func (rt *Router) hedgeDelay() time.Duration {
 // recordOutcome feeds one upstream attempt into the member's health
 // window. Transport errors and 5xx responses are failures; 4xx means
 // the node is alive and answering (it may simply not hold the image
-// mid-rebalance), so it counts as a success for node health.
+// mid-rebalance), so it counts as a success for node health. Overload
+// signals — 429, or a 503 carrying Retry-After (a brownout shed, not a
+// dead node) — also count as alive, but start the member's overload
+// backoff window so hedges stop piling onto it.
 func (rt *Router) recordOutcome(m *member, err error) {
 	failed := false
 	if err != nil {
 		var se *client.StatusError
-		failed = !errors.As(err, &se) || se.Code >= 500
+		switch {
+		case !errors.As(err, &se):
+			failed = true
+		case se.Code == http.StatusTooManyRequests,
+			se.Code == http.StatusServiceUnavailable && se.RetryAfter > 0:
+			backoff := se.RetryAfter
+			if backoff <= 0 {
+				backoff = time.Second
+			}
+			m.overloadUntil.Store(time.Now().Add(backoff).UnixNano())
+		case se.Code >= 500:
+			failed = true
+		}
 	}
 	to, changed := m.health.Record(failed)
 	if !changed {
@@ -605,12 +659,22 @@ type blockResult struct {
 	m    *member
 }
 
-// FetchBlock reads one block through placement, failover and hedging:
-// replicas are ordered by block index (spreading reads across the
-// replica set), ejected members are tried last, a failed attempt moves
-// on immediately, and a slow attempt is hedged after hedgeDelay. First
-// success wins; every attempt's outcome feeds member health.
+// FetchBlock reads one block through placement, failover and hedging;
+// see FetchBlockContext.
 func (rt *Router) FetchBlock(name string, i int) ([]byte, bool, error) {
+	return rt.FetchBlockContext(context.Background(), name, i)
+}
+
+// FetchBlockContext reads one block through placement, failover and
+// hedging: replicas are ordered by block index (spreading reads across
+// the replica set), ejected members are tried last, a failed attempt
+// moves on immediately, and a slow attempt is hedged after hedgeDelay.
+// First success wins; every attempt's outcome feeds member health.
+// ctx's deadline propagates to every upstream attempt. Hedges are
+// containment-gated twice: the token hedge budget caps speculative
+// amplification, and replicas inside an overload backoff window are
+// skipped rather than hedged into.
+func (rt *Router) FetchBlockContext(ctx context.Context, name string, i int) ([]byte, bool, error) {
 	ring := rt.Ring()
 	owners := ring.Lookup(name)
 	if len(owners) == 0 {
@@ -638,11 +702,12 @@ func (rt *Router) FetchBlock(name string, i int) ([]byte, bool, error) {
 		launched++
 		go func() {
 			start := time.Now()
-			data, hit, err := m.cli.Block(name, i)
+			data, hit, err := m.cli.BlockContext(ctx, name, i)
 			rt.upstreamSeconds.Observe(time.Since(start))
 			results <- blockResult{data: data, hit: hit, err: err, m: m}
 		}()
 	}
+	rt.budget.OnRequest()
 	launch()
 	hedge := time.NewTimer(rt.hedgeDelay())
 	defer hedge.Stop()
@@ -654,10 +719,17 @@ func (rt *Router) FetchBlock(name string, i int) ([]byte, bool, error) {
 		select {
 		case <-hedge.C:
 			if launched < len(order) {
-				rt.hedges.Inc()
-				hedged = true
-				launch()
-				pending++
+				switch {
+				case order[launched].overloaded():
+					rt.hedgesSuppressed.Inc()
+				case !rt.budget.Allow():
+					rt.hedgesDenied.Inc()
+				default:
+					rt.hedges.Inc()
+					hedged = true
+					launch()
+					pending++
+				}
 			}
 		case r := <-results:
 			pending--
@@ -967,7 +1039,13 @@ func (rt *Router) buildMux() {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "block index must be an integer"})
 			return
 		}
-		data, hit, err := rt.FetchBlock(r.PathValue("name"), i)
+		ctx, cancel, err := overload.WithDeadlineHeader(r.Context(), r.Header.Get(overload.DeadlineHeader))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		defer cancel()
+		data, hit, err := rt.FetchBlockContext(ctx, r.PathValue("name"), i)
 		if err != nil {
 			writeRouterErr(w, err)
 			return
@@ -1051,8 +1129,10 @@ func (w *statusWriter) WriteHeader(status int) {
 }
 
 // writeRouterErr maps proxy errors onto HTTP statuses: placement
-// failures are 503, upstream status errors pass through their code,
-// transport errors are 502.
+// failures are 503, a propagated-deadline expiry is 504, upstream
+// status errors pass through their code (and their Retry-After hint,
+// so an overload rejection survives the proxy hop), transport errors
+// are 502.
 func writeRouterErr(w http.ResponseWriter, err error) {
 	status := http.StatusBadGateway
 	var se *client.StatusError
@@ -1061,8 +1141,13 @@ func writeRouterErr(w http.ResponseWriter, err error) {
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, romserver.ErrNotFound):
 		status = http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		status = http.StatusGatewayTimeout
 	case errors.As(err, &se):
 		status = se.Code
+		if se.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(se.RetryAfter/time.Second)))
+		}
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

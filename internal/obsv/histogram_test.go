@@ -220,3 +220,36 @@ func TestHistogramConcurrent(t *testing.T) {
 		t.Fatalf("bucket total %d != count %d", cum, s.Count)
 	}
 }
+
+func TestHistogramSnapshotSub(t *testing.T) {
+	var h Histogram
+	h.ObserveNs(3)
+	h.ObserveNs(100)
+	before := h.Snapshot()
+	h.ObserveNs(1000)
+	h.ObserveNs(1100)
+	after := h.Snapshot()
+
+	d := after.Sub(before)
+	if d.Count != 2 || d.Sum != 2100 {
+		t.Fatalf("delta = %+v, want Count 2 Sum 2100", d)
+	}
+	var cum int64
+	for _, n := range d.Buckets {
+		cum += n
+	}
+	if cum != 2 {
+		t.Fatalf("delta bucket total = %d, want 2", cum)
+	}
+	// Both delta observations land near 1000; the windowed quantile must
+	// ignore the two small pre-window samples.
+	if q := d.Quantile(0.5); q < 512 {
+		t.Fatalf("delta median = %v, polluted by pre-window samples", q)
+	}
+	if empty := before.Sub(after); empty.Count != 0 || len(empty.Buckets) != 0 {
+		t.Fatalf("reversed Sub = %+v, want empty snapshot", empty)
+	}
+	if same := after.Sub(after); same.Count != 0 || len(same.Buckets) != 0 {
+		t.Fatalf("self Sub = %+v, want empty", same)
+	}
+}

@@ -168,3 +168,35 @@ func (s HistogramSnapshot) Mean() time.Duration {
 	}
 	return time.Duration(s.Sum / s.Count)
 }
+
+// Sub returns the observations recorded between prev and s as a
+// snapshot of its own (element-wise s minus prev), so windowed signals
+// — "the queue waits of the last 250ms" — can be computed from two
+// scrapes of a cumulative histogram. prev must be an earlier snapshot
+// of the same histogram; anything inconsistent (counts running
+// backwards, as after a restart) collapses to the empty snapshot. Max
+// cannot be differenced and is carried over from s, so the delta's
+// Quantile stays a valid within-one-bucket estimate but its top edge
+// reflects the lifetime maximum.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum, Max: s.Max}
+	if out.Count < 0 || out.Sum < 0 || len(prev.Buckets) > len(s.Buckets) {
+		return HistogramSnapshot{}
+	}
+	top := -1
+	buckets := make([]int64, len(s.Buckets))
+	for i, n := range s.Buckets {
+		if i < len(prev.Buckets) {
+			n -= prev.Buckets[i]
+		}
+		if n < 0 {
+			return HistogramSnapshot{}
+		}
+		if n > 0 {
+			buckets[i] = n
+			top = i
+		}
+	}
+	out.Buckets = buckets[:top+1]
+	return out
+}

@@ -1,0 +1,93 @@
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// ewmaAlpha weights new observations into the service-time and wait
+// averages; 0.2 tracks a shifting hit/miss mix within a few dozen
+// tickets without thrashing on one outlier.
+const ewmaAlpha = 0.2
+
+// Admission estimates how long a newly enqueued ticket will wait for a
+// pool worker, so callers can reject requests whose deadline the wait
+// would already blow. Two signals feed it, and the estimate is the max:
+//
+//   - a queueing model, queued × EWMA(service time) / workers, which
+//     leads during a growing backlog (it sees depth instantly);
+//   - the recently observed queue wait (fed from windowed deltas of the
+//     obsv queue_wait histogram), which corrects the model when the
+//     service-time average underestimates — e.g. a run of slow cold
+//     misses behind a hit-heavy average.
+//
+// All methods are safe for concurrent use.
+type Admission struct {
+	workers int
+
+	mu         sync.Mutex
+	svcNs      float64 // EWMA of per-ticket service time
+	recentNs   float64 // recent observed queue wait (upper quantile)
+	observedNs float64 // EWMA of individual waits, a fallback signal
+}
+
+// NewAdmission returns an estimator for a pool of the given size (a
+// non-positive size is treated as one worker).
+func NewAdmission(workers int) *Admission {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Admission{workers: workers}
+}
+
+// ObserveService folds one ticket's service time (everything between
+// dispatch and reply) into the model. Workers call it per ticket.
+func (a *Admission) ObserveService(d time.Duration) {
+	a.mu.Lock()
+	a.svcNs = fold(a.svcNs, float64(d))
+	a.mu.Unlock()
+}
+
+// ObserveWait folds one ticket's actual queue wait into the fallback
+// average. Workers call it per ticket.
+func (a *Admission) ObserveWait(d time.Duration) {
+	a.mu.Lock()
+	a.observedNs = fold(a.observedNs, float64(d))
+	a.mu.Unlock()
+}
+
+// SetRecentWait installs the latest windowed queue-wait signal (an
+// upper quantile of the last scrape interval's queue_wait histogram
+// delta). Zero clears it — e.g. after an idle stretch.
+func (a *Admission) SetRecentWait(d time.Duration) {
+	a.mu.Lock()
+	a.recentNs = float64(d)
+	a.mu.Unlock()
+}
+
+// EstimateWait predicts the queue wait for a ticket entering a queue
+// that already holds queued tickets.
+func (a *Admission) EstimateWait(queued int) time.Duration {
+	if queued < 0 {
+		queued = 0
+	}
+	a.mu.Lock()
+	svc, recent, observed := a.svcNs, a.recentNs, a.observedNs
+	a.mu.Unlock()
+	est := float64(queued) * svc / float64(a.workers)
+	if recent > est {
+		est = recent
+	}
+	if observed > est {
+		est = observed
+	}
+	return time.Duration(est)
+}
+
+// fold is one EWMA step; the first observation seeds the average.
+func fold(avg, x float64) float64 {
+	if avg == 0 {
+		return x
+	}
+	return avg + ewmaAlpha*(x-avg)
+}

@@ -1,0 +1,61 @@
+package overload
+
+import "sync"
+
+// RetryBudget is a token bucket that caps retry (and hedge)
+// amplification the way gRPC's retry throttling does: every first
+// attempt deposits a fraction of a token (the ratio), every retry
+// spends a whole one. Sustained amplification is therefore bounded by
+// 1+ratio regardless of fault burstiness; the bucket capacity only
+// controls how many retries can fire back-to-back after a quiet
+// stretch. The zero value is not usable — construct with
+// NewRetryBudget.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	burst  float64
+	ratio  float64
+}
+
+// NewRetryBudget returns a budget with the given deposit ratio and
+// bucket capacity (both defaulted when <= 0: ratio 0.1, burst 10). The
+// bucket starts full so cold-start faults can still retry.
+func NewRetryBudget(ratio, burst float64) *RetryBudget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if burst <= 0 {
+		burst = 10
+	}
+	return &RetryBudget{tokens: burst, burst: burst, ratio: ratio}
+}
+
+// OnRequest deposits the per-request fraction of a token, capped at the
+// bucket capacity. Call it once per first attempt, never per retry.
+func (b *RetryBudget) OnRequest() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// Allow spends one token if a whole one is available and reports
+// whether the retry (or hedge) may proceed.
+func (b *RetryBudget) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens reports the current bucket level, for gauges.
+func (b *RetryBudget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

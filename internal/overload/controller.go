@@ -1,0 +1,153 @@
+package overload
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Controller is the brownout state machine. The owning server calls
+// Evaluate periodically with the pool queue's fill fraction and reports
+// request outcomes as they complete; the controller decides the
+// degradation Level everyone else reads.
+//
+// Escalation is immediate — the moment fill crosses an enter threshold
+// (or goodput falls through the floor) the level jumps to wherever the
+// signals point. De-escalation is deliberately slow: one level per
+// Dwell, and only while fill sits below the current level's exit
+// threshold, so a recovering server steps BrownedOut → Pressured →
+// Healthy visibly instead of flapping on queue noise.
+//
+// Goodput is the success fraction of a ring of recent outcomes. Shed
+// and rejected requests must NOT be reported — they are the mechanism
+// working, and counting them would lock the controller into brownout.
+// The ring is discarded after StaleAfter without reports so old
+// failures cannot pin an idle server at Pressured.
+type Controller struct {
+	cfg   Config
+	level atomic.Int32
+
+	mu         sync.Mutex
+	lastChange time.Time
+	lastReport time.Time
+	ring       []bool
+	idx        int
+	filled     int
+	fails      int
+
+	transitions atomic.Int64
+	onChange    func(from, to Level)
+}
+
+// NewController returns a controller at Healthy using cfg (defaults
+// applied).
+func NewController(cfg Config) *Controller {
+	cfg = cfg.WithDefaults()
+	return &Controller{
+		cfg:        cfg,
+		lastChange: cfg.Now(),
+		ring:       make([]bool, cfg.GoodputWindow),
+	}
+}
+
+// OnChange registers a callback invoked synchronously on every level
+// transition (metrics hooks). It runs under the controller's lock and
+// must not call back into the controller. Call before the controller is
+// shared.
+func (c *Controller) OnChange(fn func(from, to Level)) { c.onChange = fn }
+
+// Level returns the current degradation level (lock-free).
+func (c *Controller) Level() Level { return Level(c.level.Load()) }
+
+// Transitions counts level changes since construction.
+func (c *Controller) Transitions() int64 { return c.transitions.Load() }
+
+// ReportOutcome records whether an admitted request succeeded. Do not
+// report shed or rejected requests.
+func (c *Controller) ReportOutcome(ok bool) {
+	c.mu.Lock()
+	if c.filled == len(c.ring) && !c.ring[c.idx] {
+		c.fails--
+	}
+	c.ring[c.idx] = ok
+	if !ok {
+		c.fails++
+	}
+	c.idx = (c.idx + 1) % len(c.ring)
+	if c.filled < len(c.ring) {
+		c.filled++
+	}
+	c.lastReport = c.cfg.Now()
+	c.mu.Unlock()
+}
+
+// Goodput returns the success fraction over the outcome window and how
+// many outcomes back it (1.0 when empty).
+func (c *Controller) Goodput() (float64, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.goodputLocked()
+}
+
+func (c *Controller) goodputLocked() (float64, int) {
+	if c.filled == 0 {
+		return 1, 0
+	}
+	return 1 - float64(c.fails)/float64(c.filled), c.filled
+}
+
+// Evaluate folds the current pool-queue fill fraction (0..1) into the
+// state machine and returns the resulting level. Call it on a steady
+// tick — recovery depends on Evaluate running even when no traffic
+// arrives.
+func (c *Controller) Evaluate(fill float64) Level {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Now()
+
+	// Age out a stale outcome window: after StaleAfter with no reports
+	// the failures in it describe a load that is gone.
+	if c.filled > 0 && now.Sub(c.lastReport) > c.cfg.StaleAfter {
+		c.filled, c.fails, c.idx = 0, 0, 0
+	}
+
+	good, n := c.goodputLocked()
+	badGoodput := n >= c.cfg.MinObservations && good < c.cfg.GoodputFloor
+
+	desired := Healthy
+	switch {
+	case fill >= c.cfg.BrownoutEnter || (badGoodput && fill >= c.cfg.PressureEnter):
+		desired = BrownedOut
+	case fill >= c.cfg.PressureEnter || badGoodput:
+		desired = Pressured
+	}
+
+	cur := Level(c.level.Load())
+	switch {
+	case desired > cur:
+		c.setLocked(cur, desired, now)
+	case desired < cur:
+		if now.Sub(c.lastChange) >= c.cfg.Dwell && fill < c.exitOf(cur) && !badGoodput {
+			c.setLocked(cur, cur-1, now)
+		}
+	}
+	return Level(c.level.Load())
+}
+
+// exitOf is the hysteresis threshold fill must fall under before the
+// given level may step down.
+func (c *Controller) exitOf(l Level) float64 {
+	if l == BrownedOut {
+		return c.cfg.BrownoutExit
+	}
+	return c.cfg.PressureExit
+}
+
+func (c *Controller) setLocked(from, to Level, now time.Time) {
+	c.level.Store(int32(to))
+	c.lastChange = now
+	c.transitions.Add(1)
+	if c.onChange != nil {
+		c.onChange(from, to)
+	}
+}

@@ -23,6 +23,7 @@
 package romserver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -292,11 +293,12 @@ func (s *Server) safeBlock(img *image, block int) (data []byte, err error) {
 	return out, nil
 }
 
-// loadOnce is one bounded decompression attempt. When a deadline is
-// configured the codec runs on its own goroutine so a wedged decoder
-// costs one abandoned goroutine, not a pool worker.
-func (s *Server) loadOnce(img *image, block int) ([]byte, error) {
-	if s.opts.LoadTimeout <= 0 {
+// loadOnce is one bounded decompression attempt under the given
+// deadline (non-positive disables it). When a deadline applies the
+// codec runs on its own goroutine so a wedged decoder costs one
+// abandoned goroutine, not a pool worker.
+func (s *Server) loadOnce(img *image, block int, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
 		return s.safeBlock(img, block)
 	}
 	type res struct {
@@ -308,7 +310,7 @@ func (s *Server) loadOnce(img *image, block int) ([]byte, error) {
 		data, err := s.safeBlock(img, block)
 		ch <- res{data, err}
 	}()
-	timer := time.NewTimer(s.opts.LoadTimeout)
+	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case r := <-ch:
@@ -317,8 +319,30 @@ func (s *Server) loadOnce(img *image, block int) ([]byte, error) {
 		img.timeouts.Add(1)
 		s.met.decodeTimeouts.Inc()
 		return nil, fmt.Errorf("%w: block %d of %q after %v",
-			ErrDecompressTimeout, block, img.name, s.opts.LoadTimeout)
+			ErrDecompressTimeout, block, img.name, timeout)
 	}
+}
+
+// effectiveTimeout clamps the configured per-attempt decode deadline by
+// the request context's remaining time, so a propagated client deadline
+// bounds the decompression it pays for. expired=true means the context
+// is already done and no attempt should start.
+func (s *Server) effectiveTimeout(ctx context.Context) (timeout time.Duration, expired bool) {
+	timeout = s.opts.LoadTimeout
+	if ctx == nil {
+		return timeout, false
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, true
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem <= 0 {
+			return 0, true
+		} else if timeout <= 0 || rem < timeout {
+			timeout = rem
+		}
+	}
+	return timeout, false
 }
 
 // loadVerified is the hardened load path every decompression goes
@@ -335,7 +359,15 @@ func (s *Server) loadOnce(img *image, block int) ([]byte, error) {
 // and discarded, and the load falls through to local decompression. The
 // background re-verifier passes allowFill=false — its whole point is to
 // prove the *local* image decompresses cleanly.
-func (s *Server) loadVerified(img *image, block int, sp *obsv.Span, allowFill bool) ([]byte, error) {
+//
+// ctx, when non-nil, is the demand caller's request context: its
+// deadline clamps each attempt's decode deadline, an expired context
+// stops the attempt loop, and — when the overload layer is on — each
+// retry must additionally be granted by the token budget, so a fault
+// burst cannot amplify into a retry storm. Background callers
+// (re-verify, pinning, range decodes) pass nil and keep the old
+// unbudgeted behavior.
+func (s *Server) loadVerified(ctx context.Context, img *image, block int, sp *obsv.Span, allowFill bool) ([]byte, error) {
 	loadStart := time.Now()
 	defer func() { s.met.blockLoad.Observe(time.Since(loadStart)) }()
 	if allowFill {
@@ -356,10 +388,29 @@ func (s *Server) loadVerified(img *image, block int, sp *obsv.Span, allowFill bo
 			}
 		}
 	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	var lastErr error
 	backoff := s.opts.RetryBackoff
 	for attempt := 0; attempt < s.opts.LoadAttempts; attempt++ {
 		if attempt > 0 {
+			// A caller that already gave up gets its context error, not a
+			// retried load it will never read.
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			// Demand retries spend the token budget; a drained budget
+			// fails the load with the last error instead of amplifying.
+			if ctx != nil && !s.retryAllowed() {
+				if sp != nil {
+					sp.Eventf("retry %d denied by budget: %v", attempt, lastErr)
+				}
+				break
+			}
 			img.retries.Add(1)
 			s.met.retries.Inc()
 			// Full jitter on an exponential base, capped at quit.
@@ -369,13 +420,19 @@ func (s *Server) loadVerified(img *image, block int, sp *obsv.Span, allowFill bo
 			}
 			select {
 			case <-time.After(d):
+			case <-done:
+				return nil, ctx.Err()
 			case <-s.quit:
 				return nil, ErrClosed
 			}
 			backoff *= 2
 		}
+		timeout, expired := s.effectiveTimeout(ctx)
+		if expired {
+			return nil, ctx.Err()
+		}
 		decodeStart := time.Now()
-		data, err := s.loadOnce(img, block)
+		data, err := s.loadOnce(img, block, timeout)
 		decodeDur := time.Since(decodeStart)
 		s.met.decode.Observe(decodeDur)
 		sp.Phase("decode", decodeDur)
@@ -465,7 +522,7 @@ func (s *Server) reverifyPass() {
 			}
 			img.reverifies.Add(1)
 			s.met.reverifies.Inc()
-			s.loadVerified(img, b, nil, false) //nolint:errcheck — outcome lands in health accounting
+			s.loadVerified(nil, img, b, nil, false) //nolint:errcheck — outcome lands in health accounting
 		}
 	}
 }

@@ -48,6 +48,17 @@ type serverMetrics struct {
 	peerFills       *obsv.Counter
 	peerFillRejects *obsv.Counter
 
+	// Overload layer (always registered so the metric surface — and the
+	// runbook coverage tests — do not depend on configuration; the
+	// counters just stay zero when the layer is off).
+	overloadTransitions *obsv.Counter
+	admissionDeadline   *obsv.Counter
+	admissionQueueFull  *obsv.Counter
+	brownoutShed        *obsv.Counter
+	prefetchSuppressed  *obsv.Counter
+	queueExpired        *obsv.Counter
+	retryDenied         *obsv.Counter
+
 	faultBitFlips   *obsv.Counter
 	faultTransients *obsv.Counter
 	faultPermanents *obsv.Counter
@@ -57,7 +68,7 @@ type serverMetrics struct {
 // newServerMetrics registers the serving layer's families on reg and
 // resolves every instrument the hot path needs.
 func newServerMetrics(reg *obsv.Registry, tracer *obsv.Tracer) *serverMetrics {
-	return &serverMetrics{
+	m := &serverMetrics{
 		reg:    reg,
 		tracer: tracer,
 
@@ -110,6 +121,17 @@ func newServerMetrics(reg *obsv.Registry, tracer *obsv.Tracer) *serverMetrics {
 		peerFillRejects: reg.Counter("romserver_peer_fill_rejects_total",
 			"Fill-hook responses rejected by the integrity sidecar (discarded; the load fell through to local decompression)."),
 
+		overloadTransitions: reg.Counter("overload_level_transitions_total",
+			"Brownout level changes (healthy/pressured/browned_out, either direction)."),
+		brownoutShed: reg.Counter("overload_brownout_shed_total",
+			"Cold demand misses shed while browned out (not cached, not in the trained hot set)."),
+		prefetchSuppressed: reg.Counter("overload_prefetch_suppressed_total",
+			"Demand misses whose speculative warms were suppressed because the server was pressured or browned out."),
+		queueExpired: reg.Counter("overload_queue_expired_total",
+			"Queued tickets retired without a decode because the caller's context expired while they waited."),
+		retryDenied: reg.Counter("overload_retry_denied_total",
+			"Load retries refused by the token-bucket retry budget."),
+
 		faultBitFlips: reg.Counter("faultinj_bitflips_total",
 			"Injected output bit flips (chaos mode)."),
 		faultTransients: reg.Counter("faultinj_transient_errors_total",
@@ -119,6 +141,12 @@ func newServerMetrics(reg *obsv.Registry, tracer *obsv.Tracer) *serverMetrics {
 		faultPanics: reg.Counter("faultinj_panics_total",
 			"Injected codec panics (chaos mode)."),
 	}
+	rejects := reg.CounterVec("overload_admission_rejects_total",
+		"Demand reads rejected by admission control, by reason (deadline: estimated wait exceeded the request deadline; queue_full: the bounded admission queue had no room).",
+		"reason")
+	m.admissionDeadline = rejects.With("deadline")
+	m.admissionQueueFull = rejects.With("queue_full")
+	return m
 }
 
 // registerServerGauges registers the read-at-scrape families that mirror
@@ -182,6 +210,40 @@ func (s *Server) registerServerGauges() {
 	reg.GaugeFunc("romserver_queue_depth",
 		"Tasks currently waiting in the worker-pool queue.",
 		func() float64 { return float64(len(s.tasks)) })
+	reg.GaugeFunc("romserver_inflight_decodes",
+		"Worker-pool tasks currently executing (decode, verify or cached-reply work).",
+		func() float64 { return float64(s.inflight.Load()) })
+
+	// Overload gauges are registered unconditionally like the counters;
+	// with the layer off they read as a permanently healthy server.
+	reg.GaugeFunc("overload_level",
+		"Current brownout level (0 healthy, 1 pressured, 2 browned out).",
+		func() float64 { return float64(s.OverloadLevel()) })
+	reg.GaugeFunc("overload_retry_budget_tokens",
+		"Retry-budget tokens currently available.",
+		func() float64 {
+			if s.ovl == nil {
+				return 0
+			}
+			return s.ovl.bud.Tokens()
+		})
+	reg.GaugeFunc("overload_queue_wait_estimate_seconds",
+		"Admission control's current estimate of the queue wait a new ticket would see.",
+		func() float64 {
+			if s.ovl == nil {
+				return 0
+			}
+			return s.ovl.adm.EstimateWait(len(s.tasks)).Seconds()
+		})
+	reg.GaugeFunc("overload_goodput_ratio",
+		"Success fraction of the brownout controller's recent outcome window (1.0 when idle or disabled).",
+		func() float64 {
+			if s.ovl == nil {
+				return 1
+			}
+			good, _ := s.ovl.ctl.Goodput()
+			return good
+		})
 }
 
 // countFault mirrors one injected fault into the registry; installed as

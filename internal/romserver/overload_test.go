@@ -1,0 +1,292 @@
+package romserver
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"codecomp/internal/overload"
+)
+
+// waitCond polls until cond is true or the deadline passes.
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestCanceledWhileQueuedNeverDecodes is the deadline-propagation
+// regression test: a ticket whose caller cancels while it is still
+// queued must be retired by the worker WITHOUT dispatching the decode —
+// before this layer, a queued ticket always ran to completion even
+// after its caller gave up.
+func TestCanceledWhileQueuedNeverDecodes(t *testing.T) {
+	blocker := &stubCodec{blocks: 4, gate: make(chan struct{})}
+	victim := &stubCodec{blocks: 4}
+	s := New(Options{Workers: 1, QueueDepth: 4, PrefetchDepth: -1, TraceBuffer: -1, ReverifyInterval: -1})
+	defer s.Close()
+	s.addCodec("blocker", blocker, "stub")
+	s.addCodec("victim", victim, "stub")
+
+	// Pin the single worker on a decode that blocks on the gate.
+	blockerDone := make(chan error, 1)
+	go func() {
+		_, _, err := s.Block("blocker", 0)
+		blockerDone <- err
+	}()
+	waitCond(t, "blocker decode to start", func() bool { return blocker.calls.Load() == 1 })
+
+	// Queue the victim read behind it, then cancel while it waits.
+	ctx, cancel := context.WithCancel(context.Background())
+	victimDone := make(chan error, 1)
+	go func() {
+		_, _, err := s.BlockContext(ctx, "victim", 1)
+		victimDone <- err
+	}()
+	waitCond(t, "victim ticket to queue", func() bool { return len(s.tasks) == 1 })
+	cancel()
+
+	// The caller unblocks at cancellation, not when the queue drains.
+	select {
+	case err := <-victimDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("victim err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled caller still blocked on a queued ticket")
+	}
+	if n := victim.calls.Load(); n != 0 {
+		t.Fatalf("victim decoded %d times before worker reached it", n)
+	}
+
+	// Release the worker; it must retire the canceled ticket undecoded.
+	close(blocker.gate)
+	if err := <-blockerDone; err != nil {
+		t.Fatalf("blocker read failed: %v", err)
+	}
+	waitCond(t, "canceled ticket to be retired", func() bool { return s.met.queueExpired.Value() == 1 })
+	if n := victim.calls.Load(); n != 0 {
+		t.Fatalf("canceled ticket dispatched a decode (%d calls)", n)
+	}
+
+	// The block is still servable afterwards — nothing leaked.
+	if data, _, err := s.Block("victim", 1); err != nil || len(data) == 0 {
+		t.Fatalf("victim Block after cancel = %v, %v", data, err)
+	}
+}
+
+// TestBlockContextPreCanceled pins the cheap path: an already-expired
+// context never records, enqueues or decodes anything.
+func TestBlockContextPreCanceled(t *testing.T) {
+	stub := &stubCodec{blocks: 4}
+	s := New(Options{Workers: 1, PrefetchDepth: -1, ReverifyInterval: -1})
+	defer s.Close()
+	s.addCodec("img", stub, "stub")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.BlockContext(ctx, "img", 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := stub.calls.Load(); n != 0 {
+		t.Fatalf("pre-canceled read decoded %d times", n)
+	}
+}
+
+// slowCodec decodes after a fixed delay, so queues actually build.
+type slowCodec struct {
+	stubCodec
+	delay time.Duration
+}
+
+func (c *slowCodec) Block(i int) ([]byte, error) {
+	time.Sleep(c.delay)
+	return c.stubCodec.Block(i)
+}
+
+// TestOverloadAdmissionRejectsDoomedRequests drives a one-worker server
+// with a slow codec until its queue wait estimate exceeds a tiny
+// deadline, and checks admission turns such requests into
+// *overload.RejectError instead of letting them time out in the queue.
+func TestOverloadAdmissionRejectsDoomedRequests(t *testing.T) {
+	slow := &slowCodec{stubCodec: stubCodec{blocks: 64}, delay: 5 * time.Millisecond}
+	s := New(Options{
+		Workers: 1, QueueDepth: 8, CacheBlocks: 4, CacheShards: 1,
+		PrefetchDepth: -1, TraceBuffer: -1, ReverifyInterval: -1,
+		Overload: &overload.Config{},
+	})
+	defer s.Close()
+	s.addCodec("img", slow, "stub")
+
+	// Warm the service-time EWMA with sequential cold misses.
+	for i := 0; i < 8; i++ {
+		if _, _, err := s.Block("img", i); err != nil {
+			t.Fatalf("warm read %d: %v", i, err)
+		}
+	}
+
+	// Saturate the pool from the background so the queue stays deep.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Block("img", (g*13+i)%64) //nolint:errcheck — load generator
+			}
+		}(g)
+	}
+
+	// With ~5ms service times and a deep queue, a 1ms deadline must be
+	// rejected up front once the estimator has signal.
+	var rejected bool
+	var rej *overload.RejectError
+	for i := 0; i < 500 && !rejected; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		_, _, err := s.BlockContext(ctx, "img", i%64)
+		cancel()
+		if errors.As(err, &rej) {
+			rejected = true
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if !rejected {
+		t.Fatalf("no admission reject in 500 doomed requests; stats = %+v", s.Stats().Overload)
+	}
+	if rej.RetryAfter < time.Second {
+		t.Fatalf("reject carries RetryAfter %v, want >= 1s", rej.RetryAfter)
+	}
+	st := s.Stats().Overload
+	if st == nil || st.DeadlineRejects+st.QueueFullRejects == 0 {
+		t.Fatalf("overload stats missing rejects: %+v", st)
+	}
+}
+
+// TestOverloadBrownoutServesHotShedsCold pins the brownout policy: a
+// browned-out server keeps serving cached blocks and trained-hot
+// blocks, and sheds cold misses with ReasonBrownout.
+func TestOverloadBrownoutServesHotShedsCold(t *testing.T) {
+	stub := &stubCodec{blocks: 64}
+	cfg := &overload.Config{Dwell: time.Hour} // hold the level once entered
+	s := New(Options{
+		Workers: 1, QueueDepth: 8, CacheBlocks: 8, CacheShards: 1,
+		PrefetchDepth: -1, TraceBuffer: 4096, ReverifyInterval: -1,
+		Overload: cfg,
+	})
+	defer s.Close()
+	s.addCodec("img", stub, "stub")
+
+	// Train a hot set: blocks 0..3 dominate the trace.
+	var trace []int
+	for i := 0; i < 100; i++ {
+		trace = append(trace, i%4)
+	}
+	trace = append(trace, 40, 41)
+	if _, err := s.TrainFrom("img", trace); err != nil {
+		t.Fatal(err)
+	}
+	// Cache block 40 so brownout can serve it without a worker.
+	if _, _, err := s.Block("img", 40); err != nil {
+		t.Fatal(err)
+	}
+
+	// Force brownout via the controller (unit seam: the drill proves the
+	// organic path).
+	s.ovl.ctl.Evaluate(1.0)
+	if lvl := s.OverloadLevel(); lvl != overload.BrownedOut {
+		t.Fatalf("level = %v after full-queue evaluate", lvl)
+	}
+
+	// Hot block: decodes even browned out.
+	if _, _, err := s.Block("img", 2); err != nil {
+		t.Fatalf("hot block shed under brownout: %v", err)
+	}
+	// Cached block: served from cache.
+	if _, hit, err := s.Block("img", 40); err != nil || !hit {
+		t.Fatalf("cached block = hit=%v err=%v under brownout", hit, err)
+	}
+	// Cold miss: shed.
+	var rej *overload.RejectError
+	_, _, err := s.Block("img", 50)
+	if !errors.As(err, &rej) || rej.Reason != overload.ReasonBrownout {
+		t.Fatalf("cold miss err = %v, want brownout reject", err)
+	}
+	if s.met.brownoutShed.Value() == 0 {
+		t.Fatal("brownout shed counter not incremented")
+	}
+}
+
+// TestOverloadServerRace hammers a fully enabled overload server —
+// admission, brownout transitions, retry budget, training, stats — from
+// many goroutines; the -race CI pass gives this teeth.
+func TestOverloadServerRace(t *testing.T) {
+	slow := &slowCodec{stubCodec: stubCodec{blocks: 32}, delay: 200 * time.Microsecond}
+	s := New(Options{
+		Workers: 2, QueueDepth: 4, CacheBlocks: 8, CacheShards: 1,
+		PrefetchDepth: 2, TraceBuffer: 1024, ReverifyInterval: -1,
+		Overload: &overload.Config{EvalInterval: time.Millisecond, Dwell: time.Millisecond},
+	})
+	defer s.Close()
+	s.addCodec("img", slow, "stub")
+	for i := 0; i < 8; i++ {
+		s.Block("img", i) //nolint:errcheck — warmup
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	time.AfterFunc(300*time.Millisecond, func() { close(stop) })
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i % 4 {
+				case 0:
+					ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+i%5)*time.Millisecond)
+					s.BlockContext(ctx, "img", (g*7+i)%32) //nolint:errcheck — hammer
+					cancel()
+				case 1:
+					s.Block("img", (g*11+i)%32) //nolint:errcheck — hammer
+				case 2:
+					s.Train("img") //nolint:errcheck — retrains the hot set concurrently
+					_ = s.Stats()
+				default:
+					ctx, cancel := context.WithCancel(context.Background())
+					done := make(chan struct{})
+					go func() {
+						s.BlockContext(ctx, "img", (g*3+i)%32) //nolint:errcheck — hammer
+						close(done)
+					}()
+					cancel()
+					<-done
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The server still serves after the storm.
+	waitCond(t, "level to settle", func() bool { return s.OverloadLevel() == overload.Healthy })
+	if data, _, err := s.Block("img", 1); err != nil || len(data) == 0 {
+		t.Fatalf("post-storm read = %v, %v", data, err)
+	}
+}

@@ -28,6 +28,7 @@
 package romserver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -40,6 +41,7 @@ import (
 	"codecomp/internal/blockcache"
 	"codecomp/internal/faultinj"
 	"codecomp/internal/obsv"
+	"codecomp/internal/overload"
 	"codecomp/internal/policy"
 	"codecomp/internal/traceprof"
 )
@@ -109,6 +111,14 @@ type Options struct {
 	// ReverifyInterval is how often the background pass re-verifies
 	// degraded/quarantined images (default 5s; negative disables it).
 	ReverifyInterval time.Duration
+
+	// Overload enables the overload layer — deadline-aware admission in
+	// front of the pool queue, brownout degradation, retry budgets (see
+	// internal/overload). Nil disables it entirely: requests queue and
+	// retry exactly as before. With overload enabled the pool queue
+	// becomes a bounded admission queue: a full queue rejects instead of
+	// blocking the caller.
+	Overload *overload.Config
 
 	// Registry receives the server's metrics (counters, gauges, latency
 	// histograms). Nil creates a private registry, exposed via Registry().
@@ -196,6 +206,9 @@ type image struct {
 	profile atomic.Pointer[traceprof.Profile]
 	// pref is the active prefetch policy; nil disables prefetching.
 	pref atomic.Pointer[prefState]
+	// hot is the brownout hot set (per-block flags), computed from the
+	// trained profile at Train/TrainFrom; nil before training.
+	hot atomic.Pointer[[]bool]
 
 	blockReads     atomic.Int64
 	rangeReads     atomic.Int64
@@ -232,7 +245,10 @@ type prefState struct {
 // span are set for demand fetches only: enq feeds the queue-wait
 // histogram, span carries the sampled request trace across the pool.
 // rng, when set, makes the task a batched range decode (block and reply
-// are unused; the range job carries its own reply channel).
+// are unused; the range job carries its own reply channel). ctx, when
+// set, is the demand caller's request context: a ticket whose context
+// has expired by the time a worker picks it up is retired without
+// dispatching the decode.
 type task struct {
 	img   *image
 	block int
@@ -240,6 +256,7 @@ type task struct {
 	enq   time.Time
 	span  *obsv.Span
 	rng   *rangeJob
+	ctx   context.Context
 }
 
 type result struct {
@@ -294,6 +311,13 @@ type Server struct {
 	// nextGen hands out cache-key generations to registrations.
 	nextGen atomic.Uint64
 
+	// ovl is the overload layer (admission, brownout, retry budget);
+	// nil when Options.Overload is unset.
+	ovl *overloadState
+	// inflight counts worker-pool tasks currently executing, behind the
+	// romserver_inflight_decodes gauge.
+	inflight atomic.Int64
+
 	// met holds every server-lifetime instrument (prefetch and faultlab
 	// rollups, latency histograms); Stats() reads the counters back, so
 	// /metrics and the JSON stats can never disagree.
@@ -316,6 +340,9 @@ func New(opts Options) *Server {
 		drained: make(chan struct{}),
 		met:     newServerMetrics(reg, opts.Tracer),
 	}
+	if opts.Overload != nil {
+		s.ovl = newOverloadState(*opts.Overload, opts.Workers, s.met)
+	}
 	s.registerServerGauges()
 	s.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
@@ -324,6 +351,12 @@ func New(opts Options) *Server {
 	if opts.ReverifyInterval > 0 {
 		s.wg.Add(1)
 		go s.reverifier(opts.ReverifyInterval)
+	}
+	if s.ovl != nil {
+		// The evaluator must tick independently of traffic: brownout
+		// recovery happens precisely when requests stop arriving.
+		s.wg.Add(1)
+		go s.overloadEvaluator(s.ovl.cfg.EvalInterval)
 	}
 	return s
 }
@@ -373,6 +406,7 @@ type loader struct {
 	img   *image
 	block int
 	span  *obsv.Span
+	ctx   context.Context
 	fn    func() ([]byte, error)
 }
 
@@ -388,22 +422,33 @@ func (l *loader) load() ([]byte, error) {
 	if l.img.health.State() == Quarantined {
 		return nil, fmt.Errorf("%w: %q", ErrQuarantined, l.img.name)
 	}
-	return l.s.loadVerified(l.img, l.block, l.span, true)
+	return l.s.loadVerified(l.ctx, l.img, l.block, l.span, true)
 }
 
 func (l *loader) release() {
-	l.s, l.img, l.span = nil, nil, nil
+	l.s, l.img, l.span, l.ctx = nil, nil, nil, nil
 	loaderPool.Put(l)
 }
 
 func (s *Server) handle(t task) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	if t.rng != nil {
 		s.handleRange(t)
 		return
 	}
+	if t.ctx != nil && t.ctx.Err() != nil {
+		// The caller gave up while the ticket was queued: retire it
+		// without dispatching the decode. The caller ends the span.
+		s.met.queueExpired.Inc()
+		if t.reply != nil {
+			t.reply <- result{err: t.ctx.Err()}
+		}
+		return
+	}
 	key := t.img.key(t.block)
 	l := loaderPool.Get().(*loader)
-	l.s, l.img, l.block, l.span = s, t.img, t.block, t.span
+	l.s, l.img, l.block, l.span, l.ctx = s, t.img, t.block, t.span, t.ctx
 	if t.reply == nil {
 		// Speculative warm: tag the load so a later demand hit counts
 		// toward prefetch accuracy.
@@ -416,13 +461,23 @@ func (s *Server) handle(t task) {
 	wait := time.Since(t.enq)
 	s.met.queueWait.Observe(wait)
 	t.span.Phase("queue_wait", wait)
+	svcStart := time.Now()
 	data, hit, err := s.cache.Get(key, l.fn)
+	if s.ovl != nil {
+		s.ovl.adm.ObserveWait(wait)
+		s.ovl.adm.ObserveService(time.Since(svcStart))
+	}
 	l.release()
 	if hit {
 		t.span.Event("cache hit")
 	}
 	t.reply <- result{data: data, hit: hit, err: err}
 	if err == nil && !hit {
+		if s.ovl != nil && s.ovl.ctl.Level() != overload.Healthy {
+			// Under pressure, speculative warms are the first work shed.
+			s.met.prefetchSuppressed.Inc()
+			return
+		}
 		s.prefetch(t.img, t.block)
 	}
 }
@@ -449,7 +504,7 @@ func (s *Server) handleRange(t task) {
 			rj.reply <- rangeResult{err: fmt.Errorf("%w: %q", ErrQuarantined, t.img.name)}
 			return
 		}
-		data, err := s.loadVerified(t.img, b, nil, true)
+		data, err := s.loadVerified(t.ctx, t.img, b, nil, true)
 		if err != nil {
 			rj.reply <- rangeResult{err: err}
 			return
@@ -494,8 +549,28 @@ var replyPool = sync.Pool{New: func() any { return make(chan result, 1) }}
 // fetch runs one demand read through the pool and waits for its result.
 // Demand fetches are the access stream the trace recorder captures.
 func (s *Server) fetch(img *image, block int) ([]byte, bool, error) {
+	return s.fetchCtx(context.Background(), img, block)
+}
+
+// fetchCtx is fetch carrying the caller's request context through the
+// pool: the overload layer's gates run before the enqueue, an expired
+// context cancels still-queued work, and the context's deadline clamps
+// the per-decode deadline inside the hardened load path.
+func (s *Server) fetchCtx(ctx context.Context, img *image, block int) ([]byte, bool, error) {
 	if img.recorder != nil {
 		img.recorder.Record(block)
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		done = ctx.Done()
+	}
+	if s.ovl != nil {
+		if data, hit, err, handled := s.admit(ctx, img, block); handled {
+			return data, hit, err
+		}
 	}
 	sp := s.met.tracer.Begin("block_load")
 	if sp != nil {
@@ -504,19 +579,58 @@ func (s *Server) fetch(img *image, block int) ([]byte, bool, error) {
 		sp.Eventf("img=%s block=%d", img.name, block)
 	}
 	reply := replyPool.Get().(chan result)
-	t := task{img: img, block: block, reply: reply, enq: time.Now(), span: sp}
-	select {
-	case s.tasks <- t:
-	case <-s.quit:
-		replyPool.Put(reply)
-		sp.End(ErrClosed)
-		return nil, false, ErrClosed
+	t := task{img: img, block: block, reply: reply, enq: time.Now(), span: sp, ctx: ctx}
+	if s.ovl != nil {
+		// Bounded admission: a full queue rejects instead of blocking.
+		select {
+		case s.tasks <- t:
+		case <-s.quit:
+			replyPool.Put(reply)
+			sp.End(ErrClosed)
+			return nil, false, ErrClosed
+		default:
+			replyPool.Put(reply)
+			s.met.admissionQueueFull.Inc()
+			rej := &overload.RejectError{
+				Reason:     overload.ReasonQueueFull,
+				RetryAfter: retryAfter(s.ovl.adm.EstimateWait(len(s.tasks))),
+			}
+			sp.End(rej)
+			return nil, false, rej
+		}
+	} else {
+		select {
+		case s.tasks <- t:
+		case <-done:
+			replyPool.Put(reply)
+			sp.End(ctx.Err())
+			return nil, false, ctx.Err()
+		case <-s.quit:
+			replyPool.Put(reply)
+			sp.End(ErrClosed)
+			return nil, false, ErrClosed
+		}
 	}
+	data, hit, err := s.awaitFetch(reply, done, ctx, sp)
+	if s.ovl != nil && !errors.Is(err, ErrClosed) {
+		s.ovl.ctl.ReportOutcome(err == nil)
+	}
+	return data, hit, err
+}
+
+// awaitFetch waits for a dispatched demand ticket. An expired caller
+// context abandons the (buffered) reply channel — the queued ticket's
+// own ctx check retires it without a decode — so the caller unblocks at
+// its deadline instead of waiting out the queue.
+func (s *Server) awaitFetch(reply chan result, done <-chan struct{}, ctx context.Context, sp *obsv.Span) ([]byte, bool, error) {
 	select {
 	case r := <-reply:
 		replyPool.Put(reply)
 		sp.End(r.err)
 		return r.data, r.hit, r.err
+	case <-done:
+		sp.End(ctx.Err())
+		return nil, false, ctx.Err()
 	case <-s.drained:
 		// Shutdown raced our enqueue; the drain loop may still have served
 		// the task, so check once more before giving up.
@@ -664,6 +778,16 @@ func (s *Server) Images() []ImageInfo {
 // Block returns the decompressed bytes of one cache block. The bool reports
 // whether the read was a cache hit.
 func (s *Server) Block(name string, i int) ([]byte, bool, error) {
+	return s.BlockContext(context.Background(), name, i)
+}
+
+// BlockContext is Block under the caller's request context: the
+// context's deadline drives admission control (a read whose estimated
+// queue wait would blow the deadline is rejected with
+// *overload.RejectError before queueing), cancels the ticket if it is
+// still queued when the context expires, and clamps the per-decode
+// deadline. A nil or background context behaves exactly like Block.
+func (s *Server) BlockContext(ctx context.Context, name string, i int) ([]byte, bool, error) {
 	img, err := s.lookup(name)
 	if err != nil {
 		return nil, false, err
@@ -672,7 +796,7 @@ func (s *Server) Block(name string, i int) ([]byte, bool, error) {
 		return nil, false, fmt.Errorf("%w: %d of %q [0,%d)", ErrOutOfRange, i, name, img.blocks)
 	}
 	img.blockReads.Add(1)
-	return s.fetch(img, i)
+	return s.fetchCtx(ctx, img, i)
 }
 
 // SetFillHook installs (or, with nil, removes) the alternative block
@@ -874,6 +998,7 @@ func (s *Server) Train(name string) (*traceprof.Profile, error) {
 	}
 	p := traceprof.BuildProfile(img.recorder.Snapshot(), img.blocks)
 	img.profile.Store(p)
+	s.setHotSet(img, p)
 	return p, nil
 }
 
@@ -889,6 +1014,7 @@ func (s *Server) TrainFrom(name string, accesses []int) (*traceprof.Profile, err
 	}
 	p := traceprof.BuildProfile(accesses, img.blocks)
 	img.profile.Store(p)
+	s.setHotSet(img, p)
 	return p, nil
 }
 
@@ -984,7 +1110,7 @@ func (s *Server) SetPolicy(name string, spec PolicySpec) (PolicyInfo, error) {
 		key := img.key(b)
 		block := b
 		_, _, err := s.cache.Get(key, func() ([]byte, error) {
-			return s.loadVerified(img, block, nil, true)
+			return s.loadVerified(nil, img, block, nil, true)
 		})
 		if err != nil {
 			s.cache.UnpinImage(name)
@@ -1108,6 +1234,8 @@ type Stats struct {
 	CacheHitRatio float64          `json:"cache_hit_ratio"`
 	Prefetch      PrefetchStats    `json:"prefetch"`
 	Faults        FaultStatsRollup `json:"faults"`
+	// Overload is the overload layer's snapshot, nil when disabled.
+	Overload *OverloadStats `json:"overload,omitempty"`
 	// Ready is false while any image is quarantined (the readiness
 	// signal behind /readyz).
 	Ready  bool         `json:"ready"`
@@ -1136,7 +1264,8 @@ func (s *Server) Stats() Stats {
 			Reverifies:        s.met.reverifies.Value(),
 			HealthTransitions: s.met.healthTransitions.Value(),
 		},
-		Ready: true,
+		Overload: s.overloadStats(),
+		Ready:    true,
 	}
 	s.mu.RLock()
 	for _, img := range s.images {
