@@ -11,8 +11,11 @@
 // pre-optimization reference decoder are measured in the same process on
 // the same machine, and the fresh fast-vs-reference speedup must stay
 // within tolerance (default 20%) of the committed baseline's speedup. The
-// romserver miss path is additionally gated on its allocation budget
-// (<= 1 alloc/op), which is machine-independent.
+// serving paths are additionally gated on machine-independent budgets:
+// the romserver miss path on its allocation budget (<= 1 alloc/op), the
+// warm zero-copy read paths (cached sub-block and warm range views) on
+// exactly 0 allocs/op and 0 B/op, and the sub-block miss path on its
+// decoded-bytes-per-op staying strictly below the block size.
 //
 // Usage:
 //
@@ -43,8 +46,12 @@ type result struct {
 	// Ratio is the codec's compression ratio on the benchmark corpus,
 	// exported via b.ReportMetric — present only for the benchmarks that
 	// report it (the rANS-vs-SAMC acceptance gate needs both sides).
-	Ratio   float64 `json:"ratio,omitempty"`
-	Samples int     `json:"samples"`
+	Ratio float64 `json:"ratio,omitempty"`
+	// DecodedBPerOp is the mean codec output bytes one op decoded,
+	// exported via b.ReportMetric by the sub-block miss benchmark — the
+	// partial-decode gate compares it against the block size.
+	DecodedBPerOp float64 `json:"decoded_b_per_op,omitempty"`
+	Samples       int     `json:"samples"`
 }
 
 // speedup is one codec's fast-vs-reference ratio, both sides measured in
@@ -79,7 +86,7 @@ var suite = []struct {
 	{"codecomp/internal/kozuch", "^(BenchmarkDecompressBlock|BenchmarkDecompressBlockReference|BenchmarkAppendBlock)$"},
 	{"codecomp/internal/rans", "^(BenchmarkDecompressBlock|BenchmarkDecompressBlockReference|BenchmarkAppendBlock)$"},
 	{"codecomp/internal/huffman", "^(BenchmarkDecode|BenchmarkDecodeSerial)$"},
-	{"codecomp/internal/romserver", "^BenchmarkRomserverMiss$"},
+	{"codecomp/internal/romserver", "^(BenchmarkRomserverMiss|BenchmarkRomserverCachedReadAt|BenchmarkRomserverWarmRange|BenchmarkRomserverSubblockMiss)$"},
 	{"codecomp", "^(BenchmarkDecompressSAMC|BenchmarkDecompressSADC|BenchmarkDecompressHuffman|BenchmarkDecompressRANS)$"},
 }
 
@@ -183,8 +190,9 @@ func measure(count int) (*report, error) {
 			MBPerSec:    median(append([]float64(nil), metrics["MB/s"]...)),
 			AllocsPerOp: median(append([]float64(nil), metrics["allocs/op"]...)),
 			BytesPerOp:  median(append([]float64(nil), metrics["B/op"]...)),
-			Ratio:       median(append([]float64(nil), metrics["ratio"]...)),
-			Samples:     len(metrics["ns/op"]),
+			Ratio:         median(append([]float64(nil), metrics["ratio"]...)),
+			DecodedBPerOp: median(append([]float64(nil), metrics["decodedB/op"]...)),
+			Samples:       len(metrics["ns/op"]),
 		}
 	}
 	for codec, p := range pairs {
@@ -268,6 +276,40 @@ func check(fresh, baseline *report, tolerance float64) error {
 		fmt.Printf("%-8s miss path %.0f allocs/op (budget 1) %s\n", "serving", miss.AllocsPerOp, status)
 	} else {
 		failures = append(failures, "romserver/RomserverMiss missing from fresh run")
+	}
+	// Zero-copy read-path gates: the warm lease-backed paths must stay
+	// allocation-free, and a sub-block miss must decode strictly less
+	// than its 4 KiB block (the partial-decode saving, machine-independent
+	// like the alloc budget).
+	for _, name := range []string{"romserver/RomserverCachedReadAt", "romserver/RomserverWarmRange"} {
+		warm, ok := fresh.Benchmarks[name]
+		if !ok {
+			failures = append(failures, name+" missing from fresh run")
+			continue
+		}
+		status := "ok"
+		if warm.AllocsPerOp > 0 || warm.BytesPerOp > 0 {
+			status = "REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f allocs/op %.0f B/op, budget is zero-copy (0/0)",
+					name, warm.AllocsPerOp, warm.BytesPerOp))
+		}
+		fmt.Printf("%-8s %s %.0f allocs/op %.0f B/op (budget 0/0) %s\n",
+			"serving", strings.TrimPrefix(name, "romserver/Romserver"), warm.AllocsPerOp, warm.BytesPerOp, status)
+	}
+	if sub, ok := fresh.Benchmarks["romserver/RomserverSubblockMiss"]; ok {
+		const subblockBenchBlockSize = 4096 // keep in sync with BenchmarkRomserverSubblockMiss
+		status := "ok"
+		if sub.DecodedBPerOp <= 0 || sub.DecodedBPerOp >= subblockBenchBlockSize {
+			status = "REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("romserver sub-block miss: %.0f decoded B/op, want in (0, %d)",
+					sub.DecodedBPerOp, subblockBenchBlockSize))
+		}
+		fmt.Printf("%-8s sub-block miss %.0f decoded B/op (block size %d) %s\n",
+			"serving", sub.DecodedBPerOp, subblockBenchBlockSize, status)
+	} else {
+		failures = append(failures, "romserver/RomserverSubblockMiss missing from fresh run")
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("decode fast-path regression:\n  %s", strings.Join(failures, "\n  "))

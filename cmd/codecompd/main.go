@@ -12,7 +12,12 @@
 //	GET  /images/{name}/blocks/{i}  one decompressed block (X-Cache: hit|miss)
 //	GET  /images/{name}/blocks?range=i-j  blocks [i,j] via the batched
 //	                             decode path (X-Range-* amortization stats)
-//	GET  /images/{name}/text     the whole decompressed program
+//	GET  /images/{name}/bytes?off=O&len=N  N decompressed bytes at byte
+//	                             offset O — sub-block reads lease cached
+//	                             blocks zero-copy and only partially
+//	                             decode a mid-block tail (X-Decoded-Bytes)
+//	GET  /images/{name}/text     the whole decompressed program, streamed
+//	                             block by block
 //	DELETE /images/{name}        deregister an image
 //	GET  /healthz                liveness (always 200 while the process serves)
 //	GET  /readyz                 readiness (503 while any image is quarantined)
@@ -206,6 +211,7 @@ func newDaemon(cfg config) (*daemon, error) {
 	handle("DELETE /images/{name}", "delete", d.handleDelete)
 	handle("GET /images/{name}/blocks/{i}", "block", d.handleBlock)
 	handle("GET /images/{name}/blocks", "range", d.handleRange)
+	handle("GET /images/{name}/bytes", "bytes", d.handleBytes)
 	handle("GET /images/{name}/text", "text", d.handleText)
 	handle("POST /images/{name}/train", "train", d.maxBody(cfg.maxImage, d.handleTrain))
 	handle("GET /images/{name}/profile", "profile", d.handleProfile)
@@ -506,18 +512,56 @@ func (d *daemon) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "range must be i-j with 0 <= i <= j"})
 		return
 	}
-	data, st, err := d.rs.RangeBatched(r.PathValue("name"), first, last)
+	v, err := d.rs.RangeView(r.PathValue("name"), first, last)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	defer v.Close()
+	writeView(w, v)
+}
+
+// writeView sends a zero-copy view as the response body: stats as
+// X-Range-* headers, then the leased parts written through the view's
+// vectored WriteTo — no concatenation buffer on the daemon side.
+func writeView(w http.ResponseWriter, v *romserver.View) {
+	st := v.Stats()
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Header().Set("Content-Length", strconv.Itoa(v.Len()))
 	w.Header().Set("X-Range-Blocks", strconv.Itoa(st.Blocks))
 	w.Header().Set("X-Range-Cached", strconv.Itoa(st.CachedBlocks))
 	w.Header().Set("X-Range-Dispatches", strconv.Itoa(st.Dispatches))
 	w.Header().Set("X-Range-Decoded", strconv.Itoa(st.DecodedBlocks))
-	w.Write(data) //nolint:errcheck
+	w.Header().Set("X-Decoded-Bytes", strconv.Itoa(v.DecodedBytes()))
+	v.WriteTo(w) //nolint:errcheck
+}
+
+// handleBytes serves GET /images/{name}/bytes?off=&len= — the
+// byte-granular sub-block read path. Cached blocks stream zero-copy
+// from leases; a tail that ends mid-block on a healthy image is
+// partially decoded, and X-Decoded-Bytes reports how much codec output
+// the read actually paid for.
+func (d *daemon) handleBytes(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	off, err1 := strconv.Atoi(q.Get("off"))
+	n, err2 := strconv.Atoi(q.Get("len"))
+	if err1 != nil || err2 != nil || off < 0 || n < 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "off and len must be non-negative integers"})
+		return
+	}
+	ctx, cancel, err := overload.WithDeadlineHeader(r.Context(), r.Header.Get(overload.DeadlineHeader))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	defer cancel()
+	v, err := d.rs.ReadAtContext(ctx, r.PathValue("name"), off, n)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer v.Close()
+	writeView(w, v)
 }
 
 // parseRange parses "i-j" into an inclusive block interval.
@@ -534,15 +578,28 @@ func parseRange(s string) (first, last int, ok bool) {
 	return first, last, true
 }
 
+// handleText streams the decompressed program block by block instead
+// of materializing it: the image's original size is known up front, so
+// Content-Length still goes out before the first block decodes.
 func (d *daemon) handleText(w http.ResponseWriter, r *http.Request) {
-	data, err := d.rs.FullText(r.PathValue("name"))
+	name := r.PathValue("name")
+	info, err := d.rs.Image(name)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
-	w.Write(data) //nolint:errcheck
+	w.Header().Set("Content-Length", strconv.Itoa(info.OrigSize))
+	if _, err := d.rs.WriteText(name, w); err != nil && !isNetworkWriteErr(err) {
+		// Headers are gone; the short body is the client's error signal.
+		log.Printf("text %s: %v", name, err)
+	}
+}
+
+// isNetworkWriteErr reports whether the error came from writing the
+// response (client gone) rather than from decoding.
+func isNetworkWriteErr(err error) bool {
+	return errors.Is(err, syscall.EPIPE) || errors.Is(err, syscall.ECONNRESET) || errors.Is(err, context.Canceled)
 }
 
 // handleTrain trains the image's access profile: from a posted

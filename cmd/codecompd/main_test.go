@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -365,6 +366,85 @@ func TestRangeEndpoint(t *testing.T) {
 	}
 	if resp, _ := get(t, ts.URL+"/images/nope/blocks?range=0-1", nil); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown image: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestBytesEndpoint drives GET /images/{name}/bytes?off=&len= — the
+// byte-granular sub-block path: exact bytes at arbitrary offsets, a
+// mid-block tail decoding less than its covering blocks hold
+// (X-Decoded-Bytes), and clean failures for malformed or out-of-range
+// windows.
+func TestBytesEndpoint(t *testing.T) {
+	cfg := testConfig()
+	cfg.prefetch = -1
+	_, ts, _ := startDaemon(t, cfg)
+	text := codecomp.GenerateMIPS(codecomp.MustProfile("tomcatv")).Text()
+
+	// Cold sub-block read ending mid-block: blocks 0..2 decode fully,
+	// block 3 only to byte 7 — strictly less codec output than the four
+	// covering blocks hold.
+	end := 3*32 + 7
+	resp, body := get(t, fmt.Sprintf("%s/images/prog/bytes?off=0&len=%d", ts.URL, end), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bytes read: %d: %s", resp.StatusCode, body)
+	}
+	if string(body) != string(text[:end]) {
+		t.Fatalf("bytes body mismatch: %d bytes, want %d", len(body), end)
+	}
+	if got := resp.Header.Get("Content-Length"); got != fmt.Sprint(end) {
+		t.Fatalf("Content-Length = %q, want %d", got, end)
+	}
+	dec, err := strconv.Atoi(resp.Header.Get("X-Decoded-Bytes"))
+	if err != nil || dec <= 0 || dec >= 4*32 {
+		t.Fatalf("X-Decoded-Bytes = %q, want in (0, 128)", resp.Header.Get("X-Decoded-Bytes"))
+	}
+
+	// Unaligned head, block-aligned end ([45,128)), cold and warm: the
+	// warm pass serves every block from leases and decodes nothing.
+	for pass := 0; pass < 2; pass++ {
+		resp, body = get(t, ts.URL+"/images/prog/bytes?off=45&len=83", nil)
+		if resp.StatusCode != http.StatusOK || string(body) != string(text[45:128]) {
+			t.Fatalf("pass %d: bytes(45,83): %d, %d bytes", pass, resp.StatusCode, len(body))
+		}
+	}
+	if got := resp.Header.Get("X-Decoded-Bytes"); got != "0" {
+		t.Fatalf("warm X-Decoded-Bytes = %q, want 0", got)
+	}
+	if got := resp.Header.Get("X-Range-Dispatches"); got != "0" {
+		t.Fatalf("warm X-Range-Dispatches = %q, want 0", got)
+	}
+	// A mid-block tail is never cached: re-reading the same window
+	// partially decodes it again — the tail stays a (cheap) miss.
+	resp, _ = get(t, ts.URL+"/images/prog/bytes?off=45&len=101", nil)
+	if got := resp.Header.Get("X-Decoded-Bytes"); got != "18" {
+		t.Fatalf("repeat mid-block tail X-Decoded-Bytes = %q, want 18 (bytes 128..146 of block 4)", got)
+	}
+
+	// Zero-length read at any valid offset is an empty 200.
+	if resp, body := get(t, ts.URL+"/images/prog/bytes?off=5&len=0", nil); resp.StatusCode != http.StatusOK || len(body) != 0 {
+		t.Fatalf("empty read: %d, %d bytes", resp.StatusCode, len(body))
+	}
+
+	for _, bad := range []string{"off=x&len=4", "off=0", "len=4", "off=-1&len=4", "off=0&len=-2"} {
+		if resp, _ := get(t, ts.URL+"/images/prog/bytes?"+bad, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bytes?%s: %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	if resp, _ := get(t, fmt.Sprintf("%s/images/prog/bytes?off=%d&len=1", ts.URL, len(text)), nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("past-end read: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/images/nope/bytes?off=0&len=1", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown image: %d, want 404", resp.StatusCode)
+	}
+
+	// The streamed /text path still serves the exact program with an
+	// up-front Content-Length.
+	resp, body = get(t, ts.URL+"/images/prog/text", nil)
+	if resp.StatusCode != http.StatusOK || string(body) != string(text) {
+		t.Fatalf("text: %d, %d bytes", resp.StatusCode, len(body))
+	}
+	if got := resp.Header.Get("Content-Length"); got != fmt.Sprint(len(text)) {
+		t.Fatalf("text Content-Length = %q, want %d", got, len(text))
 	}
 }
 

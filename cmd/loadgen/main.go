@@ -45,7 +45,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -53,7 +55,9 @@ import (
 
 	"codecomp"
 	"codecomp/internal/blockcache"
+	"codecomp/internal/cluster"
 	"codecomp/internal/cluster/client"
+	"codecomp/internal/faultinj"
 	"codecomp/internal/memsys"
 	"codecomp/internal/obsv"
 	"codecomp/internal/overload"
@@ -81,6 +85,8 @@ func main() {
 	offline := flag.Bool("offline", false, "skip the server: score sequential/markov/hotset through the memsys policy evaluator")
 	simCache := flag.Int("sim-cache", 0, "offline cache capacity in blocks (0 = working set / 3)")
 	rangeSpan := flag.Int("range", 0, "replay through GET /blocks?range=i-j with spans of this many blocks (0 = per-block reads); the report compares pool dispatches against per-block cost")
+	subblock := flag.Bool("subblock", false, "sub-block drill: random byte-window reads via GET /bytes with byte-exact verification, then the same storm under server-side fault injection where every 200 must still be exact")
+	subblockReads := flag.Int("subblock-reads", 2000, "sub-block drill: byte-window reads per phase")
 	chaos := flag.Bool("chaos", false, "fault drill: inject faults server-side, verify every served byte, assert detection and recovery")
 	chaosBitflip := flag.Float64("chaos-bitflip", 0.02, "chaos: per-decompression bit-flip rate")
 	chaosTransient := flag.Float64("chaos-transient", 0.01, "chaos: per-decompression transient-error rate")
@@ -162,6 +168,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("loadgen: cluster: PASS — node killed and restarted mid-replay, zero corrupt bytes, hit ratio held, disk recovery worked\n")
+		return
+	}
+
+	if *subblock {
+		violations := runSubblock(*name, image, text, *subblockReads, *concurrency, *seed, *blockSize)
+		if violations > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: subblock: FAIL (%d invariant violations)\n", violations)
+			os.Exit(1)
+		}
+		fmt.Printf("loadgen: subblock: PASS — byte windows exact clean and under faults; partial decodes saved tail-block work\n")
 		return
 	}
 
@@ -601,6 +617,126 @@ func runRange(cc *client.Client, name string, text []byte, reqs []int, loops, co
 		fmt.Printf("loadgen: range: FAIL - batched reads used no fewer dispatches than per-block reads\n")
 		violations++
 	}
+	return violations
+}
+
+// runSubblock executes the sub-block drill and returns the number of
+// invariant violations. Two phases of random byte-window reads through
+// GET /images/{name}/bytes:
+//
+//  1. Clean: every response must match text[off:off+len] exactly, and
+//     the server's partial-decode counters must move — mid-block tails
+//     are decoded partially instead of in full.
+//  2. Faulted: with bit flips and transient errors injected behind the
+//     codec, a read may fail (5xx after retries) but every 200 must
+//     still be byte-exact — the partial path must never serve an
+//     unverified prefix of a faulted image.
+func runSubblock(name string, image, text []byte, reads, concurrency int, seed int64, blockSize int) int {
+	// Self-contained like -cluster and -overload: boot an in-process
+	// node so CI needs no external daemon, but talk to it over real
+	// HTTP — the vectored response path is part of what is under test.
+	dir, err := os.MkdirTemp("", "loadgen-subblock-*")
+	fatal(err)
+	defer os.RemoveAll(dir)
+	node, err := cluster.NewNode(cluster.NodeOptions{
+		Name:    "subblock-0",
+		DataDir: dir,
+		Logf:    func(string, ...any) {},
+		Server: romserver.Options{
+			CacheBlocks:  64,
+			LoadAttempts: 3,
+		},
+	})
+	fatal(err)
+	defer node.Close()
+	ts := httptest.NewServer(node.Handler())
+	defer ts.Close()
+	cc := client.New(ts.URL, &http.Client{Timeout: 30 * time.Second})
+	fatal(uploadVerbose(cc, name, image))
+
+	// Pre-generate the windows so the workers share no RNG: a mix of
+	// short intra-block reads, block-straddling windows and long spans.
+	rng := rand.New(rand.NewSource(seed))
+	type window struct{ off, ln int }
+	windows := make([]window, reads)
+	for i := range windows {
+		off := rng.Intn(len(text))
+		span := rng.Intn(4*blockSize) + 1
+		if off+span > len(text) {
+			span = len(text) - off
+		}
+		windows[i] = window{off, span}
+	}
+
+	storm := func(label string) (okN, failedN, mismatchN, decodedN int64) {
+		var ok, failed, mismatches, decoded atomic.Int64
+		work := make(chan window, 4*concurrency)
+		var wg sync.WaitGroup
+		for w := 0; w < concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for win := range work {
+					body, _, dec, err := cc.ReadBytes(name, win.off, win.ln)
+					if err != nil {
+						failed.Add(1)
+						continue
+					}
+					if !bytes.Equal(body, text[win.off:win.off+win.ln]) {
+						mismatches.Add(1)
+						fmt.Printf("loadgen: subblock: %s MISMATCH for bytes [%d,%d)\n", label, win.off, win.off+win.ln)
+						continue
+					}
+					ok.Add(1)
+					decoded.Add(int64(dec))
+				}
+			}()
+		}
+		start := time.Now()
+		for _, win := range windows {
+			work <- win
+		}
+		close(work)
+		wg.Wait()
+		fmt.Printf("loadgen: subblock: %s: %d windows ok, %d failed, %d mismatched, %d B decoded in %v\n",
+			label, ok.Load(), failed.Load(), mismatches.Load(), decoded.Load(),
+			time.Since(start).Round(time.Millisecond))
+		return ok.Load(), failed.Load(), mismatches.Load(), decoded.Load()
+	}
+
+	violations := 0
+	ok, failedN, mismatches, _ := storm("clean")
+	if mismatches > 0 || failedN > 0 || ok == 0 {
+		fmt.Printf("loadgen: subblock: FAIL - clean phase must serve every window exactly\n")
+		violations++
+	}
+	st := node.Server().Stats()
+	fmt.Printf("loadgen: subblock: server: %d sub-block reads, %d partial decodes, %d B partially decoded\n",
+		st.Subblock.Reads, st.Subblock.PartialDecodes, st.Subblock.PartialDecodedBytes)
+	if st.Subblock.PartialDecodes == 0 {
+		fmt.Printf("loadgen: subblock: FAIL - no partial decodes; mid-block tails are paying for full blocks\n")
+		violations++
+	}
+	// The saving itself: partially decoded tails averaged less codec
+	// output than one full block.
+	if st.Subblock.PartialDecodes > 0 &&
+		st.Subblock.PartialDecodedBytes >= st.Subblock.PartialDecodes*int64(blockSize) {
+		fmt.Printf("loadgen: subblock: FAIL - partial decodes averaged a full block of output\n")
+		violations++
+	}
+
+	fatal(node.Server().SetFaults(name, &faultinj.Options{
+		Seed:          seed,
+		BitFlipRate:   0.02,
+		TransientRate: 0.01,
+	}))
+	_, failedF, mismatchesF, _ := storm("faulted")
+	fatal(node.Server().SetFaults(name, nil))
+	if mismatchesF > 0 {
+		fmt.Printf("loadgen: subblock: FAIL - a faulted read served corrupt bytes with a 200\n")
+		violations++
+	}
+	fmt.Printf("loadgen: subblock: faulted phase refused %d reads cleanly (detection, not corruption)\n", failedF)
 	return violations
 }
 

@@ -342,6 +342,53 @@ func AppendBlock(c BlockCodec, dst []byte, i int) ([]byte, error) {
 	return append(dst, b...), nil
 }
 
+// BlockPrefixAppender is the optional sub-block extension of BlockCodec:
+// decode only the first n bytes of block i. The paper's block-addressable
+// formats encode each block as a self-terminating symbol stream, so a
+// decoder that only needs a prefix can stop at the symbol covering the
+// requested offset instead of decoding the whole block — the
+// decompression-free tail the zero-copy read path exploits for sub-block
+// reads. AppendBlockPrefix(dst, i, n) appends exactly
+// min(n, len(Block(i))) bytes, bit-identical to the same-length prefix of
+// Block(i), and leaves dst's prefix untouched; n <= 0 appends nothing.
+// SAMC stops at the word containing the offset, byte-Huffman at the
+// symbol, and SADC at the dictionary token (truncating its final unit),
+// so the decode work each performs is proportional to the requested
+// prefix, not the block size.
+type BlockPrefixAppender interface {
+	AppendBlockPrefix(dst []byte, i, n int) ([]byte, error)
+}
+
+// AppendBlockPrefix decodes the first n bytes of block i of any
+// BlockCodec into dst. decoded reports how many bytes the codec actually
+// had to decode to satisfy the request: the appended length when the
+// codec supports native prefix decode, or the full block length when the
+// call fell back to a full decode plus truncation (rANS interleaves its
+// streams across the whole block and always pays the full decode). The
+// serving layer's partial-read accounting is built on this value.
+func AppendBlockPrefix(c BlockCodec, dst []byte, i, n int) (out []byte, decoded int, err error) {
+	if n <= 0 {
+		return dst, 0, nil
+	}
+	if a, ok := c.(BlockPrefixAppender); ok {
+		out, err = a.AppendBlockPrefix(dst, i, n)
+		if err != nil {
+			return nil, 0, err
+		}
+		return out, len(out) - len(dst), nil
+	}
+	base := len(dst)
+	out, err = AppendBlock(c, dst, i)
+	if err != nil {
+		return nil, 0, err
+	}
+	decoded = len(out) - base
+	if base+n < len(out) {
+		out = out[:base+n]
+	}
+	return out, decoded, nil
+}
+
 // Interface conformance checks.
 var (
 	_ BlockCodec = (*SAMCImage)(nil)
@@ -353,4 +400,8 @@ var (
 	_ BlockAppender = (*SADCImage)(nil)
 	_ BlockAppender = (*HuffmanImage)(nil)
 	_ BlockAppender = (*RANSImage)(nil)
+
+	_ BlockPrefixAppender = (*SAMCImage)(nil)
+	_ BlockPrefixAppender = (*SADCImage)(nil)
+	_ BlockPrefixAppender = (*HuffmanImage)(nil)
 )

@@ -70,6 +70,18 @@ type Stats struct {
 	Entries int64 `json:"entries"`
 	// Bytes is the decompressed payload currently cached.
 	Bytes int64 `json:"bytes"`
+	// LeasesAcquired counts leases handed out by Acquire/AcquirePeek.
+	LeasesAcquired int64 `json:"leases_acquired"`
+	// LeasesActive is the number of leases currently outstanding. A
+	// value that never returns to zero is a leaked (never-released)
+	// lease.
+	LeasesActive int64 `json:"leases_active"`
+	// RetiredLeaseBufs is the number of buffers evicted, replaced or
+	// invalidated out of the cache but still pinned live by unreleased
+	// leases — memory the cache no longer counts in Bytes.
+	RetiredLeaseBufs int64 `json:"retired_lease_bufs"`
+	// RetiredLeaseBytes is the payload those retired buffers hold.
+	RetiredLeaseBytes int64 `json:"retired_lease_bytes"`
 }
 
 // HitRatio is hits over all Gets (hits + misses + deduped); 0 when idle.
@@ -95,6 +107,11 @@ type Cache struct {
 	prefetchEvicted atomic.Int64
 	pinnedCount     atomic.Int64
 	bytes           atomic.Int64
+
+	leasesAcquired atomic.Int64
+	leasesActive   atomic.Int64
+	retiredBufs    atomic.Int64
+	retiredBytes   atomic.Int64
 }
 
 type shard struct {
@@ -114,7 +131,10 @@ type shard struct {
 
 type entry struct {
 	key Key
-	val []byte
+	// buf is the refcounted backing store; the cache holds one reference
+	// until the entry is evicted, replaced or invalidated, and every
+	// outstanding Lease holds another (see lease.go).
+	buf *leaseBuf
 	// prev/next are the intrusive LRU links; both nil while the entry is
 	// pinned (off the list) or on the freelist (next only).
 	prev, next *entry
@@ -272,7 +292,7 @@ func (c *Cache) GetCached(key Key) (val []byte, ok bool) {
 		e.prefetched = false
 		c.prefetchHits.Add(1)
 	}
-	val = e.val
+	val = e.buf.data
 	s.mu.Unlock()
 	c.hits.Add(1)
 	return val, true
@@ -289,7 +309,7 @@ func (c *Cache) get(key Key, load func() ([]byte, error), prefetch bool) ([]byte
 			e.prefetched = false
 			c.prefetchHits.Add(1)
 		}
-		val := e.val
+		val := e.buf.data
 		s.mu.Unlock()
 		c.hits.Add(1)
 		return val, true, nil
@@ -329,16 +349,19 @@ func (c *Cache) get(key Key, load func() ([]byte, error), prefetch bool) ([]byte
 func (s *shard) insert(c *Cache, key Key, val []byte, prefetched bool) {
 	if e, ok := s.entries[key]; ok {
 		// A concurrent Invalidate+reload can race another flight's insert;
-		// keep the newest value.
-		c.bytes.Add(int64(len(val)) - int64(len(e.val)))
-		e.val = val
+		// keep the newest value. The replaced buffer is retired, not
+		// freed: leases acquired on the old bytes stay valid until
+		// released.
+		c.bytes.Add(int64(len(val)) - int64(len(e.buf.data)))
+		e.buf.retire(c)
+		e.buf = newLeaseBuf(val)
 		if e.prev != nil {
 			s.moveToFront(e)
 		}
 		return
 	}
 	e := s.newEntry()
-	e.key, e.val, e.prefetched = key, val, prefetched
+	e.key, e.buf, e.prefetched = key, newLeaseBuf(val), prefetched
 	s.pushFront(e)
 	s.entries[key] = e
 	c.bytes.Add(int64(len(val)))
@@ -353,11 +376,12 @@ func (s *shard) evict(c *Cache) {
 		e := s.root.prev
 		s.unlink(e)
 		delete(s.entries, e.key)
-		c.bytes.Add(-int64(len(e.val)))
+		c.bytes.Add(-int64(len(e.buf.data)))
 		c.evictions.Add(1)
 		if e.prefetched {
 			c.prefetchEvicted.Add(1)
 		}
+		e.buf.retire(c)
 		s.recycle(e)
 	}
 }
@@ -444,7 +468,7 @@ func (c *Cache) Peek(key Key) ([]byte, bool) {
 	e, ok := s.entries[key]
 	var val []byte
 	if ok {
-		val = e.val
+		val = e.buf.data
 	}
 	s.mu.Unlock()
 	return val, ok
@@ -485,8 +509,9 @@ func (c *Cache) InvalidateImage(image string) int {
 				c.pinnedCount.Add(-1)
 			}
 			delete(s.entries, k)
-			c.bytes.Add(-int64(len(e.val)))
+			c.bytes.Add(-int64(len(e.buf.data)))
 			dropped++
+			e.buf.retire(c)
 			s.recycle(e)
 		}
 		s.mu.Unlock()
@@ -523,5 +548,10 @@ func (c *Cache) Stats() Stats {
 		Pinned:          c.pinnedCount.Load(),
 		Entries:         int64(c.Len()),
 		Bytes:           c.bytes.Load(),
+
+		LeasesAcquired:    c.leasesAcquired.Load(),
+		LeasesActive:      c.leasesActive.Load(),
+		RetiredLeaseBufs:  c.retiredBufs.Load(),
+		RetiredLeaseBytes: c.retiredBytes.Load(),
 	}
 }

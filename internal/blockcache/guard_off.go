@@ -1,0 +1,12 @@
+//go:build !leaseguard
+
+package blockcache
+
+// guardEnabled gates the lease mutation guard. In the default build it
+// is a compile-time false, so the guard costs nothing; build with
+// -tags leaseguard (CI's dedicated race pass does) to checksum every
+// inserted block and re-verify it on lease release.
+const guardEnabled = false
+
+// guardSum is never called when the guard is compiled out.
+func guardSum([]byte) uint32 { return 0 }

@@ -1,0 +1,17 @@
+//go:build leaseguard
+
+package blockcache
+
+import "hash/crc32"
+
+// guardEnabled gates the lease mutation guard; this build has it on:
+// every inserted block is checksummed and every lease release re-checks
+// the checksum, panicking if the leased bytes were mutated while held.
+const guardEnabled = true
+
+// guardTable is the Castagnoli polynomial, matching the romserver's
+// integrity sidecar (and hardware-accelerated on amd64/arm64).
+var guardTable = crc32.MakeTable(crc32.Castagnoli)
+
+// guardSum checksums one block for the mutation guard.
+func guardSum(b []byte) uint32 { return crc32.Checksum(b, guardTable) }

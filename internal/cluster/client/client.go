@@ -263,6 +263,57 @@ func (c *Client) Range(name string, first, last int) ([]byte, romserver.RangeSta
 	return body, st, nil
 }
 
+// ReadBytes fetches n decompressed bytes at byte offset off; see
+// ReadBytesContext.
+func (c *Client) ReadBytes(name string, off, n int) ([]byte, romserver.RangeStats, int, error) {
+	return c.ReadBytesContext(context.Background(), name, off, n)
+}
+
+// ReadBytesContext fetches n decompressed bytes at absolute byte offset
+// off through the server's sub-block path (GET /images/{name}/bytes?
+// off=&len=), with deadline propagation like BlockContext. It returns
+// how the read was served (X-Range-* headers) and how many bytes of
+// codec output the server decoded for it (X-Decoded-Bytes — zero for a
+// fully cached read, less than the covering blocks' total when the
+// tail was partially decoded).
+func (c *Client) ReadBytesContext(ctx context.Context, name string, off, n int) ([]byte, romserver.RangeStats, int, error) {
+	var st romserver.RangeStats
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/images/%s/bytes?off=%d&len=%d", c.Base, name, off, n), nil)
+	if err != nil {
+		return nil, st, 0, err
+	}
+	if v := overload.HeaderValue(ctx); v != "" {
+		req.Header.Set(overload.DeadlineHeader, v)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, st, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, st, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		se := &StatusError{
+			What: fmt.Sprintf("bytes [%d,%d) of %s", off, off+n, name),
+			Code: resp.StatusCode,
+			Body: string(bytes.TrimSpace(body)),
+		}
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return nil, st, 0, se
+	}
+	st.Blocks, _ = strconv.Atoi(resp.Header.Get("X-Range-Blocks"))
+	st.CachedBlocks, _ = strconv.Atoi(resp.Header.Get("X-Range-Cached"))
+	st.Dispatches, _ = strconv.Atoi(resp.Header.Get("X-Range-Dispatches"))
+	st.DecodedBlocks, _ = strconv.Atoi(resp.Header.Get("X-Range-Decoded"))
+	decoded, _ := strconv.Atoi(resp.Header.Get("X-Decoded-Bytes"))
+	return body, st, decoded, nil
+}
+
 // CachedBlock asks the cluster-internal cache-only endpoint for one
 // block (GET /internal/images/{name}/cached/{i}): the bytes if the peer
 // holds them hot, ErrNotCached on a clean miss, any other failure as an

@@ -384,6 +384,30 @@ func TestRouterHTTPAPI(t *testing.T) {
 	}
 	verifyImage(t, cli, "prog", text, info.Blocks, testBlockSize)
 
+	// Sub-block byte reads proxy through the same hedged placement path;
+	// bytes must be exact and a mid-block tail must decode less than its
+	// covering blocks hold.
+	for _, w := range [][2]int{{0, 1}, {0, len(text)}, {45, 101}, {len(text) - 7, 7}, {3, 0}} {
+		data, st, _, err := cli.ReadBytes("prog", w[0], w[1])
+		if err != nil {
+			t.Fatalf("ReadBytes(%v): %v", w, err)
+		}
+		if !bytes.Equal(data, text[w[0]:w[0]+w[1]]) {
+			t.Fatalf("ReadBytes(%v): wrong bytes (%d returned)", w, len(data))
+		}
+		if w[1] > 0 && st.Blocks == 0 {
+			t.Fatalf("ReadBytes(%v): stats not propagated: %+v", w, st)
+		}
+	}
+	if _, _, decoded, err := cli.ReadBytes("prog", 0, 2*testBlockSize+5); err != nil || decoded >= 3*testBlockSize {
+		// Blocks 0..1 are warm from the sweep above; the tail partial
+		// decode must report fewer decoded bytes than three full blocks.
+		t.Fatalf("mid-block tail ReadBytes: decoded %d, err %v", decoded, err)
+	}
+	if _, _, _, err := cli.ReadBytes("prog", len(text), 1); err == nil {
+		t.Fatal("past-end ReadBytes succeeded")
+	}
+
 	cs, err := cli.ClusterStats()
 	if err != nil {
 		t.Fatal(err)

@@ -301,6 +301,7 @@ func (n *Node) buildMux() {
 	})
 	mux.HandleFunc("DELETE /images/{name}", n.handleDelete)
 	mux.HandleFunc("GET /images/{name}/blocks/{i}", n.handleBlock)
+	mux.HandleFunc("GET /images/{name}/bytes", n.handleBytes)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		ready, images := n.rs.Health()
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "node": n.name, "ready": ready, "health": images})
@@ -358,6 +359,41 @@ func (n *Node) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	n.logf("cluster node %s: registered %q (%s, %d blocks)", n.name, name, info.Format, info.Blocks)
 	writeJSON(w, http.StatusCreated, info)
+}
+
+// handleBytes is the node-side sub-block read surface, same contract
+// as codecompd's: leased cached blocks stream via the view's vectored
+// WriteTo, a mid-block tail partially decodes, and the amortization
+// stats travel back as X-Range-* / X-Decoded-Bytes headers.
+func (n *Node) handleBytes(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	off, err1 := strconv.Atoi(q.Get("off"))
+	ln, err2 := strconv.Atoi(q.Get("len"))
+	if err1 != nil || err2 != nil || off < 0 || ln < 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "off and len must be non-negative integers"})
+		return
+	}
+	ctx, cancel, err := overload.WithDeadlineHeader(r.Context(), r.Header.Get(overload.DeadlineHeader))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	defer cancel()
+	v, err := n.rs.ReadAtContext(ctx, r.PathValue("name"), off, ln)
+	if err != nil {
+		writeNodeErr(w, err)
+		return
+	}
+	defer v.Close()
+	st := v.Stats()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(v.Len()))
+	w.Header().Set("X-Range-Blocks", strconv.Itoa(st.Blocks))
+	w.Header().Set("X-Range-Cached", strconv.Itoa(st.CachedBlocks))
+	w.Header().Set("X-Range-Dispatches", strconv.Itoa(st.Dispatches))
+	w.Header().Set("X-Range-Decoded", strconv.Itoa(st.DecodedBlocks))
+	w.Header().Set("X-Decoded-Bytes", strconv.Itoa(v.DecodedBytes()))
+	v.WriteTo(w) //nolint:errcheck — client went away
 }
 
 func (n *Node) handleDelete(w http.ResponseWriter, r *http.Request) {

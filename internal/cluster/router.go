@@ -651,12 +651,16 @@ func (rt *Router) recordOutcome(m *member, err error) {
 	}
 }
 
-// blockResult is one upstream attempt's outcome.
+// blockResult is one upstream attempt's outcome — a block fetch or a
+// sub-block byte read (which also carries range stats and the decoded-
+// bytes figure).
 type blockResult struct {
-	data []byte
-	hit  bool
-	err  error
-	m    *member
+	data    []byte
+	hit     bool
+	st      romserver.RangeStats
+	decoded int
+	err     error
+	m       *member
 }
 
 // FetchBlock reads one block through placement, failover and hedging;
@@ -675,16 +679,50 @@ func (rt *Router) FetchBlock(name string, i int) ([]byte, bool, error) {
 // amplification, and replicas inside an overload backoff window are
 // skipped rather than hedged into.
 func (rt *Router) FetchBlockContext(ctx context.Context, name string, i int) ([]byte, bool, error) {
+	r, err := rt.fetchHedged(name, i, func(m *member) blockResult {
+		data, hit, err := m.cli.BlockContext(ctx, name, i)
+		return blockResult{data: data, hit: hit, err: err}
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return r.data, r.hit, nil
+}
+
+// FetchBytesContext reads n decompressed bytes at absolute byte offset
+// off through the same placement, failover and hedging machinery as
+// FetchBlockContext; replicas rotate by offset so interleaved sub-block
+// readers spread across the replica set. Returns the bytes, the range
+// stats and the serving replica's decoded-bytes figure.
+func (rt *Router) FetchBytesContext(ctx context.Context, name string, off, n int) ([]byte, romserver.RangeStats, int, error) {
+	r, err := rt.fetchHedged(name, off, func(m *member) blockResult {
+		data, st, decoded, err := m.cli.ReadBytesContext(ctx, name, off, n)
+		return blockResult{data: data, st: st, decoded: decoded, err: err}
+	})
+	if err != nil {
+		return nil, romserver.RangeStats{}, 0, err
+	}
+	return r.data, r.st, r.decoded, nil
+}
+
+// fetchHedged is the shared replica-selection, failover and hedging
+// loop behind the fetch paths: replicas rotated by rot with ejected
+// members stable-sorted to the back, one try per replica launched on
+// failure, a hedge launched after hedgeDelay when the budget allows
+// and the next replica is not inside an overload backoff window. First
+// success wins; every attempt's outcome feeds member health.
+func (rt *Router) fetchHedged(name string, rot int, try func(m *member) blockResult) (blockResult, error) {
 	ring := rt.Ring()
 	owners := ring.Lookup(name)
 	if len(owners) == 0 {
-		return nil, false, ErrNoReplicas
+		return blockResult{}, ErrNoReplicas
 	}
-	// Rotate so consecutive blocks of one image spread across replicas,
-	// then stable-sort ejected members to the back as last resorts.
+	// Rotate so consecutive blocks (or offsets) of one image spread
+	// across replicas, then stable-sort ejected members to the back as
+	// last resorts.
 	order := make([]*member, 0, len(owners))
 	for k := 0; k < len(owners); k++ {
-		if m := rt.getMember(owners[(i+k)%len(owners)]); m != nil {
+		if m := rt.getMember(owners[(rot+k)%len(owners)]); m != nil {
 			order = append(order, m)
 		}
 	}
@@ -692,7 +730,7 @@ func (rt *Router) FetchBlockContext(ctx context.Context, name string, i int) ([]
 		return !order[a].ejected.Load() && order[b].ejected.Load()
 	})
 	if len(order) == 0 {
-		return nil, false, ErrNoReplicas
+		return blockResult{}, ErrNoReplicas
 	}
 
 	results := make(chan blockResult, len(order))
@@ -702,9 +740,10 @@ func (rt *Router) FetchBlockContext(ctx context.Context, name string, i int) ([]
 		launched++
 		go func() {
 			start := time.Now()
-			data, hit, err := m.cli.BlockContext(ctx, name, i)
+			r := try(m)
 			rt.upstreamSeconds.Observe(time.Since(start))
-			results <- blockResult{data: data, hit: hit, err: err, m: m}
+			r.m = m
+			results <- r
 		}()
 	}
 	rt.budget.OnRequest()
@@ -738,7 +777,7 @@ func (rt *Router) FetchBlockContext(ctx context.Context, name string, i int) ([]
 				if hedged && r.m != primary {
 					rt.hedgeWins.Inc()
 				}
-				return r.data, r.hit, nil
+				return r, nil
 			}
 			rt.upstreamFailures.Inc()
 			if firstErr == nil {
@@ -750,7 +789,7 @@ func (rt *Router) FetchBlockContext(ctx context.Context, name string, i int) ([]
 			}
 		}
 	}
-	return nil, false, firstErr
+	return blockResult{}, firstErr
 }
 
 // prober periodically health-checks members, refreshes their stats
@@ -1056,6 +1095,34 @@ func (rt *Router) buildMux() {
 		} else {
 			w.Header().Set("X-Cache", "miss")
 		}
+		w.Write(data) //nolint:errcheck — client went away
+	})
+	handle("GET /images/{name}/bytes", "bytes", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		off, err1 := strconv.Atoi(q.Get("off"))
+		n, err2 := strconv.Atoi(q.Get("len"))
+		if err1 != nil || err2 != nil || off < 0 || n < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "off and len must be non-negative integers"})
+			return
+		}
+		ctx, cancel, err := overload.WithDeadlineHeader(r.Context(), r.Header.Get(overload.DeadlineHeader))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		defer cancel()
+		data, st, decoded, err := rt.FetchBytesContext(ctx, r.PathValue("name"), off, n)
+		if err != nil {
+			writeRouterErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		w.Header().Set("X-Range-Blocks", strconv.Itoa(st.Blocks))
+		w.Header().Set("X-Range-Cached", strconv.Itoa(st.CachedBlocks))
+		w.Header().Set("X-Range-Dispatches", strconv.Itoa(st.Dispatches))
+		w.Header().Set("X-Range-Decoded", strconv.Itoa(st.DecodedBlocks))
+		w.Header().Set("X-Decoded-Bytes", strconv.Itoa(decoded))
 		w.Write(data) //nolint:errcheck — client went away
 	})
 	handle("GET /cluster/nodes", "nodes", func(w http.ResponseWriter, r *http.Request) {

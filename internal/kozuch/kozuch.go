@@ -100,10 +100,35 @@ func (c *Compressed) AppendBlock(dst []byte, i int) ([]byte, error) {
 	if i < 0 || i >= len(c.Blocks) {
 		return nil, fmt.Errorf("kozuch: block %d out of range [0,%d)", i, len(c.Blocks))
 	}
+	return c.appendBlockN(dst, i, c.blockOrigLen(i))
+}
+
+// AppendBlockPrefix decompresses only the first n bytes of block i. The
+// block is one self-terminating Huffman symbol stream with one symbol per
+// output byte, so the decode stops exactly at the requested offset — the
+// tail is never touched. Output is bit-identical to the same-length
+// prefix of AppendBlock, which also means corruption confined to the
+// undecoded tail goes undetected here by construction.
+func (c *Compressed) AppendBlockPrefix(dst []byte, i, n int) ([]byte, error) {
+	if i < 0 || i >= len(c.Blocks) {
+		return nil, fmt.Errorf("kozuch: block %d out of range [0,%d)", i, len(c.Blocks))
+	}
+	if want := c.blockOrigLen(i); n > want {
+		n = want
+	}
+	if n <= 0 {
+		return dst, nil
+	}
+	return c.appendBlockN(dst, i, n)
+}
+
+// appendBlockN decodes the first n symbols of block i. Caller validates
+// i and clamps n to the block's decoded length.
+func (c *Compressed) appendBlockN(dst []byte, i, n int) ([]byte, error) {
 	var r bitio.Reader
 	r.Reset(c.Blocks[i])
 	tbl := c.Table
-	for n := c.blockOrigLen(i); n > 0; n-- {
+	for ; n > 0; n-- {
 		sym, err := tbl.DecodeFast(&r)
 		if err != nil {
 			return nil, err

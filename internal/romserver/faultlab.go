@@ -114,6 +114,17 @@ func buildSidecar(c codecomp.BlockCodec) (sc *sidecar, err error) {
 	return sc, nil
 }
 
+// blockOffsets folds the sidecar's per-block lengths into the
+// cumulative offset table ReadAt maps byte offsets through — the
+// registration pass already decoded every block, so the table is free.
+func (sc *sidecar) blockOffsets() []int64 {
+	offs := make([]int64, len(sc.lens)+1)
+	for i, n := range sc.lens {
+		offs[i+1] = offs[i] + int64(n)
+	}
+	return offs
+}
+
 // verify checks one decompressed block against the sidecar. A nil sidecar
 // (test codecs registered via addCodec) verifies nothing.
 func (sc *sidecar) verify(block int, data []byte) error {

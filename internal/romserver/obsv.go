@@ -45,6 +45,13 @@ type serverMetrics struct {
 	rangeDecodedBlocks *obsv.Counter
 	rangeRead          *obsv.Histogram
 
+	// Byte-granular sub-block read path (ReadAt / GET .../bytes).
+	subblockReads       *obsv.Counter
+	subblockBytes       *obsv.Counter
+	partialDecodes      *obsv.Counter
+	partialDecodedBytes *obsv.Counter
+	subblockRead        *obsv.Histogram
+
 	peerFills       *obsv.Counter
 	peerFillRejects *obsv.Counter
 
@@ -116,6 +123,17 @@ func newServerMetrics(reg *obsv.Registry, tracer *obsv.Tracer) *serverMetrics {
 		rangeRead: reg.Histogram("romserver_range_read_seconds",
 			"End-to-end time of one batched range read: dispatch, decode and reassembly."),
 
+		subblockReads: reg.Counter("romserver_subblock_reads_total",
+			"Byte-granular sub-block reads served (ReadAt / GET /images/{name}/bytes)."),
+		subblockBytes: reg.Counter("romserver_subblock_bytes_total",
+			"Decompressed bytes returned by sub-block reads."),
+		partialDecodes: reg.Counter("romserver_partial_decodes_total",
+			"Tail blocks of sub-block reads decoded only up to the requested offset (served unverified, never cached)."),
+		partialDecodedBytes: reg.Counter("romserver_partial_decoded_bytes_total",
+			"Codec output bytes produced by partial tail decodes — compare against block size × partial decodes to see the skipped work."),
+		subblockRead: reg.Histogram("romserver_subblock_read_seconds",
+			"End-to-end time of one byte-granular sub-block read."),
+
 		peerFills: reg.Counter("romserver_peer_fills_total",
 			"Cache misses served by the fill hook (a replica's hot cache) after sidecar verification, skipping local decompression."),
 		peerFillRejects: reg.Counter("romserver_peer_fill_rejects_total",
@@ -181,6 +199,18 @@ func (s *Server) registerServerGauges() {
 	reg.GaugeFunc("blockcache_pinned",
 		"Blocks held in the cache's protected (pinned) region.",
 		func() float64 { return float64(s.cache.Stats().Pinned) })
+	reg.CounterFunc("blockcache_leases_acquired_total",
+		"Block leases handed out (zero-copy views pinned by a reference instead of borrowed).",
+		func() float64 { return float64(s.cache.Stats().LeasesAcquired) })
+	reg.GaugeFunc("blockcache_leases_active",
+		"Block leases currently held; a permanently nonzero floor here is a leaked lease.",
+		func() float64 { return float64(s.cache.Stats().LeasesActive) })
+	reg.GaugeFunc("blockcache_retired_lease_bufs",
+		"Evicted or replaced blocks whose buffers outstanding leases still pin (freed when the last lease releases).",
+		func() float64 { return float64(s.cache.Stats().RetiredLeaseBufs) })
+	reg.GaugeFunc("blockcache_retired_lease_bytes",
+		"Decompressed bytes pinned by leases on retired (evicted/replaced) blocks — memory the LRU thinks it freed but readers still hold.",
+		func() float64 { return float64(s.cache.Stats().RetiredLeaseBytes) })
 
 	reg.GaugeFunc("romserver_images",
 		"Registered images.",

@@ -210,8 +210,20 @@ type image struct {
 	// trained profile at Train/TrainFrom; nil before training.
 	hot atomic.Pointer[[]bool]
 
+	// offsets is the cumulative decompressed-offset table behind the
+	// byte-granular read path: offsets[i] is block i's first absolute
+	// byte, offsets[blocks] the decompressed total (blocks are not
+	// uniform — SADC packs whole units, the last block runs short).
+	// Built for free from the integrity sidecar at registration; images
+	// registered without one (test codecs) build it lazily on first
+	// ReadAt.
+	offsets     []int64
+	offsetsOnce sync.Once
+	offsetsErr  error
+
 	blockReads     atomic.Int64
 	rangeReads     atomic.Int64
+	subblockReads  atomic.Int64
 	fullReads      atomic.Int64
 	decompressions atomic.Int64
 	// decompressNanos/decompressedBytes accumulate the time spent inside
@@ -231,6 +243,27 @@ type image struct {
 // key is the image's cache key for one block.
 func (img *image) key(b int) blockcache.Key {
 	return blockcache.Key{Image: img.name, Gen: img.gen, Block: b}
+}
+
+// blockOffsets returns the image's cumulative offset table, building it
+// lazily (one decode per block) for images registered without a sidecar.
+func (img *image) blockOffsets() ([]int64, error) {
+	img.offsetsOnce.Do(func() {
+		if img.offsets != nil {
+			return
+		}
+		offs := make([]int64, img.blocks+1)
+		for i := 0; i < img.blocks; i++ {
+			blk, err := img.codec.Block(i)
+			if err != nil {
+				img.offsetsErr = fmt.Errorf("romserver: offset table for %q: %w", img.name, err)
+				return
+			}
+			offs[i+1] = offs[i] + int64(len(blk))
+		}
+		img.offsets = offs
+	})
+	return img.offsets, img.offsetsErr
 }
 
 // prefState is an image's active policy plus the pin set it holds in the
@@ -267,16 +300,23 @@ type result struct {
 
 // rangeJob is one contiguous miss-run of a batched range read: a single
 // pool ticket that decodes blocks [first,last] back to back, inserting
-// each into the cache as it lands.
+// each into the cache as it lands. limit > 0 marks a sub-block read:
+// block last (if it still misses by the time the worker reaches it)
+// only needs its first limit bytes, decoded via the partial path and
+// never cached.
 type rangeJob struct {
 	first, last int
+	limit       int
 	reply       chan rangeResult
 }
 
 type rangeResult struct {
 	blocks  [][]byte
 	decoded int
-	err     error
+	// decodedBytes is total codec output paid for: full blocks plus any
+	// partial tail prefix.
+	decodedBytes int
+	err          error
 }
 
 // FillFunc is an alternative block source consulted on a cache miss
@@ -493,7 +533,7 @@ func (s *Server) handleRange(t task) {
 	wait := time.Since(t.enq)
 	s.met.queueWait.Observe(wait)
 	blocks := make([][]byte, 0, rj.last-rj.first+1)
-	decoded := 0
+	decoded, decodedBytes := 0, 0
 	for b := rj.first; b <= rj.last; b++ {
 		key := t.img.key(b)
 		if data, ok := s.cache.Peek(key); ok {
@@ -504,6 +544,19 @@ func (s *Server) handleRange(t task) {
 			rj.reply <- rangeResult{err: fmt.Errorf("%w: %q", ErrQuarantined, t.img.name)}
 			return
 		}
+		if rj.limit > 0 && b == rj.last {
+			// Sub-block tail: decode only the needed prefix; the result
+			// cannot be sidecar-verified, so it is served but not cached.
+			data, n, err := s.decodePrefix(t.img, b, rj.limit)
+			if err != nil {
+				rj.reply <- rangeResult{err: err}
+				return
+			}
+			decoded++
+			decodedBytes += n
+			blocks = append(blocks, data)
+			continue
+		}
 		data, err := s.loadVerified(t.ctx, t.img, b, nil, true)
 		if err != nil {
 			rj.reply <- rangeResult{err: err}
@@ -511,9 +564,10 @@ func (s *Server) handleRange(t task) {
 		}
 		s.cache.Put(key, data)
 		decoded++
+		decodedBytes += len(data)
 		blocks = append(blocks, data)
 	}
-	rj.reply <- rangeResult{blocks: blocks, decoded: decoded}
+	rj.reply <- rangeResult{blocks: blocks, decoded: decoded, decodedBytes: decodedBytes}
 }
 
 // prefetch best-effort enqueues warms for the blocks the image's policy
@@ -710,6 +764,7 @@ func (s *Server) AddImage(name string, data []byte) (ImageInfo, error) {
 	}
 	img := s.newImage(name, codec, codecomp.DetectFormat(data))
 	img.sidecar = sc
+	img.offsets = sc.blockOffsets()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -857,77 +912,21 @@ type RangeStats struct {
 
 // RangeBatched returns the concatenated decompressed bytes of blocks
 // [first,last] through the batched decode path: cached blocks are taken
-// with Peek (no LRU promotion, no demand hit/miss or prefetch-accuracy
+// as leases (no LRU promotion, no demand hit/miss or prefetch-accuracy
 // impact), and each contiguous run of missing blocks becomes ONE worker
 // pool dispatch that decodes the run back to back, inserting every block
 // into the cache for later demand traffic. Unlike demand misses, batched
 // range reads trigger no speculative prefetch — the range itself already
-// states exactly what is wanted.
+// states exactly what is wanted. This is the copying adapter over
+// RangeView; callers that can consume parts (the HTTP layer) should use
+// the view directly and skip the concatenation.
 func (s *Server) RangeBatched(name string, first, last int) ([]byte, RangeStats, error) {
-	img, err := s.lookup(name)
+	v, err := s.RangeView(name, first, last)
 	if err != nil {
 		return nil, RangeStats{}, err
 	}
-	if first < 0 || last >= img.blocks || first > last {
-		return nil, RangeStats{}, fmt.Errorf("%w: [%d,%d] of %q [0,%d)", ErrOutOfRange, first, last, name, img.blocks)
-	}
-	img.rangeReads.Add(1)
-	s.met.rangeReads.Inc()
-	start := time.Now()
-	st := RangeStats{Blocks: last - first + 1}
-	if img.recorder != nil {
-		for b := first; b <= last; b++ {
-			img.recorder.Record(b)
-		}
-	}
-	parts := make([][]byte, st.Blocks)
-	type run struct{ first, last int }
-	var runs []run
-	for b := first; b <= last; b++ {
-		if data, ok := s.cache.Peek(img.key(b)); ok {
-			parts[b-first] = data
-			st.CachedBlocks++
-			continue
-		}
-		if n := len(runs); n > 0 && runs[n-1].last == b-1 {
-			runs[n-1].last = b
-		} else {
-			runs = append(runs, run{b, b})
-		}
-	}
-	replies := make([]chan rangeResult, len(runs))
-	for i, r := range runs {
-		reply := make(chan rangeResult, 1)
-		replies[i] = reply
-		t := task{img: img, enq: time.Now(), rng: &rangeJob{first: r.first, last: r.last, reply: reply}}
-		select {
-		case s.tasks <- t:
-			st.Dispatches++
-			s.met.rangeDispatches.Inc()
-		case <-s.quit:
-			return nil, st, ErrClosed
-		}
-	}
-	for i, r := range runs {
-		rr, err := awaitRange(replies[i], s.drained)
-		if err != nil {
-			return nil, st, err
-		}
-		st.DecodedBlocks += rr.decoded
-		copy(parts[r.first-first:], rr.blocks)
-	}
-	s.met.rangeCachedBlocks.Add(int64(st.CachedBlocks))
-	s.met.rangeDecodedBlocks.Add(int64(st.DecodedBlocks))
-	s.met.rangeRead.Observe(time.Since(start))
-	total := 0
-	for _, p := range parts {
-		total += len(p)
-	}
-	out := make([]byte, 0, total)
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out, st, nil
+	defer v.Close()
+	return v.AppendTo(make([]byte, 0, v.Len())), v.Stats(), nil
 }
 
 // awaitRange waits for one range dispatch, tolerating the same
@@ -1171,9 +1170,10 @@ func (p PrefetchStats) Accuracy() float64 {
 type ImageStats struct {
 	ImageInfo
 	// BlockReads, RangeReads and FullReads count API-level requests.
-	BlockReads int64 `json:"block_reads"`
-	RangeReads int64 `json:"range_reads"`
-	FullReads  int64 `json:"full_reads"`
+	BlockReads    int64 `json:"block_reads"`
+	RangeReads    int64 `json:"range_reads"`
+	FullReads     int64 `json:"full_reads"`
+	SubblockReads int64 `json:"subblock_reads"`
 	// Decompressions counts actual codec.Block invocations — the work the
 	// cache and singleflight exist to avoid.
 	Decompressions int64 `json:"decompressions"`
@@ -1229,11 +1229,25 @@ type FaultStatsRollup struct {
 }
 
 // Stats is a snapshot of the whole serving layer.
+// SubblockStats rolls up the byte-granular sub-block read path: how many
+// ReadAt requests ran, how many decompressed bytes they returned, and how
+// much tail-block work the partial decoder did (and therefore skipped —
+// PartialDecodedBytes counts codec output actually produced; the remainder
+// of each tail block was never decoded at all).
+type SubblockStats struct {
+	Reads               int64 `json:"reads"`
+	Bytes               int64 `json:"bytes"`
+	PartialDecodes      int64 `json:"partial_decodes"`
+	PartialDecodedBytes int64 `json:"partial_decoded_bytes"`
+}
+
 type Stats struct {
 	Cache         blockcache.Stats `json:"cache"`
 	CacheHitRatio float64          `json:"cache_hit_ratio"`
 	Prefetch      PrefetchStats    `json:"prefetch"`
 	Faults        FaultStatsRollup `json:"faults"`
+	// Subblock rolls up the byte-granular read path.
+	Subblock SubblockStats `json:"subblock"`
 	// Overload is the overload layer's snapshot, nil when disabled.
 	Overload *OverloadStats `json:"overload,omitempty"`
 	// Ready is false while any image is quarantined (the readiness
@@ -1264,6 +1278,12 @@ func (s *Server) Stats() Stats {
 			Reverifies:        s.met.reverifies.Value(),
 			HealthTransitions: s.met.healthTransitions.Value(),
 		},
+		Subblock: SubblockStats{
+			Reads:               s.met.subblockReads.Value(),
+			Bytes:               s.met.subblockBytes.Value(),
+			PartialDecodes:      s.met.partialDecodes.Value(),
+			PartialDecodedBytes: s.met.partialDecodedBytes.Value(),
+		},
 		Overload: s.overloadStats(),
 		Ready:    true,
 	}
@@ -1274,6 +1294,7 @@ func (s *Server) Stats() Stats {
 			BlockReads:      img.blockReads.Load(),
 			RangeReads:      img.rangeReads.Load(),
 			FullReads:       img.fullReads.Load(),
+			SubblockReads:   img.subblockReads.Load(),
 			Decompressions:  img.decompressions.Load(),
 			Trained:         img.profile.Load() != nil,
 			CorruptBlocks:   img.corruptBlocks.Load(),

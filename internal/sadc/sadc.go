@@ -580,6 +580,34 @@ func (c *Compressed) AppendBlock(dst []byte, i int) ([]byte, error) {
 	if i < 0 || i >= len(c.Blocks) {
 		return nil, fmt.Errorf("sadc: block %d out of range [0,%d)", i, len(c.Blocks))
 	}
+	return c.appendBlockLimit(dst, i, c.Blocks[i].Bytes)
+}
+
+// AppendBlockPrefix decompresses only the first n bytes of block i: the
+// token loop stops at the dictionary token whose units reach the
+// requested offset (later tokens are never Huffman-decoded) and the
+// reassembled output is truncated to n bytes. Bit-identical to the
+// same-length prefix of AppendBlock; corruption confined to the
+// undecoded token tail goes undetected by construction.
+func (c *Compressed) AppendBlockPrefix(dst []byte, i, n int) ([]byte, error) {
+	if i < 0 || i >= len(c.Blocks) {
+		return nil, fmt.Errorf("sadc: block %d out of range [0,%d)", i, len(c.Blocks))
+	}
+	if want := c.Blocks[i].Bytes; n > want {
+		n = want
+	}
+	if n <= 0 {
+		return dst, nil
+	}
+	return c.appendBlockLimit(dst, i, n)
+}
+
+// appendBlockLimit decodes block i until at least limit output bytes are
+// covered, then truncates to exactly limit. Caller validates i and
+// clamps limit to the block's decoded length; decoding every token of
+// the block covers exactly Block.Bytes, so limit == Block.Bytes is the
+// full decode.
+func (c *Compressed) appendBlockLimit(dst []byte, i, limit int) ([]byte, error) {
 	blk := &c.Blocks[i]
 	d := decPool.Get().(*decState)
 	defer d.release()
@@ -591,7 +619,8 @@ func (c *Compressed) AppendBlock(dst []byte, i int) ([]byte, error) {
 	}
 	tokens := c.Tables[0]
 	tr := &d.readers[0]
-	for t := 0; t < blk.Tokens; t++ {
+	covered := 0
+	for t := 0; t < blk.Tokens && covered < limit; t++ {
 		sym, err := tokens.DecodeFast(tr)
 		if err != nil {
 			return nil, fmt.Errorf("sadc: token %d of block %d: %w", t, i, err)
@@ -608,14 +637,25 @@ func (c *Compressed) AppendBlock(dst []byte, i int) ([]byte, error) {
 				return nil, fmt.Errorf("sadc: block %d: %w", i, err)
 			}
 			d.units = append(d.units, u)
+			covered += u.Size
 		}
 	}
 	if aa, ok := c.adapter.(appendAdapter); ok {
-		return aa.AppendUnits(dst, d.units)
+		out, err := aa.AppendUnits(dst, d.units)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) > len(dst)+limit {
+			out = out[:len(dst)+limit]
+		}
+		return out, nil
 	}
 	out, err := c.adapter.FromUnits(d.units)
 	if err != nil {
 		return nil, err
+	}
+	if len(out) > limit {
+		out = out[:limit]
 	}
 	return append(dst, out...), nil
 }

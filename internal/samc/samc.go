@@ -254,8 +254,42 @@ func (c *Compressed) AppendBlock(dst []byte, i int) ([]byte, error) {
 	if i < 0 || i >= len(c.Blocks) {
 		return nil, fmt.Errorf("samc: block %d out of range [0,%d)", i, len(c.Blocks))
 	}
+	return c.appendBlockN(dst, i, c.blockOrigLen(i))
+}
+
+// AppendBlockPrefix decompresses only the first n bytes of block i: the
+// arithmetic decode stops after the word containing the requested offset
+// (the model walk is strictly sequential, so whole words up to the
+// offset must still be decoded) and the output is truncated to n bytes.
+// Bit-identical to the same-length prefix of AppendBlock.
+func (c *Compressed) AppendBlockPrefix(dst []byte, i, n int) ([]byte, error) {
+	if i < 0 || i >= len(c.Blocks) {
+		return nil, fmt.Errorf("samc: block %d out of range [0,%d)", i, len(c.Blocks))
+	}
+	if want := c.blockOrigLen(i); n > want {
+		n = want
+	}
+	if n <= 0 {
+		return dst, nil
+	}
+	// Decode whole words covering the prefix, then trim the overshoot.
+	limit := (n + c.WordBytes - 1) / c.WordBytes * c.WordBytes
+	if want := c.blockOrigLen(i); limit > want {
+		limit = want
+	}
+	out, err := c.appendBlockN(dst, i, limit)
+	if err != nil {
+		return nil, err
+	}
+	return out[:len(dst)+n], nil
+}
+
+// appendBlockN is the fused decode kernel behind AppendBlock and
+// AppendBlockPrefix: it produces the first n bytes of block i, where the
+// caller has validated i and clamped n to a word multiple no larger than
+// the block's decoded length.
+func (c *Compressed) appendBlockN(dst []byte, i, n int) ([]byte, error) {
 	c.shiftOnce.Do(c.initShifts)
-	n := c.blockOrigLen(i)
 	comp := c.Blocks[i]
 	shifts := c.shifts
 	wordBits := len(shifts)
