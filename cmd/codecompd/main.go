@@ -47,6 +47,16 @@
 //	                             switch prefetch policy (sequential|markov|hotset)
 //	GET  /images/{name}/policy   the active policy
 //
+// Tiering (mixed-codec images only; see internal/tiering):
+//
+//	GET  /images/{name}/tiering  tier populations, per-block assignments and
+//	                             the effective recompression policy
+//	PUT  /images/{name}/tiering?hot=0.6&warm=0.25&max_hot=0.25
+//	                             set the image's tier policy (also accepts a
+//	                             JSON policy body); add &recompress=1 to run
+//	                             a synchronous recompression pass and get its
+//	                             stats back
+//
 // Profiling: -enable-pprof mounts net/http/pprof under /debug/pprof/
 // (off by default; the heap and CPU profiles expose internals).
 //
@@ -78,6 +88,7 @@ import (
 	"syscall"
 	"time"
 
+	"codecomp"
 	"codecomp/internal/cluster"
 	"codecomp/internal/faultinj"
 	"codecomp/internal/obsv"
@@ -111,6 +122,10 @@ type config struct {
 	// deadline-aware admission in front of the pool queue, retry budgets,
 	// and heat-aware brownout shedding.
 	overload bool
+	// tieringInterval is the background recompression pass period for
+	// tiered images (<= 0 disables the background pass; synchronous
+	// recompression via PUT .../tiering?recompress=1 always works).
+	tieringInterval time.Duration
 }
 
 type daemon struct {
@@ -151,6 +166,21 @@ func newDaemon(cfg config) (*daemon, error) {
 	if cfg.overload {
 		ovl = &overload.Config{}
 	}
+	// The persist hook closes over the store variable so tier migrations
+	// are flushed to the data dir once it is open (nil store: no-op).
+	var persistStore *cluster.Store
+	tiering := &romserver.TieringOptions{
+		Interval: cfg.tieringInterval,
+		Persist: func(name string, image []byte) error {
+			if persistStore == nil {
+				return nil
+			}
+			return persistStore.Save(name, image)
+		},
+	}
+	if cfg.tieringInterval <= 0 {
+		tiering.Interval = -1
+	}
 	d := &daemon{
 		rs: romserver.New(romserver.Options{
 			CacheBlocks:      cfg.cacheBlocks,
@@ -165,6 +195,7 @@ func newDaemon(cfg config) (*daemon, error) {
 			Registry:         reg,
 			Tracer:           tracer,
 			Overload:         ovl,
+			Tiering:          tiering,
 		}),
 		reg:           reg,
 		tracer:        tracer,
@@ -187,6 +218,7 @@ func newDaemon(cfg config) (*daemon, error) {
 			return nil, err
 		}
 		d.store = st
+		persistStore = st
 		imgs, errs := st.Load()
 		for _, e := range errs {
 			log.Printf("codecompd: store: %v", e)
@@ -218,6 +250,8 @@ func newDaemon(cfg config) (*daemon, error) {
 	handle("GET /images/{name}/trace", "trace", d.handleTrace)
 	handle("PUT /images/{name}/policy", "set_policy", d.handleSetPolicy)
 	handle("GET /images/{name}/policy", "get_policy", d.handleGetPolicy)
+	handle("GET /images/{name}/tiering", "get_tiering", d.handleGetTiering)
+	handle("PUT /images/{name}/tiering", "set_tiering", d.handleSetTiering)
 	handle("PUT /images/{name}/faults", "set_faults", d.handleSetFaults)
 	handle("DELETE /images/{name}/faults", "clear_faults", d.handleClearFaults)
 	handle("GET /healthz", "healthz", d.handleHealthz)
@@ -298,25 +332,27 @@ func main() {
 	traceSample := flag.Int("trace-sample", 16, "trace one block load in N (1 traces every load)")
 	dataDir := flag.String("data-dir", "", "persist registered images here and recover them on boot (empty disables)")
 	enableOverload := flag.Bool("overload", true, "adaptive admission control, retry budgets and brownout shedding (internal/overload)")
+	tieringInterval := flag.Duration("tiering-interval", 10*time.Second, "background recompression pass period for tiered images (0 disables)")
 	flag.Parse()
 
 	d, err := newDaemon(config{
-		cacheBlocks:   *cacheBlocks,
-		cacheShards:   *cacheShards,
-		workers:       *workers,
-		queueDepth:    *queueDepth,
-		prefetch:      *prefetch,
-		traceBuffer:   *traceBuffer,
-		maxImage:      *maxImage,
-		loadTimeout:   *loadTimeout,
-		retries:       *retries,
-		reverify:      *reverify,
-		faultsAllowed: *enableFaults,
-		enablePprof:   *enablePprof,
-		traceRing:     *traceRing,
-		traceSample:   *traceSample,
-		dataDir:       *dataDir,
-		overload:      *enableOverload,
+		cacheBlocks:     *cacheBlocks,
+		cacheShards:     *cacheShards,
+		workers:         *workers,
+		queueDepth:      *queueDepth,
+		prefetch:        *prefetch,
+		traceBuffer:     *traceBuffer,
+		maxImage:        *maxImage,
+		loadTimeout:     *loadTimeout,
+		retries:         *retries,
+		reverify:        *reverify,
+		faultsAllowed:   *enableFaults,
+		enablePprof:     *enablePprof,
+		traceRing:       *traceRing,
+		traceSample:     *traceSample,
+		dataDir:         *dataDir,
+		overload:        *enableOverload,
+		tieringInterval: *tieringInterval,
 	})
 	if err != nil {
 		log.Fatalf("codecompd: %v", err)
@@ -406,7 +442,8 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusBadGateway
 	case errors.Is(err, romserver.ErrDecompressTimeout):
 		status = http.StatusGatewayTimeout
-	case errors.Is(err, romserver.ErrNoTrace), errors.Is(err, romserver.ErrNoProfile):
+	case errors.Is(err, romserver.ErrNoTrace), errors.Is(err, romserver.ErrNoProfile),
+		errors.Is(err, romserver.ErrNotTiered):
 		status = http.StatusConflict
 	case errors.Is(err, romserver.ErrBadPolicy):
 		status = http.StatusBadRequest
@@ -684,6 +721,70 @@ func (d *daemon) handleGetPolicy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// handleGetTiering reports a tiered image's tier populations, per-block
+// assignments and effective recompression policy. 409 for single-codec
+// images.
+func (d *daemon) handleGetTiering(w http.ResponseWriter, r *http.Request) {
+	info, err := d.rs.Tiering(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleSetTiering installs a per-image tier policy — from a JSON policy
+// body when one is posted, else from ?hot=&warm=&max_hot= query params
+// (an empty PUT resets to the server defaults, the rollback path for a
+// bad policy). With ?recompress=1 it then runs a synchronous
+// recompression pass and returns its stats alongside the policy.
+func (d *daemon) handleSetTiering(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	q := r.URL.Query()
+	var p codecomp.TierPolicy
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &p); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "policy body: " + err.Error()})
+			return
+		}
+	} else {
+		for _, f := range []struct {
+			key string
+			dst *float64
+		}{{"hot", &p.HotFraction}, {"warm", &p.WarmFraction}, {"max_hot", &p.MaxHotFraction}} {
+			if v := q.Get(f.key); v != "" {
+				frac, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					writeJSON(w, http.StatusBadRequest, map[string]string{"error": f.key + " must be a fraction"})
+					return
+				}
+				*f.dst = frac
+			}
+		}
+	}
+	if err := d.rs.SetTierPolicy(name, p); err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := map[string]any{"image": name, "policy": p}
+	if q.Get("recompress") != "" {
+		st, err := d.rs.Recompress(name)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		log.Printf("codecompd: recompressed %q: %d/%d blocks migrated (%+d bytes, %d verify failures)",
+			name, st.Migrated, st.Planned, st.BytesDelta, st.VerifyFailures)
+		resp["pass"] = st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleSetFaults installs a deterministic fault injector in front of one

@@ -531,3 +531,241 @@ func TestBlockDeadlineHeader(t *testing.T) {
 		t.Fatalf("negative deadline header: %d", resp.StatusCode)
 	}
 }
+
+// uploadTiered compresses text as a three-tier (raw/huffman/rans) image
+// with every block starting in the densest tier and uploads it as name.
+func uploadTiered(t *testing.T, ts *httptest.Server, name string, text []byte) romserver.ImageInfo {
+	t.Helper()
+	img, err := codecomp.CompressTiered(text, codecomp.TierSpec{
+		BlockSize:   128,
+		Tiers:       []string{codecomp.TierRaw, codecomp.TierHuffman, codecomp.TierRANS},
+		DefaultTier: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/images?name="+name, "application/octet-stream",
+		strings.NewReader(string(img.Marshal())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("tiered upload: %d: %s", resp.StatusCode, body)
+	}
+	var info romserver.ImageInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// skewedTraceText renders a codecomp-trace v1 body where the first
+// blocks/10 blocks carry ~90% of accesses.
+func skewedTraceText(blocks, accesses int) string {
+	hot := blocks / 10
+	if hot < 1 {
+		hot = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "codecomp-trace v1 blocks=%d\n", blocks)
+	for i := 0; i < accesses; i++ {
+		if i%10 != 0 {
+			fmt.Fprintf(&sb, "%d\n", i%hot)
+		} else {
+			fmt.Fprintf(&sb, "%d\n", hot+i%(blocks-hot))
+		}
+	}
+	return sb.String()
+}
+
+func doReq(t *testing.T, method, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestTieringEndpoints drives GET/PUT /images/{name}/tiering end to end:
+// tier map reads, policy set via params and JSON body, the empty-PUT
+// rollback, 409 on single-codec images, 400 on bad policies, and a
+// forced recompression pass that migrates the trained hot set while the
+// served text stays byte-exact.
+func TestTieringEndpoints(t *testing.T) {
+	_, ts, _ := startDaemon(t, testConfig()) // "prog" is single-codec SAMC
+	text := codecomp.GenerateMIPS(codecomp.MustProfile("tomcatv")).Text()
+	info := uploadTiered(t, ts, "tprog", text)
+
+	resp, body := get(t, ts.URL+"/images/tprog/tiering", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET tiering: %d: %s", resp.StatusCode, body)
+	}
+	var ti romserver.TieringInfo
+	if err := json.Unmarshal(body, &ti); err != nil {
+		t.Fatal(err)
+	}
+	if len(ti.Tiers) != 3 || ti.Tiers[2].Blocks != info.Blocks || len(ti.Assignments) != info.Blocks {
+		t.Fatalf("fresh tier map: %+v", ti.Tiers)
+	}
+
+	// Single-codec images conflict; unknown images 404.
+	if resp, _ := get(t, ts.URL+"/images/prog/tiering", nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("GET tiering on samc image: %d, want 409", resp.StatusCode)
+	}
+	if resp, _ := doReq(t, http.MethodPut, ts.URL+"/images/prog/tiering?hot=0.5", ""); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("PUT tiering on samc image: %d, want 409", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/images/nope/tiering", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET tiering on unknown image: %d, want 404", resp.StatusCode)
+	}
+
+	// Policy via query params, echoed by the next GET.
+	resp, body = doReq(t, http.MethodPut, ts.URL+"/images/tprog/tiering?hot=0.5&warm=0.3&max_hot=0.2", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT params policy: %d: %s", resp.StatusCode, body)
+	}
+	resp, body = get(t, ts.URL+"/images/tprog/tiering", nil)
+	if err := json.Unmarshal(body, &ti); err != nil {
+		t.Fatal(err)
+	}
+	if ti.Policy.HotFraction != 0.5 || ti.Policy.WarmFraction != 0.3 || ti.Policy.MaxHotFraction != 0.2 {
+		t.Fatalf("params policy not in force: %+v", ti.Policy)
+	}
+
+	// Policy via JSON body.
+	resp, body = doReq(t, http.MethodPut, ts.URL+"/images/tprog/tiering",
+		`{"hot_fraction":0.7,"warm_fraction":0.1,"max_hot_fraction":0.3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT JSON policy: %d: %s", resp.StatusCode, body)
+	}
+	_, body = get(t, ts.URL+"/images/tprog/tiering", nil)
+	if err := json.Unmarshal(body, &ti); err != nil {
+		t.Fatal(err)
+	}
+	if ti.Policy.HotFraction != 0.7 {
+		t.Fatalf("JSON policy not in force: %+v", ti.Policy)
+	}
+
+	// Bad policies and bad params are 400s and leave the policy alone.
+	if resp, _ := doReq(t, http.MethodPut, ts.URL+"/images/tprog/tiering?hot=2", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad policy: %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := doReq(t, http.MethodPut, ts.URL+"/images/tprog/tiering?hot=abc", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad param: %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := doReq(t, http.MethodPut, ts.URL+"/images/tprog/tiering", "{"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: %d, want 400", resp.StatusCode)
+	}
+
+	// Empty PUT resets to the server defaults — the rollback path.
+	if resp, _ := doReq(t, http.MethodPut, ts.URL+"/images/tprog/tiering", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("reset PUT: %d", resp.StatusCode)
+	}
+	_, body = get(t, ts.URL+"/images/tprog/tiering", nil)
+	if err := json.Unmarshal(body, &ti); err != nil {
+		t.Fatal(err)
+	}
+	if ti.Policy != (codecomp.TierPolicy{}) {
+		t.Fatalf("reset did not clear the policy: %+v", ti.Policy)
+	}
+
+	// Train on a skewed trace and force a pass: the hot set migrates and
+	// the response carries the pass stats.
+	resp, body = doReq(t, http.MethodPost, ts.URL+"/images/tprog/train",
+		skewedTraceText(info.Blocks, 20000))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("train: %d: %s", resp.StatusCode, body)
+	}
+	resp, body = doReq(t, http.MethodPut, ts.URL+"/images/tprog/tiering?recompress=1", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recompress: %d: %s", resp.StatusCode, body)
+	}
+	var withPass struct {
+		Pass romserver.TieringPassStats `json:"pass"`
+	}
+	if err := json.Unmarshal(body, &withPass); err != nil {
+		t.Fatal(err)
+	}
+	if !withPass.Pass.Trained || withPass.Pass.Migrated == 0 || withPass.Pass.VerifyFailures != 0 {
+		t.Fatalf("pass stats: %+v", withPass.Pass)
+	}
+	resp, body = get(t, ts.URL+"/images/tprog/text", nil)
+	if resp.StatusCode != http.StatusOK || string(body) != string(text) {
+		t.Fatalf("text after migration: %d, %d bytes (want %d)", resp.StatusCode, len(body), len(text))
+	}
+}
+
+// TestTieredDataDirPersistence uploads a mixed-codec tiered image with
+// -data-dir set, migrates its hot set, and restarts the daemon over the
+// same directory: the recovered image must serve byte-exact text AND
+// carry the migrated tier map, not the upload-time one.
+func TestTieredDataDirPersistence(t *testing.T) {
+	cfg := testConfig()
+	cfg.dataDir = t.TempDir()
+	d1, ts1, _ := startDaemon(t, cfg)
+	text := codecomp.GenerateMIPS(codecomp.MustProfile("tomcatv")).Text()
+	info := uploadTiered(t, ts1, "tprog", text)
+
+	resp, body := doReq(t, http.MethodPost, ts1.URL+"/images/tprog/train",
+		skewedTraceText(info.Blocks, 20000))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("train: %d: %s", resp.StatusCode, body)
+	}
+	resp, body = doReq(t, http.MethodPut, ts1.URL+"/images/tprog/tiering?recompress=1", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recompress: %d: %s", resp.StatusCode, body)
+	}
+	_, body = get(t, ts1.URL+"/images/tprog/tiering", nil)
+	var before romserver.TieringInfo
+	if err := json.Unmarshal(body, &before); err != nil {
+		t.Fatal(err)
+	}
+	migrated := 0
+	for _, a := range before.Assignments {
+		if a != 2 {
+			migrated++
+		}
+	}
+	if migrated == 0 {
+		t.Fatal("nothing migrated before restart")
+	}
+	ts1.Close()
+	d1.rs.Close()
+
+	d2, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.rs.Close()
+	ts2 := httptest.NewServer(d2.mux)
+	defer ts2.Close()
+
+	_, body = get(t, ts2.URL+"/images/tprog/tiering", nil)
+	var after romserver.TieringInfo
+	if err := json.Unmarshal(body, &after); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(after.Assignments) != fmt.Sprint(before.Assignments) {
+		t.Fatal("tier map lost across restart")
+	}
+	resp, body = get(t, ts2.URL+"/images/tprog/text", nil)
+	if resp.StatusCode != http.StatusOK || string(body) != string(text) {
+		t.Fatalf("recovered text: %d, %d bytes (want %d)", resp.StatusCode, len(body), len(text))
+	}
+}

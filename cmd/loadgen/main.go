@@ -96,6 +96,7 @@ func main() {
 	clusterNodes := flag.Int("cluster-nodes", 3, "cluster: initial node count")
 	clusterRF := flag.Int("cluster-rf", 2, "cluster: replicas per image")
 	overloadMode := flag.Bool("overload", false, "overload drill: boot an in-process node with admission control, measure its capacity, storm it open-loop at 4x and assert byte-exactness, bounded p99, goodput, retry containment, brownout escalation and recovery")
+	tieringMode := flag.Bool("tiering", false, "tiering drill: boot an in-process node with a mixed-codec tiered image, replay a hot-skewed trace under concurrent verified reads while recompression migrates blocks, assert hot/cold tier convergence, byte-exactness and Pareto dominance over single-codec SAMC")
 	qps := flag.Float64("qps", 0, "open-loop offered load in req/s against -addr; goodput vs offered load is reported (0 = closed-loop modes)")
 	reqDeadline := flag.Duration("deadline", 500*time.Millisecond, "open-loop/overload: per-request deadline, propagated to the server via "+overload.DeadlineHeader)
 	stormDur := flag.Duration("duration", 3*time.Second, "open-loop/overload: how long the load runs")
@@ -111,6 +112,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("loadgen: overload: PASS — stormed at 4x capacity, rejected early, goodput held, retries contained, brownout escalated and recovered\n")
+		return
+	}
+
+	if *tieringMode {
+		violations := runTieringDrill(tieringDrillConfig{
+			profile:   *profile,
+			blockSize: 128, // tiers share one model per tier, so larger blocks than -block's default
+			accesses:  *traceLen / 10,
+			readers:   *concurrency,
+			simCache:  *simCache,
+		})
+		if violations > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: tiering: FAIL (%d invariant violations)\n", violations)
+			os.Exit(1)
+		}
+		fmt.Printf("loadgen: tiering: PASS — hot set converged to fast tiers, cold set stayed dense, every byte exact during live migration, tiered layout Pareto-dominates single-codec samc\n")
 		return
 	}
 

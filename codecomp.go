@@ -42,6 +42,7 @@ import (
 	"codecomp/internal/samc"
 	"codecomp/internal/streams"
 	"codecomp/internal/synth"
+	"codecomp/internal/tiering"
 )
 
 // BlockCodec is the interface every block-addressable compressed image
@@ -117,6 +118,43 @@ type (
 // codec (the nibble-parallel decoder analogue; see internal/rans).
 func CompressRANS(text []byte, opts RANSOptions) (*RANSImage, error) {
 	return rans.Compress(text, opts)
+}
+
+// Heat-tiered re-exports: a tiered image keeps one model per codec tier and
+// stores every block in exactly one tier, so hot blocks can be served from
+// a fast format while cold blocks stay dense (see internal/tiering).
+type (
+	// TierSpec configures a tiered compression: block geometry plus the
+	// ordered tier list (fastest decode first, densest last) and the
+	// initial per-block assignment.
+	TierSpec = tiering.Spec
+	// TieredImage is a mixed-codec compressed program whose blocks can be
+	// migrated between tiers in place (encode-verify-swap).
+	TieredImage = tiering.Compressed
+	// TierPolicy maps traceprof heat profiles to desired per-block tiers.
+	TierPolicy = tiering.Policy
+	// TierCount summarizes one tier's block population and footprint.
+	TierCount = tiering.TierCount
+	// TierCostModel gives per-format decode cost in ns/byte for the
+	// offline ratio-vs-latency evaluator.
+	TierCostModel = tiering.CostModel
+)
+
+// Tier format names accepted in TierSpec.Tiers, fastest to densest.
+const (
+	TierRaw     = tiering.TierRaw
+	TierHuffman = tiering.TierHuffman
+	TierRANS    = tiering.TierRANS
+	TierSAMC    = tiering.TierSAMC
+)
+
+// DefaultTierCostModel carries the committed benchmark decode throughputs
+// as ns/byte; see tiering.DefaultCostModel.
+var DefaultTierCostModel = tiering.DefaultCostModel
+
+// CompressTiered compresses text into a mixed-codec tiered image.
+func CompressTiered(text []byte, spec TierSpec) (*TieredImage, error) {
+	return tiering.Compress(text, spec)
 }
 
 // LZW (UNIX compress) file-level baseline.
@@ -268,18 +306,23 @@ func UnmarshalHuffman(data []byte) (*HuffmanImage, error) { return kozuch.Unmars
 // output.
 func UnmarshalRANS(data []byte) (*RANSImage, error) { return rans.Unmarshal(data) }
 
+// UnmarshalTiered reconstructs a mixed-codec tiered image from its Marshal
+// output.
+func UnmarshalTiered(data []byte) (*TieredImage, error) { return tiering.Unmarshal(data) }
+
 // Serialized-image format names, as reported by DetectFormat.
 const (
 	FormatSAMC    = "samc"
 	FormatSADC    = "sadc"
 	FormatHuffman = "huffman"
 	FormatRANS    = "rans"
+	FormatTiered  = "tiered"
 )
 
 // DetectFormat inspects a serialized image's magic and returns its format
-// name (FormatSAMC, FormatSADC, FormatHuffman or FormatRANS), or "" if the
-// data does not begin with a known magic. It never inspects more than the
-// first 4 bytes.
+// name (FormatSAMC, FormatSADC, FormatHuffman, FormatRANS or FormatTiered),
+// or "" if the data does not begin with a known magic. It never inspects
+// more than the first 4 bytes.
 func DetectFormat(data []byte) string {
 	if len(data) < 4 {
 		return ""
@@ -293,13 +336,15 @@ func DetectFormat(data []byte) string {
 		return FormatHuffman
 	case "RANS":
 		return FormatRANS
+	case "TIER":
+		return FormatTiered
 	}
 	return ""
 }
 
 // UnmarshalAny reconstructs a block-addressable image of any format,
-// auto-detecting SAMC, SADC, byte-Huffman and rANS ROM images by their
-// magic.
+// auto-detecting SAMC, SADC, byte-Huffman, rANS and tiered ROM images by
+// their magic.
 // It is the programmatic form of `codecomp -decompress` and the entry point
 // the romserver registry uses for uploaded images. Raw LZW/deflate
 // containers carry no magic and are not block-addressable, so they are
@@ -314,8 +359,10 @@ func UnmarshalAny(data []byte) (BlockCodec, error) {
 		return kozuch.Unmarshal(data)
 	case FormatRANS:
 		return rans.Unmarshal(data)
+	case FormatTiered:
+		return tiering.Unmarshal(data)
 	}
-	return nil, fmt.Errorf("codecomp: unrecognized image format (no SAMC/SADC/KZHF/RANS magic)")
+	return nil, fmt.Errorf("codecomp: unrecognized image format (no SAMC/SADC/KZHF/RANS/TIER magic)")
 }
 
 // BlockAppender is the optional fast-path extension of BlockCodec: decode
@@ -395,11 +442,17 @@ var (
 	_ BlockCodec = (*SADCImage)(nil)
 	_ BlockCodec = (*HuffmanImage)(nil)
 	_ BlockCodec = (*RANSImage)(nil)
+	_ BlockCodec = (*TieredImage)(nil)
 
 	_ BlockAppender = (*SAMCImage)(nil)
 	_ BlockAppender = (*SADCImage)(nil)
 	_ BlockAppender = (*HuffmanImage)(nil)
 	_ BlockAppender = (*RANSImage)(nil)
+	// TieredImage deliberately does not implement BlockPrefixAppender: a
+	// block's tier (and thus prefix-decode support) can change under a
+	// migration, so partial reads fall back to the honest full-decode
+	// accounting in AppendBlockPrefix.
+	_ BlockAppender = (*TieredImage)(nil)
 
 	_ BlockPrefixAppender = (*SAMCImage)(nil)
 	_ BlockPrefixAppender = (*SADCImage)(nil)

@@ -258,8 +258,8 @@ func TestDecompressParallelAPI(t *testing.T) {
 }
 
 // TestUnmarshalAny covers the magic-based auto-detection shared by the
-// codecomp CLI and the romserver registry: all three block-addressable
-// formats plus garbage input.
+// codecomp CLI and the romserver registry: every block-addressable format
+// (including the mixed-codec tiered container) plus garbage input.
 func TestUnmarshalAny(t *testing.T) {
 	text := codecomp.GenerateMIPS(codecomp.MustProfile("tomcatv")).Text()
 	samcImg, err := codecomp.CompressSAMC(text, codecomp.SAMCOptions{Connected: true})
@@ -274,6 +274,14 @@ func TestUnmarshalAny(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	tieredImg, err := codecomp.CompressTiered(text, codecomp.TierSpec{
+		BlockSize:   128,
+		Tiers:       []string{codecomp.TierRaw, codecomp.TierHuffman, codecomp.TierRANS},
+		DefaultTier: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	cases := []struct {
 		name    string
@@ -284,6 +292,8 @@ func TestUnmarshalAny(t *testing.T) {
 		{"samc", samcImg.Marshal(), codecomp.FormatSAMC, false},
 		{"sadc", sadcImg.Marshal(), codecomp.FormatSADC, false},
 		{"huffman", huffImg.Marshal(), codecomp.FormatHuffman, false},
+		{"tiered", tieredImg.Marshal(), codecomp.FormatTiered, false},
+		{"tiered-magic-only", []byte("TIER"), codecomp.FormatTiered, true},
 		{"empty", nil, "", true},
 		{"short", []byte("SA"), "", true},
 		{"garbage", []byte("this is not a compressed image"), "", true},

@@ -135,7 +135,15 @@ func FuzzUnmarshalAny(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	for _, img := range [][]byte{samcImg.Marshal(), sadcImg.Marshal(), huffImg.Marshal(), ransImg.Marshal()} {
+	tieredImg, err := codecomp.CompressTiered(text, codecomp.TierSpec{
+		BlockSize:   128,
+		Tiers:       []string{codecomp.TierRaw, codecomp.TierRANS},
+		DefaultTier: 1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, img := range [][]byte{samcImg.Marshal(), sadcImg.Marshal(), huffImg.Marshal(), ransImg.Marshal(), tieredImg.Marshal()} {
 		f.Add(img)
 		f.Add(img[:len(img)/2]) // truncated
 		f.Add(img[:16])         // header only
@@ -151,6 +159,7 @@ func FuzzUnmarshalAny(f *testing.F) {
 	f.Add([]byte("SADC\x01"))
 	f.Add([]byte("KZHF\xff\xff\xff\xff"))
 	f.Add([]byte("RANS\x01\x00\x00\x00\x00"))
+	f.Add([]byte("TIER\x01\x00\x00\x00\x00\x00\x80"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c, err := codecomp.UnmarshalAny(data)
 		if err != nil {
@@ -167,7 +176,7 @@ func FuzzUnmarshalAny(f *testing.F) {
 
 // FuzzUnmarshalAnyBitFlip models a single-event upset in stored ROM: for
 // every format, ANY single-bit flip anywhere in a marshaled image must be
-// rejected by UnmarshalAny — cleanly, with an error. All four container
+// rejected by UnmarshalAny — cleanly, with an error. All five container
 // formats carry a whole-payload CRC32 plus magic/version checks, so a
 // flipped image that unmarshals successfully is a serializer integrity
 // hole, not fuzz noise.
@@ -189,7 +198,15 @@ func FuzzUnmarshalAnyBitFlip(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	images := [][]byte{samcImg.Marshal(), sadcImg.Marshal(), huffImg.Marshal(), ransImg.Marshal()}
+	tieredImg, err := codecomp.CompressTiered(text, codecomp.TierSpec{
+		BlockSize:   128,
+		Tiers:       []string{codecomp.TierRaw, codecomp.TierRANS},
+		DefaultTier: 1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	images := [][]byte{samcImg.Marshal(), sadcImg.Marshal(), huffImg.Marshal(), ransImg.Marshal(), tieredImg.Marshal()}
 	for i := range images {
 		// Seed bit positions across the header, the CRC field itself and
 		// the payload of each format.

@@ -37,21 +37,36 @@ func Compress(text []byte, blockSize int) (*Compressed, error) {
 		return nil, err
 	}
 	c := &Compressed{Table: tbl, BlockSize: blockSize, OrigSize: len(text)}
-	w := bitio.NewWriter(blockSize)
 	for off := 0; off < len(text); off += blockSize {
 		end := off + blockSize
 		if end > len(text) {
 			end = len(text)
 		}
-		w.Reset()
-		for _, b := range text[off:end] {
-			if err := tbl.Encode(w, int(b)); err != nil {
-				return nil, err
-			}
+		blk, err := c.EncodeBlock(text[off:end])
+		if err != nil {
+			return nil, err
 		}
-		c.Blocks = append(c.Blocks, w.AppendBytes(make([]byte, 0, w.Len())))
+		c.Blocks = append(c.Blocks, blk)
 	}
 	return c, nil
+}
+
+// EncodeBlock Huffman-codes one block's worth of bytes against the image's
+// frozen table — the Compress inner loop exposed for block-granular
+// re-encoding (tier migration). It fails if the block contains a byte the
+// table has no code for (a symbol absent from the training text).
+// len(block) must not exceed BlockSize.
+func (c *Compressed) EncodeBlock(block []byte) ([]byte, error) {
+	if len(block) > c.BlockSize {
+		return nil, fmt.Errorf("kozuch: block length %d exceeds block size %d", len(block), c.BlockSize)
+	}
+	w := bitio.NewWriter(c.BlockSize)
+	for _, b := range block {
+		if err := c.Table.Encode(w, int(b)); err != nil {
+			return nil, err
+		}
+	}
+	return w.AppendBytes(make([]byte, 0, w.Len())), nil
 }
 
 // NumBlocks returns the block count.

@@ -210,3 +210,27 @@ func BenchmarkAppendBlock(b *testing.B) {
 		}
 	}
 }
+
+func TestEncodeBlockSwap(t *testing.T) {
+	text := mipsText()
+	c, err := Compress(text, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := text[7*32 : 8*32]
+	payload, err := c.EncodeBlock(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Blocks[1] = payload
+	got, err := c.Block(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("re-encoded block decodes wrong")
+	}
+	if _, err := c.EncodeBlock(make([]byte, 33)); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+}

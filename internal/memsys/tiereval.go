@@ -1,0 +1,94 @@
+package memsys
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// This file is the offline tiering-evaluation mode: where EvaluatePolicy
+// scores prefetch policies by hit ratio, EvaluateTiering scores tier
+// configurations by what a trace actually pays for its misses. Each block
+// carries a decode cost (its length × its tier's per-byte decode cost, the
+// tiering package's DecodeCosts), and the replay charges that cost on every
+// miss of the block: a tiered image that keeps hot blocks in fast tiers
+// pays near-raw latency for the bulk of the trace while cold blocks sit in
+// the dense tiers. Scoring the same trace against a single-codec cost
+// vector and a tiered one answers "does the tiered layout Pareto-dominate?"
+// — lower mean decode latency at equal or better compression — without
+// standing up a server.
+
+// TieringConfig describes the modeled cache and the per-block decode costs
+// of one candidate layout.
+type TieringConfig struct {
+	// CacheBlocks is the decompressed-block cache capacity in blocks.
+	CacheBlocks int
+	// BlockCostNs is each block's decode cost in nanoseconds, indexed by
+	// block (length numBlocks). Produce it with TieredImage.DecodeCosts
+	// for a tiered layout, or block length × one format's ns/byte for a
+	// single-codec baseline.
+	BlockCostNs []float64
+}
+
+// TieringStats scores one tier layout over one trace.
+type TieringStats struct {
+	// Accesses counts demand block accesses replayed.
+	Accesses uint64 `json:"accesses"`
+	// Misses counts accesses that had to decode (cold or evicted blocks).
+	Misses uint64 `json:"misses"`
+	// HitRatio is the cache hit fraction (identical across layouts at the
+	// same geometry; reported for context).
+	HitRatio float64 `json:"hit_ratio"`
+	// TotalDecodeNs is the summed decode cost of every miss.
+	TotalDecodeNs float64 `json:"total_decode_ns"`
+	// MeanNsPerAccess is TotalDecodeNs amortized over all accesses — the
+	// headline latency score (hits cost ~0).
+	MeanNsPerAccess float64 `json:"mean_ns_per_access"`
+	// MeanNsPerMiss is the average decode cost actually paid per miss.
+	MeanNsPerMiss float64 `json:"mean_ns_per_miss"`
+}
+
+// EvaluateTiering replays a demand block-access trace through a
+// fully-associative LRU cache of cfg.CacheBlocks blocks, charging
+// cfg.BlockCostNs[b] for every miss of block b. Accesses outside
+// [0, numBlocks) are errors; BlockCostNs must cover every block.
+func EvaluateTiering(accesses []int, numBlocks int, cfg TieringConfig) (TieringStats, error) {
+	if numBlocks <= 0 {
+		return TieringStats{}, fmt.Errorf("memsys: numBlocks must be positive")
+	}
+	if cfg.CacheBlocks <= 0 {
+		return TieringStats{}, fmt.Errorf("memsys: CacheBlocks must be positive")
+	}
+	if len(cfg.BlockCostNs) < numBlocks {
+		return TieringStats{}, fmt.Errorf("memsys: %d block costs for %d blocks", len(cfg.BlockCostNs), numBlocks)
+	}
+
+	var st TieringStats
+	entries := make(map[int]*list.Element, cfg.CacheBlocks)
+	lru := list.New() // of int; front = most recently used
+	for _, b := range accesses {
+		if b < 0 || b >= numBlocks {
+			return st, fmt.Errorf("memsys: access %d out of range [0,%d)", b, numBlocks)
+		}
+		st.Accesses++
+		if el, ok := entries[b]; ok {
+			lru.MoveToFront(el)
+			continue
+		}
+		st.Misses++
+		st.TotalDecodeNs += cfg.BlockCostNs[b]
+		entries[b] = lru.PushFront(b)
+		for lru.Len() > cfg.CacheBlocks {
+			back := lru.Back()
+			lru.Remove(back)
+			delete(entries, back.Value.(int))
+		}
+	}
+	if st.Accesses > 0 {
+		st.HitRatio = float64(st.Accesses-st.Misses) / float64(st.Accesses)
+		st.MeanNsPerAccess = st.TotalDecodeNs / float64(st.Accesses)
+	}
+	if st.Misses > 0 {
+		st.MeanNsPerMiss = st.TotalDecodeNs / float64(st.Misses)
+	}
+	return st, nil
+}

@@ -1,0 +1,83 @@
+package memsys
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateTieringMechanics(t *testing.T) {
+	costs := []float64{100, 10, 10, 10}
+	// Cache of 2: access pattern 0,1,0,1 (all hits after the first touch),
+	// then 2,3 evict 0,1, then 0 misses again.
+	trace := []int{0, 1, 0, 1, 2, 3, 0}
+	st, err := EvaluateTiering(trace, 4, TieringConfig{CacheBlocks: 2, BlockCostNs: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accesses != 7 || st.Misses != 5 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Misses: 0 (100), 1 (10), 2 (10), 3 (10), 0 again (100) = 230.
+	if st.TotalDecodeNs != 230 {
+		t.Fatalf("total cost %v", st.TotalDecodeNs)
+	}
+	if math.Abs(st.MeanNsPerAccess-230.0/7) > 1e-9 || math.Abs(st.MeanNsPerMiss-46) > 1e-9 {
+		t.Fatalf("means %+v", st)
+	}
+	if math.Abs(st.HitRatio-2.0/7) > 1e-9 {
+		t.Fatalf("hit ratio %v", st.HitRatio)
+	}
+
+	// Error paths.
+	if _, err := EvaluateTiering(trace, 4, TieringConfig{CacheBlocks: 0, BlockCostNs: costs}); err == nil {
+		t.Fatal("zero cache accepted")
+	}
+	if _, err := EvaluateTiering(trace, 4, TieringConfig{CacheBlocks: 2, BlockCostNs: costs[:2]}); err == nil {
+		t.Fatal("short cost vector accepted")
+	}
+	if _, err := EvaluateTiering([]int{9}, 4, TieringConfig{CacheBlocks: 2, BlockCostNs: costs}); err == nil {
+		t.Fatal("out-of-range access accepted")
+	}
+}
+
+// TestTieredLayoutBeatsUniformDense checks the evaluator shows what the
+// tiering policy is for: with a skewed trace, cheap costs on the hot set
+// beat a uniformly dense (expensive) layout on mean latency.
+func TestTieredLayoutBeatsUniformDense(t *testing.T) {
+	const blocks = 100
+	trace := make([]int, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		if i%10 != 0 {
+			trace = append(trace, (i*7)%10) // 90% of accesses on blocks 0..9
+		} else {
+			trace = append(trace, 10+(i*13)%90)
+		}
+	}
+	dense := make([]float64, blocks)
+	tiered := make([]float64, blocks)
+	for b := range dense {
+		dense[b] = 57 * 128 // SAMC ns/byte × block
+		tiered[b] = 57 * 128
+		if b < 10 {
+			tiered[b] = 0.05 * 128 // hot set promoted to raw
+		}
+	}
+	// A tiny cache keeps both layouts missing constantly.
+	cfg := TieringConfig{CacheBlocks: 4}
+	cfg.BlockCostNs = dense
+	dst, err := EvaluateTiering(trace, blocks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.BlockCostNs = tiered
+	tst, err := EvaluateTiering(trace, blocks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Misses != tst.Misses {
+		t.Fatalf("layouts diverged on cache behavior: %d vs %d misses", dst.Misses, tst.Misses)
+	}
+	if tst.MeanNsPerAccess >= dst.MeanNsPerAccess/2 {
+		t.Fatalf("tiered layout not faster: %v vs %v ns/access", tst.MeanNsPerAccess, dst.MeanNsPerAccess)
+	}
+}

@@ -158,45 +158,64 @@ func Compress(text []byte, opts Options) (*Compressed, error) {
 	c.buildDecodeTable()
 
 	// Pass 2: encode each block back to front through the shared model.
-	mask := uint32(c.Streams - 1)
-	w := bitio.NewWriter(c.BlockSize)
-	var nibs, ctxs []uint32 // per-block scratch, reused
-	var stack []byte        // renorm nibbles in emit (reverse) order
 	for off := 0; off < len(text); off += c.BlockSize {
 		end := min(off+c.BlockSize, len(text))
-		nibs, ctxs = nibs[:0], ctxs[:0]
-		prev := uint32(0)
-		for i := off; i < end; i++ {
-			for _, nib := range [2]uint32{uint32(text[i] >> 4), uint32(text[i] & 15)} {
-				ctxs = append(ctxs, ctxOf(len(nibs), prev))
-				nibs = append(nibs, nib)
-				prev = nib
-			}
+		blk, err := c.EncodeBlock(text[off:end])
+		if err != nil {
+			return nil, err // unreachable: pass 1 counted every symbol
 		}
-		var states [8]uint32
-		for k := 0; k < c.Streams; k++ {
-			states[k] = low
-		}
-		stack = stack[:0]
-		for j := len(nibs) - 1; j >= 0; j-- {
-			f := uint32(c.Freq[ctxs[j]][nibs[j]])
-			x := states[uint32(j)&mask]
-			for x >= f<<4 {
-				stack = append(stack, byte(x&15))
-				x >>= 4
-			}
-			states[uint32(j)&mask] = (x/f)<<scaleBits + uint32(c.Cum[ctxs[j]][nibs[j]]) + x%f
-		}
-		w.Reset()
-		for k := 0; k < c.Streams; k++ {
-			w.WriteBits(uint64(states[k]), stateBits)
-		}
-		for i := len(stack) - 1; i >= 0; i-- {
-			w.WriteBits(uint64(stack[i]), 4)
-		}
-		c.Blocks = append(c.Blocks, w.AppendBytes(make([]byte, 0, w.Len())))
+		c.Blocks = append(c.Blocks, blk)
 	}
 	return c, nil
+}
+
+// EncodeBlock rANS-codes one block's worth of bytes against the image's
+// frozen frequency model — the Compress pass-2 kernel exposed for
+// block-granular re-encoding (tier migration). It fails if the block
+// contains a nibble whose frequency is zero in its (position, previous
+// nibble) context — a symbol sequence the training text never produced in
+// that position cannot be represented under the frozen model. len(block)
+// must not exceed BlockSize.
+func (c *Compressed) EncodeBlock(block []byte) ([]byte, error) {
+	if len(block) > c.BlockSize {
+		return nil, fmt.Errorf("rans: block length %d exceeds block size %d", len(block), c.BlockSize)
+	}
+	nibs := make([]uint32, 0, 2*len(block))
+	ctxs := make([]uint32, 0, 2*len(block))
+	prev := uint32(0)
+	for _, b := range block {
+		for _, nib := range [2]uint32{uint32(b >> 4), uint32(b & 15)} {
+			ctxs = append(ctxs, ctxOf(len(nibs), prev))
+			nibs = append(nibs, nib)
+			prev = nib
+		}
+	}
+	mask := uint32(c.Streams - 1)
+	var states [8]uint32
+	for k := 0; k < c.Streams; k++ {
+		states[k] = low
+	}
+	var stack []byte // renorm nibbles in emit (reverse) order
+	for j := len(nibs) - 1; j >= 0; j-- {
+		f := uint32(c.Freq[ctxs[j]][nibs[j]])
+		if f == 0 {
+			return nil, fmt.Errorf("rans: nibble %x has zero frequency in context %d", nibs[j], ctxs[j])
+		}
+		x := states[uint32(j)&mask]
+		for x >= f<<4 {
+			stack = append(stack, byte(x&15))
+			x >>= 4
+		}
+		states[uint32(j)&mask] = (x/f)<<scaleBits + uint32(c.Cum[ctxs[j]][nibs[j]]) + x%f
+	}
+	w := bitio.NewWriter(c.BlockSize)
+	for k := 0; k < c.Streams; k++ {
+		w.WriteBits(uint64(states[k]), stateBits)
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		w.WriteBits(uint64(stack[i]), 4)
+	}
+	return w.AppendBytes(make([]byte, 0, w.Len())), nil
 }
 
 // quantize scales one context's raw counts to integer frequencies summing

@@ -334,3 +334,27 @@ func TestQuantizeInvariants(t *testing.T) {
 		t.Fatalf("uniform fallback total %d, want %d", sum, m)
 	}
 }
+
+func TestEncodeBlockSwap(t *testing.T) {
+	text := mipsText()
+	c, err := Compress(text, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := text[3*c.BlockSize : 4*c.BlockSize]
+	payload, err := c.EncodeBlock(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Blocks[1] = payload
+	got, err := c.Block(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("re-encoded block decodes wrong")
+	}
+	if _, err := c.EncodeBlock(make([]byte, c.BlockSize+4)); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+}

@@ -70,6 +70,16 @@ type serverMetrics struct {
 	faultTransients *obsv.Counter
 	faultPermanents *obsv.Counter
 	faultPanics     *obsv.Counter
+
+	// Heat-tiered recompression (always registered, like the overload
+	// families; zero until a tiered image is served).
+	tieringBlocks          *obsv.GaugeVec
+	tieringMigrations      *obsv.Counter
+	tieringVerifyFailures  *obsv.Counter
+	tieringBytesSaved      *obsv.Counter
+	tieringBytesSpent      *obsv.Counter
+	tieringPasses          *obsv.Counter
+	tieringPersistFailures *obsv.Counter
 }
 
 // newServerMetrics registers the serving layer's families on reg and
@@ -158,12 +168,28 @@ func newServerMetrics(reg *obsv.Registry, tracer *obsv.Tracer) *serverMetrics {
 			"Injected permanent load failures (chaos mode)."),
 		faultPanics: reg.Counter("faultinj_panics_total",
 			"Injected codec panics (chaos mode)."),
+
+		tieringMigrations: reg.Counter("tiering_migrations_total",
+			"Blocks migrated between codec tiers by recompression passes (each an encode-verify-swap that bumped the block's cache generation)."),
+		tieringVerifyFailures: reg.Counter("tiering_verify_failures_total",
+			"Tier migrations rolled back because the re-encoded block failed the round-trip or sidecar verification (the old tier kept serving)."),
+		tieringBytesSaved: reg.Counter("tiering_bytes_saved_total",
+			"Compressed bytes reclaimed by migrations into denser tiers."),
+		tieringBytesSpent: reg.Counter("tiering_bytes_spent_total",
+			"Compressed bytes spent by migrations into faster tiers (the storage cost of lower decode latency)."),
+		tieringPasses: reg.Counter("tiering_passes_total",
+			"Recompression passes completed (background and synchronous Recompress alike)."),
+		tieringPersistFailures: reg.Counter("tiering_persist_failures_total",
+			"Recompression passes whose post-migration persist hook failed (the in-memory tier map is ahead of disk until a later pass persists)."),
 	}
 	rejects := reg.CounterVec("overload_admission_rejects_total",
 		"Demand reads rejected by admission control, by reason (deadline: estimated wait exceeded the request deadline; queue_full: the bounded admission queue had no room).",
 		"reason")
 	m.admissionDeadline = rejects.With("deadline")
 	m.admissionQueueFull = rejects.With("queue_full")
+	m.tieringBlocks = reg.GaugeVec("tiering_blocks",
+		"Blocks currently stored in each codec tier across all tiered images (event-driven: refreshed at registration changes and after every recompression pass).",
+		"tier")
 	return m
 }
 

@@ -120,6 +120,12 @@ type Options struct {
 	// blocking the caller.
 	Overload *overload.Config
 
+	// Tiering configures the background recompressor that migrates tiered
+	// images' blocks between codec tiers as their heat profiles shift (see
+	// tiering.go). Nil disables the background pass; the synchronous
+	// Recompress API and the tiering metrics work regardless.
+	Tiering *TieringOptions
+
 	// Registry receives the server's metrics (counters, gauges, latency
 	// histograms). Nil creates a private registry, exposed via Registry().
 	Registry *obsv.Registry
@@ -175,6 +181,10 @@ func (o Options) withDefaults() Options {
 	if o.ReverifyInterval < 0 {
 		o.ReverifyInterval = 0
 	}
+	if o.Tiering != nil {
+		t := o.Tiering.withDefaults()
+		o.Tiering = &t
+	}
 	return o
 }
 
@@ -188,8 +198,24 @@ type image struct {
 	origSize int
 	// gen is this registration's cache-key generation: a load in flight
 	// across a replace/remove inserts under the old generation and can
-	// never be served as a block of the new one.
+	// never be served as a block of the new one. Registrations hand out
+	// generations from a counter, so gen always fits the low 32 bits the
+	// tiered per-block generations (blockGens) leave free.
 	gen uint64
+
+	// tiered is the codec downcast to its mixed-codec form, set only for
+	// tiered images; blockGens then carries one cache generation per block,
+	// bumped by every tier migration so post-migration reads re-decode
+	// through the block's new tier instead of hitting stale cache entries.
+	tiered    *codecomp.TieredImage
+	blockGens []atomic.Uint32
+	// tierMu serializes recompression passes over this image (migrations
+	// themselves are internally locked; the mutex keeps one pass's
+	// plan/migrate/persist sequence from interleaving with another's).
+	tierMu sync.Mutex
+	// tierPolicy overrides the server-wide tiering policy for this image;
+	// nil falls back to Options.Tiering.Policy (or its defaults).
+	tierPolicy atomic.Pointer[codecomp.TierPolicy]
 
 	// sidecar is the per-block integrity ground truth (nil for test
 	// codecs registered without verification).
@@ -240,9 +266,17 @@ type image struct {
 	reverifies      atomic.Int64
 }
 
-// key is the image's cache key for one block.
+// key is the image's cache key for one block. Tiered images fold the
+// block's migration generation into the high 32 bits, so a tier swap
+// orphans the block's old cache entry (it ages out under LRU, unreachable
+// under the new key) exactly like a whole-image replace orphans all of
+// them.
 func (img *image) key(b int) blockcache.Key {
-	return blockcache.Key{Image: img.name, Gen: img.gen, Block: b}
+	gen := img.gen
+	if img.blockGens != nil {
+		gen |= uint64(img.blockGens[b].Load()) << 32
+	}
+	return blockcache.Key{Image: img.name, Gen: gen, Block: b}
 }
 
 // blockOffsets returns the image's cumulative offset table, building it
@@ -391,6 +425,10 @@ func New(opts Options) *Server {
 	if opts.ReverifyInterval > 0 {
 		s.wg.Add(1)
 		go s.reverifier(opts.ReverifyInterval)
+	}
+	if opts.Tiering != nil && opts.Tiering.Interval > 0 {
+		s.wg.Add(1)
+		go s.recompressor(opts.Tiering.Interval)
 	}
 	if s.ovl != nil {
 		// The evaluator must tick independently of traffic: brownout
@@ -739,6 +777,8 @@ func imageMeta(c codecomp.BlockCodec) (origSize int) {
 		return v.OrigSize
 	case *codecomp.RANSImage:
 		return v.OrigSize
+	case *codecomp.TieredImage:
+		return v.OrigSize()
 	}
 	return 0
 }
@@ -776,6 +816,9 @@ func (s *Server) AddImage(name string, data []byte) (ImageInfo, error) {
 	if replaced {
 		s.cache.InvalidateImage(name)
 	}
+	if img.tiered != nil {
+		s.updateTierGauges()
+	}
 	return img.info(), nil
 }
 
@@ -786,13 +829,16 @@ func (s *Server) RemoveImage(name string) error {
 		s.mu.Unlock()
 		return ErrClosed
 	}
-	_, ok := s.images[name]
+	img, ok := s.images[name]
 	delete(s.images, name)
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	s.cache.InvalidateImage(name)
+	if img.tiered != nil {
+		s.updateTierGauges()
+	}
 	return nil
 }
 
@@ -1345,6 +1391,10 @@ func (s *Server) newImage(name string, codec codecomp.BlockCodec, format string)
 		origSize: imageMeta(codec),
 		gen:      s.nextGen.Add(1),
 		health:   newImageHealth(s.opts.HealthWindow),
+	}
+	if t, ok := codec.(*codecomp.TieredImage); ok {
+		img.tiered = t
+		img.blockGens = make([]atomic.Uint32, img.blocks)
 	}
 	if s.opts.TraceBuffer > 0 {
 		img.recorder = traceprof.NewRecorder(s.opts.TraceBuffer)

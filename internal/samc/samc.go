@@ -158,21 +158,40 @@ func Compress(text []byte, opts Options) (*Compressed, error) {
 		WordBytes: opts.WordBytes,
 		OrigSize:  len(text),
 	}
-	enc := arith.NewEncoder(opts.BlockSize)
-	walker := model.NewWalker()
 	forEachBlock(text, opts.BlockSize, func(block []byte) {
-		enc.Reset()
-		walker.Reset()
-		for w := 0; w < len(block); w += opts.WordBytes {
-			bits = extractWord(opts.Division, block[w:w+opts.WordBytes], bits[:0])
-			for _, b := range bits {
-				enc.EncodeBit(b, walker.P0())
-				walker.Advance(b)
-			}
-		}
-		c.Blocks = append(c.Blocks, append([]byte(nil), enc.Flush()...))
+		payload, _ := c.EncodeBlock(block) // cannot fail: geometry validated above
+		c.Blocks = append(c.Blocks, payload)
 	})
 	return c, nil
+}
+
+// EncodeBlock arithmetic-codes one block's worth of bytes against the
+// image's frozen Markov model — the Compress pass-2 kernel exposed for
+// block-granular re-encoding (the tiering layer migrates individual blocks
+// between codecs without retraining). The model is semiadaptive, so any
+// byte content encodes losslessly; content unlike the training text just
+// codes near (or above) 8 bits per byte. len(block) must be a word
+// multiple no larger than BlockSize. The returned payload decodes
+// bit-identically through AppendBlock once installed at a block index of
+// the same decoded length.
+func (c *Compressed) EncodeBlock(block []byte) ([]byte, error) {
+	if len(block) > c.BlockSize {
+		return nil, fmt.Errorf("samc: block length %d exceeds block size %d", len(block), c.BlockSize)
+	}
+	if len(block)%c.WordBytes != 0 {
+		return nil, fmt.Errorf("samc: block length %d not a multiple of word size %d", len(block), c.WordBytes)
+	}
+	enc := arith.NewEncoder(c.BlockSize)
+	walker := c.Model.NewWalker()
+	bits := make([]int, 0, c.Division.Width)
+	for w := 0; w < len(block); w += c.WordBytes {
+		bits = extractWord(c.Division, block[w:w+c.WordBytes], bits[:0])
+		for _, b := range bits {
+			enc.EncodeBit(b, walker.P0())
+			walker.Advance(b)
+		}
+	}
+	return append([]byte(nil), enc.Flush()...), nil
 }
 
 // forEachBlock visits text in blockSize chunks (last may be short).

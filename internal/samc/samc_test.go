@@ -437,3 +437,32 @@ func TestBlockParallelMatchesSerial(t *testing.T) {
 		t.Fatal("negative block index must fail")
 	}
 }
+
+func TestEncodeBlockSwap(t *testing.T) {
+	text := testText()
+	c, err := Compress(text, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode block 5's content under the frozen model and install it at
+	// block 2: the decode of block 2 must now be block 5's bytes.
+	src := text[5*c.BlockSize : 6*c.BlockSize]
+	payload, err := c.EncodeBlock(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Blocks[2] = payload
+	got, err := c.Block(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("re-encoded block decodes wrong: got %x want %x", got, src)
+	}
+	if _, err := c.EncodeBlock(make([]byte, c.BlockSize+c.WordBytes)); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+	if _, err := c.EncodeBlock(make([]byte, c.WordBytes+1)); err == nil {
+		t.Fatal("non-word-multiple block accepted")
+	}
+}

@@ -1,0 +1,295 @@
+package tiering
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"codecomp/internal/kozuch"
+	"codecomp/internal/rans"
+	"codecomp/internal/samc"
+)
+
+// Image serialization: the "TIER" container. Layout (big-endian):
+//
+//	magic "TIER" | version u8 | crc32 u32 (IEEE, over everything after)
+//	blockSize u16 | origSize u32 | numBlocks u32 | numTiers u8
+//	per tier: formatCode u8 | subLen u32
+//	assign: numBlocks bytes (tier index per block)
+//	per tier, concatenated: the sub-image bytes —
+//	  codec tiers carry their own standard marshaled image (magic, CRC,
+//	  model, LAT, payload), so loading dispatches each through
+//	  DetectFormat/UnmarshalAny exactly like a standalone upload; the raw
+//	  tier carries LAT (numBlocks+1 offsets u32) + payload.
+//
+// Sub-images keep full container geometry with empty payload slots for the
+// blocks other tiers own; the nested formats' offset tables represent
+// zero-length blocks natively (LAT lo == hi).
+
+const (
+	tierMagic   = "TIER"
+	tierVersion = 1
+)
+
+// formatCode maps tier formats to wire codes (their speed rank).
+func formatCode(format string) byte { return byte(tierOrder[format]) }
+
+// formatFromCode is the inverse of formatCode.
+func formatFromCode(code byte) (string, error) {
+	for f, r := range tierOrder {
+		if byte(r) == code {
+			return f, nil
+		}
+	}
+	return "", fmt.Errorf("tiering: unknown tier format code %d", code)
+}
+
+// marshalSub serializes one tier's sub-image.
+func (t *subTier) marshalSub() []byte {
+	switch t.format {
+	case TierRaw:
+		var out []byte
+		var off uint32
+		for _, b := range t.raw {
+			out = binary.BigEndian.AppendUint32(out, off)
+			off += uint32(len(b))
+		}
+		out = binary.BigEndian.AppendUint32(out, off)
+		for _, b := range t.raw {
+			out = append(out, b...)
+		}
+		return out
+	case TierHuffman:
+		return t.huff.Marshal()
+	case TierSAMC:
+		return t.samc.Marshal()
+	default:
+		return t.rans.Marshal()
+	}
+}
+
+// Marshal serializes the tiered image. Safe to call concurrently with
+// decodes and migrations; the snapshot is taken under the read lock.
+func (c *Compressed) Marshal() []byte {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []byte
+	out = append(out, tierMagic...)
+	out = append(out, tierVersion)
+	out = append(out, 0, 0, 0, 0) // CRC placeholder
+	out = binary.BigEndian.AppendUint16(out, uint16(c.blockSize))
+	out = binary.BigEndian.AppendUint32(out, uint32(c.origSize))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(c.assign)))
+	out = append(out, byte(len(c.tiers)))
+	subs := make([][]byte, len(c.tiers))
+	for t := range c.tiers {
+		subs[t] = c.tiers[t].marshalSub()
+		out = append(out, formatCode(c.tiers[t].format))
+		out = binary.BigEndian.AppendUint32(out, uint32(len(subs[t])))
+	}
+	out = append(out, c.assign...)
+	for _, sub := range subs {
+		out = append(out, sub...)
+	}
+	binary.BigEndian.PutUint32(out[5:], crc32.ChecksumIEEE(out[9:]))
+	return out
+}
+
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.data) {
+		return nil, fmt.Errorf("tiering: truncated image at byte %d (+%d)", r.pos, n)
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *reader) u8() (int, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return int(b[0]), nil
+}
+
+func (r *reader) u16() (int, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return int(binary.BigEndian.Uint16(b)), nil
+}
+
+func (r *reader) u32() (int, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return int(binary.BigEndian.Uint32(b)), nil
+}
+
+// Unmarshal reconstructs a tiered image serialized by Marshal, validating
+// the container CRC, the tier set, every sub-image's own checksum and
+// geometry, and that each block's assigned tier actually holds a payload
+// for it.
+func Unmarshal(data []byte) (*Compressed, error) {
+	r := &reader{data: data}
+	mg, err := r.take(4)
+	if err != nil || string(mg) != tierMagic {
+		return nil, fmt.Errorf("tiering: bad magic")
+	}
+	v, err := r.u8()
+	if err != nil || v != tierVersion {
+		return nil, fmt.Errorf("tiering: unsupported version %d", v)
+	}
+	want, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(data[r.pos:]); got != uint32(want) {
+		return nil, fmt.Errorf("tiering: image checksum mismatch (%08x != %08x)", got, want)
+	}
+	c := &Compressed{}
+	if c.blockSize, err = r.u16(); err != nil {
+		return nil, err
+	}
+	if c.origSize, err = r.u32(); err != nil {
+		return nil, err
+	}
+	numBlocks, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if c.blockSize <= 0 {
+		return nil, fmt.Errorf("tiering: invalid block size %d", c.blockSize)
+	}
+	wantBlocks := 0
+	if c.origSize > 0 {
+		wantBlocks = (c.origSize + c.blockSize - 1) / c.blockSize
+	}
+	if numBlocks != wantBlocks {
+		return nil, fmt.Errorf("tiering: %d blocks for %d bytes at block size %d", numBlocks, c.origSize, c.blockSize)
+	}
+	numTiers, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if numTiers < 1 || numTiers > 4 {
+		return nil, fmt.Errorf("tiering: %d tiers outside [1,4]", numTiers)
+	}
+	formats := make([]string, numTiers)
+	subLens := make([]int, numTiers)
+	prevRank := -1
+	for t := 0; t < numTiers; t++ {
+		code, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if formats[t], err = formatFromCode(byte(code)); err != nil {
+			return nil, err
+		}
+		if code <= prevRank {
+			return nil, fmt.Errorf("tiering: tiers not ordered fastest to densest")
+		}
+		prevRank = code
+		if subLens[t], err = r.u32(); err != nil {
+			return nil, err
+		}
+	}
+	assignBytes, err := r.take(numBlocks)
+	if err != nil {
+		return nil, err
+	}
+	c.assign = append([]uint8(nil), assignBytes...)
+	for i, a := range c.assign {
+		if int(a) >= numTiers {
+			return nil, fmt.Errorf("tiering: block %d assigned to tier %d of %d", i, a, numTiers)
+		}
+	}
+
+	for t := 0; t < numTiers; t++ {
+		sub, err := r.take(subLens[t])
+		if err != nil {
+			return nil, err
+		}
+		st := subTier{format: formats[t]}
+		switch formats[t] {
+		case TierRaw:
+			if st.raw, err = unmarshalRaw(sub, numBlocks, c.blockSize, c.origSize); err != nil {
+				return nil, err
+			}
+		case TierHuffman:
+			st.huff, err = kozuch.Unmarshal(sub)
+			if err == nil && (st.huff.BlockSize != c.blockSize || st.huff.OrigSize != c.origSize) {
+				err = fmt.Errorf("geometry %d/%d does not match container %d/%d",
+					st.huff.BlockSize, st.huff.OrigSize, c.blockSize, c.origSize)
+			}
+		case TierSAMC:
+			st.samc, err = samc.Unmarshal(sub)
+			if err == nil && (st.samc.BlockSize != c.blockSize || st.samc.OrigSize != c.origSize) {
+				err = fmt.Errorf("geometry %d/%d does not match container %d/%d",
+					st.samc.BlockSize, st.samc.OrigSize, c.blockSize, c.origSize)
+			}
+		case TierRANS:
+			st.rans, err = rans.Unmarshal(sub)
+			if err == nil && (st.rans.BlockSize != c.blockSize || st.rans.OrigSize != c.origSize) {
+				err = fmt.Errorf("geometry %d/%d does not match container %d/%d",
+					st.rans.BlockSize, st.rans.OrigSize, c.blockSize, c.origSize)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tiering: %s tier: %w", formats[t], err)
+		}
+		c.tiers = append(c.tiers, st)
+	}
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("tiering: %d trailing bytes", len(data)-r.pos)
+	}
+	// Every block's assigned tier must actually hold its payload: all codec
+	// encodes emit at least one byte per block, and the raw tier stores the
+	// block verbatim.
+	for i, a := range c.assign {
+		pl := c.tiers[a].payloads()
+		if len(pl) != numBlocks {
+			return nil, fmt.Errorf("tiering: %s tier has %d blocks, container %d", c.tiers[a].format, len(pl), numBlocks)
+		}
+		if n := len(pl[i]); n == 0 || (c.tiers[a].format == TierRaw && n != c.blockOrigLen(i)) {
+			return nil, fmt.Errorf("tiering: block %d assigned to %s tier without payload", i, c.tiers[a].format)
+		}
+	}
+	return c, nil
+}
+
+// unmarshalRaw parses the raw tier's LAT + payload, requiring every entry
+// to be empty or exactly the block's decoded length.
+func unmarshalRaw(sub []byte, numBlocks, blockSize, origSize int) ([][]byte, error) {
+	if len(sub) < 4*(numBlocks+1) {
+		return nil, fmt.Errorf("truncated raw LAT")
+	}
+	offsets := make([]int, numBlocks+1)
+	for i := range offsets {
+		offsets[i] = int(binary.BigEndian.Uint32(sub[4*i:]))
+	}
+	payload := sub[4*(numBlocks+1):]
+	raw := make([][]byte, numBlocks)
+	for i := 0; i < numBlocks; i++ {
+		lo, hi := offsets[i], offsets[i+1]
+		if lo > hi || hi > len(payload) {
+			return nil, fmt.Errorf("corrupt raw LAT entry %d [%d,%d)", i, lo, hi)
+		}
+		wantLen := blockSize
+		if (i+1)*blockSize > origSize {
+			wantLen = origSize - i*blockSize
+		}
+		if hi-lo != 0 && hi-lo != wantLen {
+			return nil, fmt.Errorf("raw block %d holds %d bytes, want 0 or %d", i, hi-lo, wantLen)
+		}
+		raw[i] = payload[lo:hi]
+	}
+	return raw, nil
+}

@@ -1,0 +1,344 @@
+package tiering
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"codecomp/internal/synth"
+	"codecomp/internal/traceprof"
+)
+
+func mipsText() []byte {
+	p, ok := synth.ProfileByName("compress")
+	if !ok {
+		panic("no compress profile")
+	}
+	return synth.GenerateMIPS(p).Text()
+}
+
+func threeTierSpec() Spec {
+	return Spec{
+		BlockSize:   128,
+		Tiers:       []string{TierRaw, TierHuffman, TierRANS},
+		DefaultTier: 2,
+	}
+}
+
+func TestRoundTripAllCold(t *testing.T) {
+	text := mipsText()
+	c, err := Compress(text, threeTierSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, text) {
+		t.Fatal("decompress mismatch")
+	}
+	st := c.Stats()
+	if st[0].Blocks != 0 || st[1].Blocks != 0 || st[2].Blocks != c.NumBlocks() {
+		t.Fatalf("expected all blocks cold, got %+v", st)
+	}
+}
+
+func TestRoundTripMixedAssignment(t *testing.T) {
+	text := mipsText()
+	spec := threeTierSpec()
+	n := (len(text) + spec.BlockSize - 1) / spec.BlockSize
+	assign := make([]uint8, n)
+	for i := range assign {
+		assign[i] = uint8(i % 3)
+	}
+	spec.Assign = assign
+	c, err := Compress(text, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, text) {
+		t.Fatal("decompress mismatch")
+	}
+	for i := 0; i < n; i++ {
+		tier, err := c.TierOf(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tier != i%3 {
+			t.Fatalf("block %d in tier %d, want %d", i, tier, i%3)
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	text := mipsText()
+	spec := threeTierSpec()
+	n := (len(text) + spec.BlockSize - 1) / spec.BlockSize
+	assign := make([]uint8, n)
+	for i := range assign {
+		assign[i] = uint8((i / 2) % 3)
+	}
+	spec.Assign = assign
+	c, err := Compress(text, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := c.Marshal()
+	c2, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, text) {
+		t.Fatal("round-tripped image decompress mismatch")
+	}
+	if !bytes.Equal(c2.Assignments(), assign) {
+		t.Fatal("tier map not preserved")
+	}
+	if c.CompressedSize() != c2.CompressedSize() {
+		t.Fatalf("compressed size changed: %d vs %d", c.CompressedSize(), c2.CompressedSize())
+	}
+	// Any single corrupted byte must be rejected by the container CRC.
+	for _, pos := range []int{9, len(data) / 2, len(data) - 1} {
+		bad := append([]byte(nil), data...)
+		bad[pos] ^= 0x40
+		if _, err := Unmarshal(bad); err == nil {
+			t.Fatalf("corrupt byte %d accepted", pos)
+		}
+	}
+}
+
+func TestUnmarshalRejectsAssignedWithoutPayload(t *testing.T) {
+	text := mipsText()
+	c, err := Compress(text, threeTierSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move block 0's assignment to the raw tier without giving it a raw
+	// payload, then re-marshal: Unmarshal must reject the inconsistency.
+	c.assign[0] = 0
+	data := c.Marshal()
+	if _, err := Unmarshal(data); err == nil {
+		t.Fatal("assigned block without payload accepted")
+	}
+}
+
+func TestMigrateBlock(t *testing.T) {
+	text := mipsText()
+	c, err := Compress(text, threeTierSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Block(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := c.MigrateBlock(3, 0, nil) // rans → raw
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta <= 0 {
+		t.Fatalf("migrating to raw should grow storage, delta %d", delta)
+	}
+	if tier, _ := c.TierOf(3); tier != 0 {
+		t.Fatalf("block 3 in tier %d after migration", tier)
+	}
+	got, err := c.Block(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("bytes changed across migration")
+	}
+	// And back down to the dense tier.
+	delta, err = c.MigrateBlock(3, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta >= 0 {
+		t.Fatalf("migrating raw → rans should save bytes, delta %d", delta)
+	}
+	got, err = c.Block(3)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("bytes changed after round trip migration (err %v)", err)
+	}
+	// No-op migration.
+	if delta, err = c.MigrateBlock(3, 2, nil); err != nil || delta != 0 {
+		t.Fatalf("no-op migration: delta %d err %v", delta, err)
+	}
+	// A failing verify callback must roll everything back.
+	before := c.Assignments()
+	_, err = c.MigrateBlock(3, 1, func([]byte) error { return fmt.Errorf("nope") })
+	if err == nil {
+		t.Fatal("verify failure not propagated")
+	}
+	if !bytes.Equal(c.Assignments(), before) {
+		t.Fatal("failed migration changed assignment")
+	}
+	got, err = c.Block(3)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatal("failed migration corrupted block")
+	}
+}
+
+func TestConcurrentDecodeDuringMigration(t *testing.T) {
+	text := mipsText()
+	c, err := Compress(text, threeTierSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.NumBlocks()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for it := 0; ; it++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := (seed*31 + it*7) % n
+				got, err := c.Block(i)
+				if err != nil {
+					t.Errorf("block %d: %v", i, err)
+					return
+				}
+				end := (i + 1) * c.BlockSize()
+				if end > len(text) {
+					end = len(text)
+				}
+				if !bytes.Equal(got, text[i*c.BlockSize():end]) {
+					t.Errorf("block %d mismatch during migration", i)
+					return
+				}
+			}
+		}(g)
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < n; i++ {
+			if _, err := c.MigrateBlock(i, (round+i)%3, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	got, err := c.Decompress()
+	if err != nil || !bytes.Equal(got, text) {
+		t.Fatal("image corrupt after migration storm")
+	}
+}
+
+func TestPolicyAssign(t *testing.T) {
+	// 100 blocks; block 0..9 hot (100 accesses each), 10..29 warm (10
+	// each), the rest cold (0 or 1).
+	heat := make([]int64, 100)
+	for i := 0; i < 10; i++ {
+		heat[i] = 100
+	}
+	for i := 10; i < 30; i++ {
+		heat[i] = 10
+	}
+	heat[40] = 1
+	prof := &traceprof.Profile{Blocks: 100, Heat: heat}
+	// 10 hot blocks carry 1000 of 1201 accesses (~83%): a 95% hot target
+	// capped at 10% of blocks puts exactly the 10 hottest in tier 0.
+	assign := Policy{HotFraction: 0.95, WarmFraction: 0.04, MaxHotFraction: 0.1}.Assign(prof, 3)
+	for i := 0; i < 10; i++ {
+		if assign[i] != 0 {
+			t.Fatalf("hot block %d in tier %d", i, assign[i])
+		}
+	}
+	warm := 0
+	for i := 10; i < 30; i++ {
+		if assign[i] == 1 {
+			warm++
+		}
+	}
+	if warm == 0 {
+		t.Fatal("no warm blocks assigned to tier 1")
+	}
+	for i := 50; i < 100; i++ {
+		if assign[i] != 2 {
+			t.Fatalf("cold block %d in tier %d", i, assign[i])
+		}
+	}
+	// Zero-heat profile parks everything dense.
+	for _, a := range (Policy{}).Assign(&traceprof.Profile{Blocks: 5, Heat: make([]int64, 5)}, 3) {
+		if a != 2 {
+			t.Fatal("idle profile should stay dense")
+		}
+	}
+	// Cap: a flat profile cannot promote more than MaxHotFraction.
+	flat := make([]int64, 100)
+	for i := range flat {
+		flat[i] = 5
+	}
+	hot := 0
+	for _, a := range (Policy{MaxHotFraction: 0.1}).Assign(&traceprof.Profile{Blocks: 100, Heat: flat}, 2) {
+		if a == 0 {
+			hot++
+		}
+	}
+	if hot > 10 {
+		t.Fatalf("hot cap violated: %d blocks", hot)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	text := mipsText()
+	bad := []Spec{
+		{Tiers: []string{}},
+		{Tiers: []string{"zstd"}},
+		{Tiers: []string{TierRANS, TierRaw}},           // out of order
+		{Tiers: []string{TierRaw, TierRaw}},            // duplicate
+		{Tiers: []string{TierRANS}, BlockSize: 30},     // not mult of 4
+		{Tiers: []string{TierRaw}, DefaultTier: 1},     // tier index out of range
+		{Tiers: []string{TierRaw}, Assign: []uint8{9}}, // wrong length + bad value
+		{Tiers: []string{TierSAMC}, BlockSize: 126},    // not word multiple
+	}
+	for i, s := range bad {
+		if _, err := Compress(text, s); err == nil {
+			t.Fatalf("bad spec %d accepted", i)
+		}
+	}
+	if err := (Policy{HotFraction: 0.9, WarmFraction: 0.3}).Validate(); err == nil {
+		t.Fatal("over-budget policy accepted")
+	}
+	if err := (Policy{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeCosts(t *testing.T) {
+	text := mipsText()
+	c, err := Compress(text, threeTierSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := c.DecodeCosts(DefaultCostModel)
+	if len(costs) != c.NumBlocks() {
+		t.Fatal("wrong cost count")
+	}
+	if costs[0] != float64(c.BlockSize())*DefaultCostModel[TierRANS] {
+		t.Fatalf("cold block cost %v", costs[0])
+	}
+	if _, err := c.MigrateBlock(0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DecodeCosts(DefaultCostModel)[0]; got != float64(c.BlockSize())*DefaultCostModel[TierRaw] {
+		t.Fatalf("raw block cost %v", got)
+	}
+}
